@@ -1,0 +1,98 @@
+//! Microbenchmarks of the core data structures: the intrusive list every
+//! LRU-family policy pays for on hits, the lock-free ring S3-FIFO uses
+//! instead, and the sketch/ghost structures.
+
+use cache_ds::{CountMinSketch, DList, GhostTable, MpmcRing, SplitMix64};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_dlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlist");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop", |b| {
+        let mut l = DList::with_capacity(1024);
+        for i in 0..512u64 {
+            l.push_front(i);
+        }
+        b.iter(|| {
+            l.push_front(1);
+            l.pop_back()
+        });
+    });
+    group.bench_function("move_to_front", |b| {
+        let mut l = DList::with_capacity(1024);
+        let handles: Vec<_> = (0..512u64).map(|i| l.push_front(i)).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 231) % handles.len();
+            l.move_to_front(handles[i])
+        });
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpmc_ring");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("push_pop_single_thread", |b| {
+        let q: MpmcRing<u64> = MpmcRing::new(1024);
+        for i in 0..512 {
+            q.push(i).expect("room");
+        }
+        b.iter(|| {
+            q.push(1).expect("room");
+            q.pop()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cms_increment", |b| {
+        let mut s = CountMinSketch::new(1 << 16);
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let k = rng.next_u64() & 0xFFFFF;
+            s.increment(k);
+        });
+    });
+    group.bench_function("cms_estimate", |b| {
+        let mut s = CountMinSketch::new(1 << 16);
+        for i in 0..10_000u64 {
+            s.increment(i);
+        }
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| s.estimate(rng.next_u64() & 0xFFFF));
+    });
+    group.finish();
+}
+
+fn bench_ghost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghost_table");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |b| {
+        let mut g = GhostTable::new(1 << 14);
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| g.insert(rng.next_u64()));
+    });
+    group.bench_function("contains", |b| {
+        let mut g = GhostTable::new(1 << 14);
+        for i in 0..(1 << 14) as u64 {
+            g.insert(i);
+        }
+        let mut rng = SplitMix64::new(4);
+        b.iter(|| g.contains(rng.next_u64() & 0x7FFF));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dlist, bench_ring, bench_sketch, bench_ghost
+}
+criterion_main!(benches);

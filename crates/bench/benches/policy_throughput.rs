@@ -1,0 +1,57 @@
+//! Single-thread request-processing throughput of every eviction policy
+//! (the simulator's hot path; libCacheSim reports ~20M req/s per core).
+
+use cache_policies::registry;
+use cache_trace::gen::WorkloadSpec;
+use cache_types::{Eviction, Request};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = WorkloadSpec::zipf("bench", 30_000, 3_000, 1.0, 1).generate();
+    let reqs: Vec<Request> = trace.requests.clone();
+    let capacity = 1000u64;
+    let mut group = c.benchmark_group("policy_throughput");
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    for name in [
+        "FIFO",
+        "LRU",
+        "CLOCK",
+        "SIEVE",
+        "S3-FIFO",
+        "S3-FIFO-D",
+        "2Q",
+        "SLRU",
+        "ARC",
+        "LIRS",
+        "TinyLFU",
+        "LRU-2",
+        "LeCaR",
+        "CACHEUS",
+        "LHD",
+        "B-LRU",
+        "FIFO-Merge",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            b.iter(|| {
+                let mut p = registry::build(name, capacity, Some(&reqs)).expect("build");
+                let mut evs: Vec<Eviction> = Vec::new();
+                for r in &reqs {
+                    evs.clear();
+                    p.request(r, &mut evs);
+                }
+                p.stats().misses
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_policies
+}
+criterion_main!(benches);

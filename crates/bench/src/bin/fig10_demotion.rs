@@ -1,0 +1,65 @@
+//! Fig. 10: normalized quick-demotion speed and precision for ARC, TinyLFU,
+//! and S3-FIFO (the latter two swept over S sizes), on the Twitter-like and
+//! MSR-like traces at large and small cache sizes.
+//!
+//! Run: `cargo run --release -p cache-bench --bin fig10_demotion`
+
+use cache_bench::{banner, f2, f3, f4, print_table};
+use cache_sim::demotion::{demotion_metrics, lru_mean_eviction_age};
+use cache_sim::{NextAccessOracle, SimConfig};
+use cache_trace::corpus::{msr_like, twitter_like};
+use cache_trace::Trace;
+
+const S_SIZES: &[f64] = &[0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40];
+
+fn run(trace: &Trace, cfg: SimConfig, label: &str) {
+    banner(&format!("Fig. 10: {} ({label})", trace.name));
+    let capacity = cfg.capacity_for(trace);
+    let oracle = NextAccessOracle::new(&trace.requests);
+    let lru_age = lru_mean_eviction_age(trace, capacity);
+    println!("cache = {capacity} objects, LRU eviction age = {lru_age:.0}");
+    let mut rows = Vec::new();
+    let arc = demotion_metrics("ARC", trace, capacity, lru_age, &oracle).expect("ARC");
+    rows.push(vec![
+        "ARC".into(),
+        "adaptive".into(),
+        f2(arc.speed),
+        f3(arc.precision),
+        f4(arc.miss_ratio),
+    ]);
+    for family in ["TinyLFU", "S3-FIFO"] {
+        for s in S_SIZES {
+            let name = format!("{family}({s})");
+            let m = demotion_metrics(&name, trace, capacity, lru_age, &oracle).expect("algo");
+            rows.push(vec![
+                family.to_string(),
+                format!("S={s}"),
+                f2(m.speed),
+                f3(m.precision),
+                f4(m.miss_ratio),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "algorithm",
+            "S size",
+            "demotion speed",
+            "precision",
+            "miss ratio",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let tw = twitter_like(400_000, 17);
+    let msr = msr_like(400_000, 17);
+    run(&tw, SimConfig::large(), "large cache, 10%");
+    run(&tw, SimConfig::small(), "small cache, 0.1%");
+    run(&msr, SimConfig::large(), "large cache, 10%");
+    run(&msr, SimConfig::small(), "small cache, 0.1%");
+    println!("(paper: smaller S -> monotonically faster demotion; precision peaks at");
+    println!(" an intermediate S; at equal speed S3-FIFO is more precise than TinyLFU;");
+    println!(" higher precision at similar speed tracks lower miss ratio)");
+}

@@ -1,0 +1,58 @@
+//! Table 1: dataset statistics of the synthetic corpus, printed next to the
+//! paper's published one-hit-wonder ratios.
+//!
+//! Run: `cargo run --release -p cache-bench --bin table1_datasets`
+
+use cache_bench::{banner, corpus_config_from_env, f2, print_table};
+use cache_trace::analysis::trace_stats;
+use cache_trace::corpus::datasets;
+
+fn main() {
+    let cfg = corpus_config_from_env();
+    banner("Table 1: dataset statistics (synthetic corpus vs paper OHW)");
+    println!(
+        "corpus: {} traces/dataset x {} requests",
+        cfg.traces_per_dataset, cfg.requests_per_trace
+    );
+    let mut rows = Vec::new();
+    for ds in datasets() {
+        let mut requests = 0usize;
+        let mut objects = 0usize;
+        let mut ohw_full = 0.0;
+        let mut ohw_10 = 0.0;
+        let mut ohw_1 = 0.0;
+        let traces = ds.traces(&cfg);
+        for t in &traces {
+            let s = trace_stats(&t.requests, 20, 1);
+            requests += s.requests;
+            objects += s.objects;
+            ohw_full += s.ohw_full;
+            ohw_10 += s.ohw_10pct;
+            ohw_1 += s.ohw_1pct;
+        }
+        let n = traces.len() as f64;
+        rows.push(vec![
+            ds.name.to_string(),
+            ds.cache_type.label().to_string(),
+            traces.len().to_string(),
+            format!("{}k", requests / 1000),
+            format!("{}k", objects / 1000),
+            format!("{} / {}", f2(ohw_full / n), f2(ds.paper_ohw.0)),
+            format!("{} / {}", f2(ohw_10 / n), f2(ds.paper_ohw.1)),
+            format!("{} / {}", f2(ohw_1 / n), f2(ds.paper_ohw.2)),
+        ]);
+    }
+    print_table(
+        &[
+            "dataset",
+            "type",
+            "#traces",
+            "#req",
+            "#obj",
+            "OHW full (ours/paper)",
+            "OHW 10% (ours/paper)",
+            "OHW 1% (ours/paper)",
+        ],
+        &rows,
+    );
+}

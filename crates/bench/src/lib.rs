@@ -1,0 +1,124 @@
+//! Shared helpers for the benchmark binaries that regenerate every table
+//! and figure of the paper's evaluation.
+//!
+//! Each binary prints the same rows/series the paper reports, plus the
+//! paper's published values where applicable, so the *shape* comparison
+//! (who wins, by roughly what factor, where crossovers fall) can be read
+//! off directly. See `EXPERIMENTS.md` at the workspace root for the
+//! recorded paper-vs-measured comparison.
+//!
+//! Environment knobs (all optional):
+//!
+//! - `CORPUS_TRACES` — traces per dataset (default 3);
+//! - `CORPUS_REQUESTS` — requests per trace (default 150 000);
+//! - `BENCH_THREADS` — sweep worker threads (default: all cores).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cache_trace::corpus::CorpusConfig;
+
+/// Reads the corpus scale from the environment (see crate docs).
+pub fn corpus_config_from_env() -> CorpusConfig {
+    let traces = std::env::var("CORPUS_TRACES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let requests = std::env::var("CORPUS_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000);
+    CorpusConfig {
+        traces_per_dataset: traces,
+        requests_per_trace: requests,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Sweep worker threads from the environment (0 = all cores).
+pub fn threads_from_env() -> usize {
+    std::env::var("BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Prints an ASCII table with aligned columns.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        s
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", line(&hdr));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        let cfg = corpus_config_from_env();
+        assert!(cfg.traces_per_dataset >= 1);
+        assert!(cfg.requests_per_trace >= 1000);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(0.12345), "0.12");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        banner("test");
+    }
+}

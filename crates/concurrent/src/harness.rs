@@ -1,0 +1,193 @@
+//! Closed-loop multi-threaded replay harness (Fig. 8's methodology).
+//!
+//! §5.3: "The Zipf workload contains 100·n_thread million requests for
+//! n_thread million 4 KB objects" (scaled down here), replayed in a closed
+//! loop; misses are filled on demand with pre-generated data. Each thread
+//! replays its own slice of a pre-generated key sequence; throughput is
+//! total requests divided by wall time.
+
+use crate::ConcurrentCache;
+use bytes::Bytes;
+use cache_ds::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Workload parameters for one throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputConfig {
+    /// Requests per thread.
+    pub requests_per_thread: usize,
+    /// Distinct objects.
+    pub objects: u64,
+    /// Zipf skew (paper: 1.0).
+    pub alpha: f64,
+    /// Payload size in bytes (paper: 4 KB).
+    pub value_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            requests_per_thread: 1_000_000,
+            objects: 1_000_000,
+            alpha: 1.0,
+            value_size: 4096,
+            seed: 0xF16_8,
+        }
+    }
+}
+
+/// Result of one throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Threads used.
+    pub threads: usize,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Cache hits observed.
+    pub hits: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Million operations per second.
+    pub mops: f64,
+}
+
+impl ThroughputResult {
+    /// Hit ratio of the run.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Pre-generates per-thread Zipf key sequences (kept out of the timed
+/// region).
+pub fn generate_keys(cfg: &ThroughputConfig, threads: usize) -> Vec<Vec<u64>> {
+    let zipf = cache_trace_zipf(cfg.objects, cfg.alpha);
+    (0..threads)
+        .map(|t| {
+            let mut rng = SplitMix64::new(cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            (0..cfg.requests_per_thread)
+                .map(|_| sample_zipf(&zipf, &mut rng))
+                .collect()
+        })
+        .collect()
+}
+
+// A minimal local Zipf CDF (cache-trace is not a dependency of this crate
+// to keep the prototype layer freestanding).
+fn cache_trace_zipf(n: u64, alpha: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut acc = 0.0;
+    for i in 1..=n {
+        acc += 1.0 / (i as f64).powf(alpha);
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+fn sample_zipf(cdf: &[f64], rng: &mut SplitMix64) -> u64 {
+    let u = rng.next_f64();
+    let idx = cdf.partition_point(|&c| c < u);
+    (idx.min(cdf.len() - 1) + 1) as u64
+}
+
+/// Runs a closed-loop throughput measurement with `threads` threads.
+///
+/// Threads spin on a barrier, then replay their key slice: `get`, and on a
+/// miss, `insert` a clone of the pre-generated payload.
+pub fn run_throughput(
+    cache: Arc<dyn ConcurrentCache>,
+    keys: &[Vec<u64>],
+    value_size: usize,
+) -> ThroughputResult {
+    let threads = keys.len();
+    let payload = Bytes::from(vec![0xABu8; value_size]);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let hits = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for thread_keys in keys {
+        let cache = cache.clone();
+        let barrier = barrier.clone();
+        let hits = hits.clone();
+        let payload = payload.clone();
+        let thread_keys = thread_keys.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut local_hits = 0u64;
+            for &k in &thread_keys {
+                match cache.get(k) {
+                    Some(_) => local_hits += 1,
+                    None => cache.insert(k, payload.clone()),
+                }
+            }
+            hits.fetch_add(local_hits, Ordering::Relaxed);
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let requests: u64 = keys.iter().map(|k| k.len() as u64).sum();
+    ThroughputResult {
+        threads,
+        requests,
+        hits: hits.load(Ordering::Relaxed),
+        seconds,
+        mops: requests as f64 / seconds / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s3fifo::ConcurrentS3Fifo;
+
+    #[test]
+    fn keys_follow_zipf_shape() {
+        let cfg = ThroughputConfig {
+            requests_per_thread: 50_000,
+            objects: 10_000,
+            alpha: 1.0,
+            value_size: 8,
+            seed: 1,
+        };
+        let keys = generate_keys(&cfg, 2);
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].len(), 50_000);
+        // Rank 1 must be the most frequent key.
+        let count = |ks: &Vec<u64>, k| ks.iter().filter(|&&x| x == k).count();
+        assert!(count(&keys[0], 1) > count(&keys[0], 100));
+        // Per-thread streams differ.
+        assert_ne!(keys[0], keys[1]);
+    }
+
+    #[test]
+    fn throughput_run_reports_sane_numbers() {
+        let cfg = ThroughputConfig {
+            requests_per_thread: 20_000,
+            objects: 1000,
+            alpha: 1.0,
+            value_size: 64,
+            seed: 2,
+        };
+        let keys = generate_keys(&cfg, 2);
+        let cache: Arc<dyn ConcurrentCache> = Arc::new(ConcurrentS3Fifo::new(500));
+        let r = run_throughput(cache, &keys, cfg.value_size);
+        assert_eq!(r.requests, 40_000);
+        assert!(r.mops > 0.0);
+        assert!(r.hit_ratio() > 0.3, "hit ratio {}", r.hit_ratio());
+        assert!(r.seconds > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrent cache prototypes for the throughput/scalability evaluation
+//! (Fig. 8; the paper's Cachelib experiment).
+//!
+//! The paper's argument: LRU-family algorithms serialize on a lock because
+//! every *hit* mutates the queue, while S3-FIFO's hit path is a single
+//! atomic counter bump, so FIFO queues scale with cores. This crate builds
+//! both sides:
+//!
+//! - [`s3fifo::ConcurrentS3Fifo`] — lock-free small/main FIFO rings
+//!   ([`cache_ds::MpmcRing`]), sharded hash index, atomic two-bit counters,
+//!   sharded fingerprint ghost;
+//! - [`lru::MutexLru`] — strict LRU (every hit takes the global list lock)
+//!   and "optimized" LRU (Cachelib-style try-lock + rate-limited promotion);
+//! - [`clock::ConcurrentClock`] — atomic reference bits over a slot array;
+//! - [`locked::GlobalLock`] — wraps any single-threaded [`cache_types::Policy`]
+//!   (TinyLFU, 2Q) behind one mutex, reproducing the advanced-algorithm
+//!   lines of Fig. 8;
+//! - [`segcache::SegcacheLike`] — log-structured segments with FIFO-merge
+//!   eviction and an atomic-only hit path;
+//! - [`harness`] — the closed-loop multi-threaded replay harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod harness;
+pub mod locked;
+pub mod lru;
+pub mod s3fifo;
+pub mod segcache;
+
+use bytes::Bytes;
+
+/// A thread-safe fixed-capacity cache keyed by `u64`, storing cheaply
+/// cloneable byte payloads.
+pub trait ConcurrentCache: Send + Sync {
+    /// Algorithm name for reporting.
+    fn name(&self) -> String;
+    /// Looks up `key`, returning the payload on a hit.
+    fn get(&self, key: u64) -> Option<Bytes>;
+    /// Inserts `key → value`, evicting as needed.
+    fn insert(&self, key: u64, value: Bytes);
+    /// Deletes `key`, returning true when it was cached. §4.2 notes that in
+    /// a ring-buffer implementation the space of deleted objects is only
+    /// reclaimed when their queue slot is consumed — and that S3-FIFO's
+    /// small queue recycles such slots sooner than a single large queue.
+    fn remove(&self, key: u64) -> bool;
+    /// Approximate number of cached entries.
+    fn len(&self) -> usize;
+    /// Maximum number of entries.
+    fn capacity(&self) -> usize;
+}
+
+/// Number of hash-index shards used by the scalable implementations.
+pub(crate) const SHARDS: usize = 64;
+
+#[inline]
+pub(crate) fn shard_of(key: u64) -> usize {
+    (cache_ds::rng::mix64(key) as usize) & (SHARDS - 1)
+}
+
+#[cfg(test)]
+mod remove_tests {
+    use super::*;
+    use crate::clock::ConcurrentClock;
+    use crate::locked::{locked_tinylfu, locked_twoq};
+    use crate::lru::MutexLru;
+    use crate::s3fifo::ConcurrentS3Fifo;
+    use crate::segcache::SegcacheLike;
+    use std::sync::Arc;
+
+    fn all_caches(capacity: usize) -> Vec<Arc<dyn ConcurrentCache>> {
+        vec![
+            Arc::new(ConcurrentS3Fifo::new(capacity)),
+            Arc::new(MutexLru::strict(capacity)),
+            Arc::new(MutexLru::optimized(capacity)),
+            Arc::new(ConcurrentClock::new(capacity)),
+            Arc::new(locked_tinylfu(capacity)),
+            Arc::new(locked_twoq(capacity)),
+            Arc::new(SegcacheLike::new(capacity)),
+        ]
+    }
+
+    #[test]
+    fn remove_makes_key_invisible_everywhere() {
+        for c in all_caches(100) {
+            c.insert(1, Bytes::from_static(b"v"));
+            assert!(c.get(1).is_some(), "{}: insert failed", c.name());
+            assert!(c.remove(1), "{}: remove returned false", c.name());
+            assert!(c.get(1).is_none(), "{}: key visible after remove", c.name());
+            assert!(!c.remove(1), "{}: double remove returned true", c.name());
+        }
+    }
+
+    #[test]
+    fn remove_then_reinsert_works() {
+        for c in all_caches(100) {
+            c.insert(2, Bytes::from_static(b"a"));
+            c.remove(2);
+            c.insert(2, Bytes::from_static(b"b"));
+            assert_eq!(
+                c.get(2),
+                Some(Bytes::from_static(b"b")),
+                "{}: reinsert after remove failed",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn delete_heavy_churn_stays_bounded() {
+        // §4.2's deletion discussion: heavy delete traffic must not corrupt
+        // accounting or leak space.
+        for c in all_caches(64) {
+            let mut state = 7u64;
+            for i in 0..30_000u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = (state >> 33) % 500;
+                match i % 3 {
+                    0 => c.insert(key, Bytes::from_static(b"v")),
+                    1 => {
+                        c.get(key);
+                    }
+                    _ => {
+                        c.remove(key);
+                    }
+                }
+            }
+            assert!(
+                c.len() <= 64 + 8,
+                "{}: len {} after delete churn",
+                c.name(),
+                c.len()
+            );
+        }
+    }
+}

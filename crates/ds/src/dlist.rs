@@ -1,0 +1,594 @@
+//! A slab-backed doubly-linked list with stable, generation-checked handles.
+//!
+//! LRU-family eviction algorithms need O(1) "move this object to the head"
+//! given only the object's map entry. A pointer-based list would force
+//! `unsafe`; instead nodes live in a `Vec` slab and links are `u32` indices.
+//! Each slot carries a generation counter so a stale [`Handle`] (one whose
+//! node was removed and the slot reused) is detected rather than silently
+//! corrupting the list.
+//!
+//! The list is ordered head → tail. LRU policies put the most recently used
+//! object at the head and evict from the tail; FIFO policies push at the head
+//! and pop from the tail so that eviction order equals insertion order.
+
+const NIL: u32 = u32::MAX;
+
+/// A stable reference to a node in a [`DList`].
+///
+/// Handles become invalid when the node is removed; using an invalid handle
+/// returns `None`/`false` rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    prev: u32,
+    next: u32,
+    gen: u32,
+    val: Option<T>,
+}
+
+/// Doubly-linked list backed by a slab of nodes.
+///
+/// # Examples
+///
+/// ```
+/// use cache_ds::DList;
+///
+/// let mut lru: DList<u64> = DList::new();
+/// let a = lru.push_front(1);
+/// lru.push_front(2);
+/// lru.move_to_front(a);          // promote on hit
+/// assert_eq!(lru.pop_back(), Some(2)); // evict the least recent
+/// ```
+#[derive(Debug)]
+pub struct DList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl<T> Default for DList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        DList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with room for `cap` nodes before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        DList {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of elements in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the list has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, val: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.nodes[idx as usize];
+            debug_assert!(node.val.is_none());
+            node.val = Some(val);
+            node.prev = NIL;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx < NIL, "DList slab exhausted");
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                gen: 0,
+                val: Some(val),
+            });
+            idx
+        }
+    }
+
+    fn handle_of(&self, idx: u32) -> Handle {
+        Handle {
+            idx,
+            gen: self.nodes[idx as usize].gen,
+        }
+    }
+
+    fn valid(&self, h: Handle) -> bool {
+        (h.idx as usize) < self.nodes.len() && {
+            let n = &self.nodes[h.idx as usize];
+            n.gen == h.gen && n.val.is_some()
+        }
+    }
+
+    /// Inserts at the head, returning a handle to the new node.
+    pub fn push_front(&mut self, val: T) -> Handle {
+        let idx = self.alloc(val);
+        let old_head = self.head;
+        self.nodes[idx as usize].next = old_head;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+        self.handle_of(idx)
+    }
+
+    /// Inserts at the tail, returning a handle to the new node.
+    pub fn push_back(&mut self, val: T) -> Handle {
+        let idx = self.alloc(val);
+        let old_tail = self.tail;
+        self.nodes[idx as usize].prev = old_tail;
+        if old_tail != NIL {
+            self.nodes[old_tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        self.handle_of(idx)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn release(&mut self, idx: u32) -> T {
+        let node = &mut self.nodes[idx as usize];
+        let val = node.val.take().expect("releasing empty slot");
+        node.gen = node.gen.wrapping_add(1);
+        node.prev = NIL;
+        node.next = NIL;
+        self.free.push(idx);
+        self.len -= 1;
+        val
+    }
+
+    /// Removes the node behind `h`, returning its value, or `None` when the
+    /// handle is stale.
+    pub fn remove(&mut self, h: Handle) -> Option<T> {
+        if !self.valid(h) {
+            return None;
+        }
+        self.unlink(h.idx);
+        Some(self.release(h.idx))
+    }
+
+    /// Removes and returns the tail element.
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.unlink(idx);
+        Some(self.release(idx))
+    }
+
+    /// Removes and returns the head element.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.head == NIL {
+            return None;
+        }
+        let idx = self.head;
+        self.unlink(idx);
+        Some(self.release(idx))
+    }
+
+    /// Moves the node behind `h` to the head (LRU promotion). Returns false
+    /// when the handle is stale.
+    pub fn move_to_front(&mut self, h: Handle) -> bool {
+        if !self.valid(h) {
+            return false;
+        }
+        if self.head == h.idx {
+            return true;
+        }
+        self.unlink(h.idx);
+        let old_head = self.head;
+        let n = &mut self.nodes[h.idx as usize];
+        n.prev = NIL;
+        n.next = old_head;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = h.idx;
+        } else {
+            self.tail = h.idx;
+        }
+        self.head = h.idx;
+        true
+    }
+
+    /// Moves the node behind `h` to the tail. Returns false when the handle
+    /// is stale.
+    pub fn move_to_back(&mut self, h: Handle) -> bool {
+        if !self.valid(h) {
+            return false;
+        }
+        if self.tail == h.idx {
+            return true;
+        }
+        self.unlink(h.idx);
+        let old_tail = self.tail;
+        let n = &mut self.nodes[h.idx as usize];
+        n.next = NIL;
+        n.prev = old_tail;
+        if old_tail != NIL {
+            self.nodes[old_tail as usize].next = h.idx;
+        } else {
+            self.head = h.idx;
+        }
+        self.tail = h.idx;
+        true
+    }
+
+    /// Returns a reference to the value behind `h`.
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        if self.valid(h) {
+            self.nodes[h.idx as usize].val.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Returns a mutable reference to the value behind `h`.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        if self.valid(h) {
+            self.nodes[h.idx as usize].val.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Reference to the head value.
+    pub fn front(&self) -> Option<&T> {
+        if self.head == NIL {
+            None
+        } else {
+            self.nodes[self.head as usize].val.as_ref()
+        }
+    }
+
+    /// Reference to the tail value.
+    pub fn back(&self) -> Option<&T> {
+        if self.tail == NIL {
+            None
+        } else {
+            self.nodes[self.tail as usize].val.as_ref()
+        }
+    }
+
+    /// Handle of the head node.
+    pub fn front_handle(&self) -> Option<Handle> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(self.handle_of(self.head))
+        }
+    }
+
+    /// Handle of the tail node.
+    pub fn back_handle(&self) -> Option<Handle> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.handle_of(self.tail))
+        }
+    }
+
+    /// Handle of the node before the tail-ward neighbour of `h` (towards the
+    /// head); `None` when `h` is the head or stale.
+    pub fn prev_handle(&self, h: Handle) -> Option<Handle> {
+        if !self.valid(h) {
+            return None;
+        }
+        let p = self.nodes[h.idx as usize].prev;
+        if p == NIL {
+            None
+        } else {
+            Some(self.handle_of(p))
+        }
+    }
+
+    /// Handle of the neighbour of `h` towards the tail; `None` when `h` is
+    /// the tail or stale.
+    pub fn next_handle(&self, h: Handle) -> Option<Handle> {
+        if !self.valid(h) {
+            return None;
+        }
+        let n = self.nodes[h.idx as usize].next;
+        if n == NIL {
+            None
+        } else {
+            Some(self.handle_of(n))
+        }
+    }
+
+    /// Iterates head → tail.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        while self.pop_front().is_some() {}
+    }
+}
+
+/// Head-to-tail iterator over a [`DList`].
+pub struct Iter<'a, T> {
+    list: &'a DList<T>,
+    cur: u32,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur as usize];
+        self.cur = node.next;
+        node.val.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut l = DList::new();
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        // Head-insert, tail-evict: FIFO order.
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn push_back_pop_front_matches() {
+        let mut l = DList::new();
+        l.push_back('a');
+        l.push_back('b');
+        assert_eq!(l.pop_front(), Some('a'));
+        assert_eq!(l.pop_front(), Some('b'));
+    }
+
+    #[test]
+    fn move_to_front_promotes() {
+        let mut l = DList::new();
+        let _h1 = l.push_front(1);
+        let h2 = l.push_front(2);
+        let _h3 = l.push_front(3);
+        // List is 3,2,1; promote 2 → 2,3,1.
+        assert!(l.move_to_front(h2));
+        let v: Vec<_> = l.iter().copied().collect();
+        assert_eq!(v, vec![2, 3, 1]);
+        assert_eq!(l.pop_back(), Some(1));
+    }
+
+    #[test]
+    fn move_to_back_demotes() {
+        let mut l = DList::new();
+        let h1 = l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert!(l.move_to_back(h1)); // already tail, no-op
+        let h3 = l.front_handle().unwrap();
+        assert!(l.move_to_back(h3));
+        let v: Vec<_> = l.iter().copied().collect();
+        assert_eq!(v, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut l = DList::new();
+        l.push_front(1);
+        let h2 = l.push_front(2);
+        l.push_front(3);
+        assert_eq!(l.remove(h2), Some(2));
+        let v: Vec<_> = l.iter().copied().collect();
+        assert_eq!(v, vec![3, 1]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn stale_handle_is_rejected() {
+        let mut l = DList::new();
+        let h = l.push_front(1);
+        assert_eq!(l.remove(h), Some(1));
+        // Slot is reused with a bumped generation.
+        let h2 = l.push_front(2);
+        assert_ne!(h, h2);
+        assert_eq!(l.remove(h), None);
+        assert!(!l.move_to_front(h));
+        assert!(l.get(h).is_none());
+        assert_eq!(l.get(h2), Some(&2));
+    }
+
+    #[test]
+    fn front_back_accessors() {
+        let mut l = DList::new();
+        assert!(l.front().is_none());
+        assert!(l.back().is_none());
+        assert!(l.front_handle().is_none());
+        assert!(l.back_handle().is_none());
+        l.push_front(10);
+        l.push_front(20);
+        assert_eq!(l.front(), Some(&20));
+        assert_eq!(l.back(), Some(&10));
+    }
+
+    #[test]
+    fn neighbour_handles() {
+        let mut l = DList::new();
+        let h1 = l.push_front(1);
+        let h2 = l.push_front(2);
+        let h3 = l.push_front(3);
+        assert_eq!(l.prev_handle(h1), Some(h2));
+        assert_eq!(l.prev_handle(h3), None);
+        assert_eq!(l.next_handle(h3), Some(h2));
+        assert_eq!(l.next_handle(h1), None);
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut l = DList::new();
+        let h = l.push_front(5);
+        *l.get_mut(h).unwrap() = 9;
+        assert_eq!(l.get(h), Some(&9));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut l = DList::new();
+        for i in 0..10 {
+            l.push_front(i);
+        }
+        l.clear();
+        assert!(l.is_empty());
+        assert!(l.pop_back().is_none());
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut l = DList::new();
+        for i in 0..100 {
+            l.push_front(i);
+        }
+        for _ in 0..100 {
+            l.pop_back();
+        }
+        for i in 0..100 {
+            l.push_front(i);
+        }
+        // Slab should not have grown beyond 100 slots.
+        assert!(l.nodes.len() <= 100);
+        assert_eq!(l.len(), 100);
+    }
+
+    proptest! {
+        /// Differential test against `VecDeque`: a random interleaving of
+        /// head-pushes and tail-pops must match the reference model.
+        #[test]
+        fn fifo_matches_vecdeque(ops in proptest::collection::vec(0u8..3, 0..400)) {
+            let mut dl = DList::new();
+            let mut model: VecDeque<u32> = VecDeque::new();
+            let mut counter = 0u32;
+            for op in ops {
+                match op {
+                    0 => {
+                        dl.push_front(counter);
+                        model.push_front(counter);
+                        counter += 1;
+                    }
+                    1 => {
+                        prop_assert_eq!(dl.pop_back(), model.pop_back());
+                    }
+                    _ => {
+                        prop_assert_eq!(dl.pop_front(), model.pop_front());
+                    }
+                }
+                prop_assert_eq!(dl.len(), model.len());
+            }
+            let got: Vec<u32> = dl.iter().copied().collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// LRU-style usage: promotions keep the list a permutation of the
+        /// live set and never lose or duplicate elements.
+        #[test]
+        fn promotions_preserve_contents(seed_ops in proptest::collection::vec((0u8..4, 0usize..32), 0..400)) {
+            let mut dl = DList::new();
+            let mut handles: Vec<Handle> = Vec::new();
+            let mut live: Vec<u32> = Vec::new();
+            let mut counter = 0u32;
+            for (op, pick) in seed_ops {
+                match op {
+                    0 => {
+                        let h = dl.push_front(counter);
+                        handles.push(h);
+                        live.push(counter);
+                        counter += 1;
+                    }
+                    1 if !handles.is_empty() => {
+                        let h = handles[pick % handles.len()];
+                        dl.move_to_front(h);
+                    }
+                    2 if !handles.is_empty() => {
+                        let i = pick % handles.len();
+                        let h = handles.swap_remove(i);
+                        if let Some(v) = dl.remove(h) {
+                            let pos = live.iter().position(|&x| x == v).unwrap();
+                            live.swap_remove(pos);
+                        }
+                    }
+                    _ => {
+                        if let Some(v) = dl.pop_back() {
+                            let pos = live.iter().position(|&x| x == v).unwrap();
+                            live.swap_remove(pos);
+                        }
+                    }
+                }
+            }
+            let mut got: Vec<u32> = dl.iter().copied().collect();
+            got.sort_unstable();
+            live.sort_unstable();
+            prop_assert_eq!(got, live);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The paper's bucketed fingerprint ghost table (§4.2).
+//!
+//! S3-FIFO's ghost queue G stores object *identities* (no data) of objects
+//! recently evicted from the small queue. §4.2 describes the production
+//! implementation: a bucket-based hash table whose entries hold a 4-byte
+//! fingerprint and an eviction timestamp measured in the number of objects
+//! inserted into G. An entry is logically part of G only while fewer than
+//! `capacity` insertions have happened since it was added; expired entries
+//! are *not* eagerly removed — they are overwritten lazily when their slot is
+//! needed (hash collision), exactly as the paper specifies.
+//!
+//! The simulation policies in `s3fifo` use an exact id-based ghost for
+//! bit-exact metrics; this table is the compact production variant and is
+//! exercised by `s3fifo::cache::S3FifoCache` and the concurrent prototype.
+
+use crate::rng::mix64;
+
+/// Entries per bucket. Eight 12-byte entries keep a bucket within two cache
+/// lines.
+const ASSOC: usize = 8;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    /// 4-byte fingerprint of the object id; 0 is reserved for "empty"
+    /// (fingerprints hash to 1..=u32::MAX).
+    fingerprint: u32,
+    /// Number of ghost insertions at the time this entry was written
+    /// (1-based; 0 means the slot was never used).
+    seq: u64,
+}
+
+/// Fixed-size fingerprint ghost table with FIFO-window expiry.
+///
+/// # Examples
+///
+/// ```
+/// use cache_ds::GhostTable;
+///
+/// let mut ghost = GhostTable::new(2);
+/// ghost.insert(1);
+/// ghost.insert(2);
+/// ghost.insert(3); // id 1 is now outside the 2-insertion window
+/// assert!(!ghost.contains(1));
+/// assert!(ghost.contains(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GhostTable {
+    buckets: Vec<[Entry; ASSOC]>,
+    bucket_mask: u64,
+    /// Window size: an entry is alive while `insertions - seq < capacity`.
+    capacity: u64,
+    /// Total insertions so far (monotonic).
+    insertions: u64,
+}
+
+impl GhostTable {
+    /// Creates a table that remembers the last `capacity` ghost insertions.
+    ///
+    /// The bucket array is sized with ~25 % headroom so that live entries
+    /// are rarely displaced by collisions before they expire.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        let slots = (cap + cap / 4).max(ASSOC);
+        let nbuckets = (slots / ASSOC + 1).next_power_of_two();
+        GhostTable {
+            buckets: vec![[Entry::default(); ASSOC]; nbuckets],
+            bucket_mask: (nbuckets - 1) as u64,
+            capacity: cap as u64,
+            insertions: 0,
+        }
+    }
+
+    #[inline]
+    fn locate(&self, id: u64) -> (usize, u32) {
+        let h = mix64(id);
+        let bucket = (h & self.bucket_mask) as usize;
+        // Upper 32 bits as fingerprint, avoiding the reserved 0 value.
+        let fp = ((h >> 32) as u32).max(1);
+        (bucket, fp)
+    }
+
+    #[inline]
+    fn alive(&self, e: &Entry) -> bool {
+        e.seq != 0 && self.insertions - e.seq < self.capacity
+    }
+
+    /// Records that `id` was evicted (inserted into the ghost queue).
+    ///
+    /// If `id` is already present its timestamp is refreshed, which matches a
+    /// FIFO ghost where the entry is re-enqueued.
+    pub fn insert(&mut self, id: u64) {
+        let (bucket, fp) = self.locate(id);
+        self.insertions += 1;
+        let now = self.insertions;
+        let bucket = &mut self.buckets[bucket];
+        // Prefer an existing entry for the same fingerprint, then any dead
+        // slot, otherwise displace the oldest entry (lazy expiry).
+        let mut victim = 0usize;
+        let mut victim_seq = u64::MAX;
+        for (i, e) in bucket.iter_mut().enumerate() {
+            if e.fingerprint == fp {
+                e.seq = now;
+                return;
+            }
+            if e.seq < victim_seq {
+                victim_seq = e.seq;
+                victim = i;
+            }
+        }
+        bucket[victim] = Entry {
+            fingerprint: fp,
+            seq: now,
+        };
+    }
+
+    /// Returns true when `id` is still within the ghost window.
+    pub fn contains(&self, id: u64) -> bool {
+        let (bucket, fp) = self.locate(id);
+        self.buckets[bucket]
+            .iter()
+            .any(|e| e.fingerprint == fp && self.alive(e))
+    }
+
+    /// Removes `id` (used when an object hits in the ghost queue and is
+    /// resurrected into the main queue). Returns true when it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let (bucket, fp) = self.locate(id);
+        for e in &mut self.buckets[bucket] {
+            if e.fingerprint == fp && e.seq != 0 && self.insertions - e.seq < self.capacity {
+                *e = Entry::default();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total ghost insertions so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Window size in entries.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Counts live entries by scanning (test/diagnostic use only; O(slots)).
+    pub fn live_entries(&self) -> usize {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|e| self.alive(e))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut g = GhostTable::new(100);
+        g.insert(42);
+        assert!(g.contains(42));
+        assert!(!g.contains(43));
+    }
+
+    #[test]
+    fn entries_expire_after_window() {
+        let mut g = GhostTable::new(10);
+        g.insert(1);
+        for i in 100..110 {
+            g.insert(i);
+        }
+        // 10 insertions have happened since id 1; it is out of the window.
+        assert!(!g.contains(1));
+    }
+
+    #[test]
+    fn entry_alive_just_inside_window() {
+        let mut g = GhostTable::new(10);
+        g.insert(1);
+        for i in 100..109 {
+            g.insert(i);
+        }
+        // 9 insertions since id 1: still alive (window is 10).
+        assert!(g.contains(1));
+    }
+
+    #[test]
+    fn reinsert_refreshes_timestamp() {
+        let mut g = GhostTable::new(10);
+        g.insert(1);
+        for i in 100..105 {
+            g.insert(i);
+        }
+        g.insert(1); // refresh
+        for i in 200..205 {
+            g.insert(i);
+        }
+        assert!(g.contains(1));
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut g = GhostTable::new(100);
+        g.insert(7);
+        assert!(g.remove(7));
+        assert!(!g.contains(7));
+        assert!(!g.remove(7));
+    }
+
+    #[test]
+    fn live_entries_bounded_by_window() {
+        let mut g = GhostTable::new(64);
+        for i in 0..10_000u64 {
+            g.insert(i);
+        }
+        // At most `capacity` entries can be alive; collisions may displace
+        // some early.
+        assert!(g.live_entries() <= 64);
+        assert!(g.live_entries() > 32, "too many live entries displaced");
+    }
+
+    #[test]
+    fn most_recent_window_is_retained() {
+        let mut g = GhostTable::new(1000);
+        for i in 0..5000u64 {
+            g.insert(i);
+        }
+        // The freshest 1000 ids should mostly still be found (a few may be
+        // lost to bucket displacement).
+        let found = (4000u64..5000).filter(|&i| g.contains(i)).count();
+        assert!(found > 900, "only {found} of the freshest 1000 retained");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// An id whose last insertion lies further than `capacity`
+        /// insertions in the past must read as expired (fingerprint
+        /// collisions could in principle violate this, but with ≤ 512
+        /// distinct 64-bit ids the probability is ~2^-40 per case).
+        #[test]
+        fn expiry_is_never_late(
+            ids in proptest::collection::vec(0u64..512, 1..400),
+            cap in 1usize..64,
+        ) {
+            let mut g = GhostTable::new(cap);
+            let mut last_insert: std::collections::HashMap<u64, u64> =
+                std::collections::HashMap::new();
+            for &id in &ids {
+                g.insert(id);
+                last_insert.insert(id, g.insertions());
+            }
+            let now = g.insertions();
+            for (&id, &seq) in &last_insert {
+                if now - seq >= cap as u64 {
+                    prop_assert!(!g.contains(id), "id {id} outlived the window");
+                }
+            }
+        }
+
+        /// The most recent insertion is always alive.
+        #[test]
+        fn freshest_entry_alive(ids in proptest::collection::vec(0u64..1000, 1..300)) {
+            let mut g = GhostTable::new(32);
+            for &id in &ids {
+                g.insert(id);
+                prop_assert!(g.contains(id), "freshly inserted {id} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_works() {
+        let mut g = GhostTable::new(1);
+        g.insert(1);
+        assert!(g.contains(1));
+        g.insert(2);
+        assert!(!g.contains(1));
+        assert!(g.contains(2));
+    }
+}

@@ -1,0 +1,35 @@
+//! Core data structures for the S3-FIFO reproduction.
+//!
+//! This crate provides the building blocks shared by the eviction policies,
+//! the simulator, and the concurrent cache prototype:
+//!
+//! - [`dlist::DList`] — a slab-backed doubly-linked list with generation-
+//!   checked handles, used by every LRU-family policy.
+//! - [`sketch::CountMinSketch`] and [`sketch::Doorkeeper`] — the frequency
+//!   estimator TinyLFU uses.
+//! - [`bloom::BloomFilter`] — used by the B-LRU baseline and flash admission.
+//! - [`ghost::GhostTable`] — the paper's bucketed fingerprint ghost queue
+//!   (§4.2): fingerprints plus insertion sequence numbers with lazy expiry.
+//! - [`ring::MpmcRing`] — a bounded lock-free MPMC queue (Vyukov sequence
+//!   counters); the only `unsafe` code in the workspace.
+//! - [`rng::SplitMix64`] — a tiny deterministic RNG for sampled policies.
+//! - [`hist::Histogram`] — streaming histogram with percentile queries.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bloom;
+pub mod dlist;
+pub mod ghost;
+pub mod hist;
+pub mod ring;
+pub mod rng;
+pub mod sketch;
+
+pub use bloom::BloomFilter;
+pub use dlist::{DList, Handle};
+pub use ghost::GhostTable;
+pub use hist::Histogram;
+pub use ring::MpmcRing;
+pub use rng::{IdHashBuilder, IdHasher, IdMap, IdSet, SplitMix64};
+pub use sketch::{CountMinSketch, Doorkeeper};

@@ -1,0 +1,235 @@
+//! Count-min sketch with periodic aging, plus TinyLFU's doorkeeper.
+//!
+//! TinyLFU (Einziger et al.) estimates object frequencies with a count-min
+//! sketch whose counters are halved every *W* insertions (the "reset"
+//! operation), approximating a sliding window. A small Bloom filter — the
+//! *doorkeeper* — absorbs the long tail of objects seen exactly once so they
+//! never occupy sketch counters.
+
+use crate::bloom::BloomFilter;
+use crate::rng::mix64;
+
+/// Number of hash rows in the sketch, as in the TinyLFU paper.
+const ROWS: usize = 4;
+/// Counter saturation value (4-bit counters in the original).
+const MAX_COUNT: u8 = 15;
+
+/// A 4-row count-min sketch with 4-bit-style saturating counters and
+/// periodic halving.
+///
+/// # Examples
+///
+/// ```
+/// use cache_ds::CountMinSketch;
+///
+/// let mut freq = CountMinSketch::new(1024);
+/// for _ in 0..5 {
+///     freq.increment(7);
+/// }
+/// assert!(freq.estimate(7) >= 5); // never underestimates (pre-aging)
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: [Vec<u8>; ROWS],
+    width_mask: u64,
+    additions: u64,
+    reset_at: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch sized for roughly `counters` distinct objects; the
+    /// sketch is halved after `counters` increments (TinyLFU's window).
+    pub fn new(counters: usize) -> Self {
+        let width = counters.max(16).next_power_of_two();
+        CountMinSketch {
+            rows: std::array::from_fn(|_| vec![0u8; width]),
+            width_mask: (width - 1) as u64,
+            additions: 0,
+            reset_at: width as u64,
+        }
+    }
+
+    #[inline]
+    fn index(&self, key: u64, row: usize) -> usize {
+        // Each row gets an independent hash by mixing in the row number.
+        (mix64(key ^ (row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) & self.width_mask)
+            as usize
+    }
+
+    /// Increments the estimated count of `key` by one, aging the sketch when
+    /// the window is exhausted.
+    pub fn increment(&mut self, key: u64) {
+        let mut incremented = false;
+        for row in 0..ROWS {
+            let idx = self.index(key, row);
+            let c = &mut self.rows[row][idx];
+            if *c < MAX_COUNT {
+                *c += 1;
+                incremented = true;
+            }
+        }
+        if incremented {
+            self.additions += 1;
+            if self.additions >= self.reset_at {
+                self.halve();
+            }
+        }
+    }
+
+    /// Estimated count of `key` (an overestimate with bounded error).
+    pub fn estimate(&self, key: u64) -> u32 {
+        let mut min = MAX_COUNT;
+        for row in 0..ROWS {
+            let idx = self.index(key, row);
+            min = min.min(self.rows[row][idx]);
+        }
+        u32::from(min)
+    }
+
+    /// Halves every counter — the TinyLFU reset that approximates a sliding
+    /// window.
+    pub fn halve(&mut self) {
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+        self.additions /= 2;
+    }
+
+    /// Total increments since the last halving.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+/// TinyLFU frequency filter: doorkeeper Bloom filter in front of a count-min
+/// sketch, with a shared aging window.
+#[derive(Debug, Clone)]
+pub struct Doorkeeper {
+    door: BloomFilter,
+    sketch: CountMinSketch,
+    window: u64,
+    additions: u64,
+}
+
+impl Doorkeeper {
+    /// Creates a filter sized for `capacity` cached objects; the structure
+    /// resets every `16 * capacity` accesses (a common TinyLFU setting).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(16);
+        Doorkeeper {
+            door: BloomFilter::new(cap, 0.01),
+            sketch: CountMinSketch::new(cap),
+            window: (cap as u64) * 16,
+            additions: 0,
+        }
+    }
+
+    /// Records an access to `key`.
+    pub fn record(&mut self, key: u64) {
+        if !self.door.contains(key) {
+            self.door.insert(key);
+        } else {
+            self.sketch.increment(key);
+        }
+        self.additions += 1;
+        if self.additions >= self.window {
+            self.door.clear();
+            self.sketch.halve();
+            self.additions = 0;
+        }
+    }
+
+    /// Estimated access frequency of `key` inside the current window.
+    pub fn estimate(&self, key: u64) -> u32 {
+        let base = if self.door.contains(key) { 1 } else { 0 };
+        base + self.sketch.estimate(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_never_underestimates_within_window() {
+        let mut s = CountMinSketch::new(1024);
+        for _ in 0..5 {
+            s.increment(42);
+        }
+        assert!(s.estimate(42) >= 5);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut s = CountMinSketch::new(64);
+        for _ in 0..100 {
+            s.increment(7);
+        }
+        assert!(s.estimate(7) <= u32::from(MAX_COUNT));
+    }
+
+    #[test]
+    fn halving_halves() {
+        let mut s = CountMinSketch::new(1024);
+        for _ in 0..8 {
+            s.increment(1);
+        }
+        let before = s.estimate(1);
+        s.halve();
+        assert_eq!(s.estimate(1), before / 2);
+    }
+
+    #[test]
+    fn unrelated_keys_mostly_zero() {
+        let mut s = CountMinSketch::new(4096);
+        for i in 0..100u64 {
+            s.increment(i);
+        }
+        let nonzero = (1000u64..2000).filter(|&k| s.estimate(k) > 0).count();
+        assert!(nonzero < 100, "too much sketch noise: {nonzero}");
+    }
+
+    #[test]
+    fn popular_beats_unpopular() {
+        let mut s = CountMinSketch::new(4096);
+        for _ in 0..10 {
+            s.increment(1);
+        }
+        s.increment(2);
+        assert!(s.estimate(1) > s.estimate(2));
+    }
+
+    #[test]
+    fn doorkeeper_counts_first_access_once() {
+        let mut d = Doorkeeper::new(1024);
+        d.record(9);
+        assert_eq!(d.estimate(9), 1);
+        d.record(9);
+        assert!(d.estimate(9) >= 2);
+    }
+
+    #[test]
+    fn doorkeeper_resets_after_window() {
+        let mut d = Doorkeeper::new(16);
+        for _ in 0..10 {
+            d.record(5);
+        }
+        let before = d.estimate(5);
+        assert!(before >= 5);
+        // Flood with distinct keys to trigger the periodic reset.
+        for i in 0..(16 * 16 + 1) {
+            d.record(1000 + i);
+        }
+        assert!(d.estimate(5) < before);
+    }
+
+    #[test]
+    fn sketch_additions_tracking() {
+        let mut s = CountMinSketch::new(64);
+        s.increment(1);
+        s.increment(2);
+        assert_eq!(s.additions(), 2);
+    }
+}

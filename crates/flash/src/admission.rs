@@ -1,0 +1,229 @@
+//! Flash admission policies (§5.4, Fig. 9).
+
+use cache_ds::{BloomFilter, SplitMix64};
+use cache_types::ObjId;
+
+/// Which admission scheme to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionKind {
+    /// No admission control: every miss is written to flash ("FIFO" in
+    /// Fig. 9).
+    WriteAll,
+    /// Admit DRAM-evicted objects with fixed probability (paper: 0.2).
+    Probabilistic(f64),
+    /// Admit on second sighting, tracked by a Bloom filter.
+    BloomSecondAccess,
+    /// Flashield-like online linear model over DRAM-observed features.
+    FlashieldLike,
+    /// S3-FIFO's rule: admit objects accessed at least twice while in the
+    /// DRAM small queue; ghost hits are admitted on re-fetch.
+    SmallFifoTwoAccess,
+}
+
+/// Feature vector the Flashield-like model sees at DRAM eviction time.
+#[derive(Debug, Clone, Copy)]
+pub struct Features {
+    /// Reads the object received while in DRAM.
+    pub dram_hits: f64,
+    /// Logical residence time in DRAM, normalized by DRAM size.
+    pub residence: f64,
+}
+
+/// A decision-making admission policy.
+#[derive(Debug)]
+pub enum AdmissionPolicy {
+    /// See [`AdmissionKind::WriteAll`].
+    WriteAll,
+    /// See [`AdmissionKind::Probabilistic`].
+    Probabilistic {
+        /// Admission probability.
+        p: f64,
+        /// Deterministic RNG.
+        rng: SplitMix64,
+    },
+    /// See [`AdmissionKind::BloomSecondAccess`].
+    Bloom {
+        /// Seen-once filter (rotated at `rotate_at` insertions).
+        seen: BloomFilter,
+        /// Previous generation.
+        prev: BloomFilter,
+        /// Rotation threshold.
+        rotate_at: u64,
+    },
+    /// See [`AdmissionKind::FlashieldLike`].
+    Flashield {
+        /// Weight on `dram_hits`.
+        w_hits: f64,
+        /// Weight on `residence`.
+        w_res: f64,
+        /// Bias.
+        bias: f64,
+        /// Learning rate.
+        lr: f64,
+    },
+    /// See [`AdmissionKind::SmallFifoTwoAccess`]; decisions use the DRAM
+    /// eviction's hit count directly.
+    SmallFifo,
+}
+
+impl AdmissionPolicy {
+    /// Builds the policy for `kind`; `dram_objects` sizes internal filters.
+    pub fn new(kind: AdmissionKind, dram_objects: usize) -> Self {
+        match kind {
+            AdmissionKind::WriteAll => AdmissionPolicy::WriteAll,
+            AdmissionKind::Probabilistic(p) => AdmissionPolicy::Probabilistic {
+                p: p.clamp(0.0, 1.0),
+                rng: SplitMix64::new(0xAD317),
+            },
+            AdmissionKind::BloomSecondAccess => {
+                let expected = dram_objects.clamp(1024, 1 << 22) * 8;
+                AdmissionPolicy::Bloom {
+                    seen: BloomFilter::new(expected, 0.01),
+                    prev: BloomFilter::new(expected, 0.01),
+                    rotate_at: expected as u64,
+                }
+            }
+            AdmissionKind::FlashieldLike => AdmissionPolicy::Flashield {
+                // Neutral start: the model learns from feedback.
+                w_hits: 0.0,
+                w_res: 0.0,
+                bias: 0.0,
+                lr: 0.05,
+            },
+            AdmissionKind::SmallFifoTwoAccess => AdmissionPolicy::SmallFifo,
+        }
+    }
+
+    /// Human-readable name matching Fig. 9's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::WriteAll => "FIFO (no admission)",
+            AdmissionPolicy::Probabilistic { .. } => "Probabilistic",
+            AdmissionPolicy::Bloom { .. } => "BloomFilter",
+            AdmissionPolicy::Flashield { .. } => "Flashield",
+            AdmissionPolicy::SmallFifo => "S3-FIFO",
+        }
+    }
+
+    /// Decides whether a DRAM-evicted object is written to flash.
+    pub fn admit(&mut self, id: ObjId, features: Features) -> bool {
+        match self {
+            AdmissionPolicy::WriteAll => true,
+            AdmissionPolicy::Probabilistic { p, rng } => rng.next_f64() < *p,
+            AdmissionPolicy::Bloom {
+                seen,
+                prev,
+                rotate_at,
+            } => {
+                let known = seen.contains(id) || prev.contains(id);
+                if !known {
+                    seen.insert(id);
+                    if seen.inserted() >= *rotate_at {
+                        std::mem::swap(seen, prev);
+                        seen.clear();
+                    }
+                }
+                known
+            }
+            AdmissionPolicy::Flashield {
+                w_hits,
+                w_res,
+                bias,
+                ..
+            } => *w_hits * features.dram_hits + *w_res * features.residence + *bias > 0.0,
+            AdmissionPolicy::SmallFifo => features.dram_hits >= 1.0,
+        }
+    }
+
+    /// Feedback for the learning policy: an admitted object left flash with
+    /// (`useful == hits > 0`), or a rejected object proved useful by being
+    /// re-requested (`useful == true`). Non-learning policies ignore this.
+    pub fn feedback(&mut self, features: Features, admitted_label: bool, useful: bool) {
+        if let AdmissionPolicy::Flashield {
+            w_hits,
+            w_res,
+            bias,
+            lr,
+        } = self
+        {
+            let score = *w_hits * features.dram_hits + *w_res * features.residence + *bias;
+            let predicted = score > 0.0;
+            // Perceptron update on mistakes: the correct decision was to
+            // admit iff the object proved useful.
+            let correct_admit = useful;
+            if predicted != correct_admit || admitted_label != correct_admit {
+                let dir = if correct_admit { 1.0 } else { -1.0 };
+                *w_hits += *lr * dir * features.dram_hits;
+                *w_res += *lr * dir * features.residence;
+                *bias += *lr * dir;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(hits: f64) -> Features {
+        Features {
+            dram_hits: hits,
+            residence: 0.5,
+        }
+    }
+
+    #[test]
+    fn write_all_admits_everything() {
+        let mut a = AdmissionPolicy::new(AdmissionKind::WriteAll, 100);
+        for id in 0..100 {
+            assert!(a.admit(id, feat(0.0)));
+        }
+    }
+
+    #[test]
+    fn probabilistic_rate_close_to_p() {
+        let mut a = AdmissionPolicy::new(AdmissionKind::Probabilistic(0.2), 100);
+        let admitted = (0..10_000).filter(|&id| a.admit(id, feat(0.0))).count();
+        let rate = admitted as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn bloom_admits_on_second_sighting() {
+        let mut a = AdmissionPolicy::new(AdmissionKind::BloomSecondAccess, 100);
+        assert!(!a.admit(7, feat(0.0)));
+        assert!(a.admit(7, feat(0.0)));
+    }
+
+    #[test]
+    fn small_fifo_requires_a_dram_hit() {
+        let mut a = AdmissionPolicy::new(AdmissionKind::SmallFifoTwoAccess, 100);
+        assert!(!a.admit(1, feat(0.0)));
+        assert!(a.admit(1, feat(1.0)));
+        assert!(a.admit(1, feat(3.0)));
+    }
+
+    #[test]
+    fn flashield_learns_hit_signal() {
+        let mut a = AdmissionPolicy::new(AdmissionKind::FlashieldLike, 100);
+        // Teach: objects with DRAM hits are useful, others are not.
+        for _ in 0..200 {
+            a.feedback(feat(2.0), false, true);
+            a.feedback(feat(0.0), true, false);
+        }
+        assert!(a.admit(1, feat(2.0)), "should admit hit-rich objects");
+        assert!(!a.admit(2, feat(0.0)), "should reject hit-less objects");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            AdmissionPolicy::new(AdmissionKind::WriteAll, 1).name(),
+            "FIFO (no admission)"
+        );
+        assert_eq!(
+            AdmissionPolicy::new(AdmissionKind::SmallFifoTwoAccess, 1).name(),
+            "S3-FIFO"
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! The two-tier DRAM + flash cache orchestrator (Fig. 9's experiment).
+
+use crate::admission::{AdmissionKind, AdmissionPolicy, Features};
+use crate::tier::{FlashEviction, FlashTier};
+use cache_ds::IdMap;
+use cache_policies::{Fifo, Lru};
+use cache_types::{CacheError, Eviction, Op, Policy, Request};
+
+/// Configuration of the two-tier cache.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCacheConfig {
+    /// Total cache size in bytes (the paper: 10 % of trace footprint bytes).
+    pub total_bytes: u64,
+    /// DRAM fraction of the total (paper sweeps 0.001, 0.01, 0.1).
+    pub dram_fraction: f64,
+    /// Admission policy.
+    pub admission: AdmissionKind,
+}
+
+/// Fig. 9's two metrics plus supporting counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlashStats {
+    /// Read requests.
+    pub requests: u64,
+    /// Requests served by neither tier.
+    pub misses: u64,
+    /// Requests served from DRAM.
+    pub dram_hits: u64,
+    /// Requests served from flash.
+    pub flash_hits: u64,
+    /// Bytes written to flash.
+    pub flash_write_bytes: u64,
+    /// Bytes requested.
+    pub request_bytes: u64,
+    /// Bytes missed.
+    pub miss_bytes: u64,
+}
+
+impl FlashStats {
+    /// Request miss ratio (both tiers count as hits).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.requests as f64
+        }
+    }
+
+    /// Flash write bytes normalized by a reference byte count (Fig. 9
+    /// normalizes by the unique bytes in the trace).
+    pub fn normalized_write_bytes(&self, unique_bytes: u64) -> f64 {
+        if unique_bytes == 0 {
+            0.0
+        } else {
+            self.flash_write_bytes as f64 / unique_bytes as f64
+        }
+    }
+}
+
+/// The DRAM tier + admission + flash tier pipeline.
+pub struct FlashCache {
+    /// DRAM tier; `None` for the write-all scheme (which bypasses DRAM).
+    dram: Option<Box<dyn Policy>>,
+    admission: AdmissionPolicy,
+    flash: FlashTier,
+    /// Ghost of rejected objects (S3-FIFO's G; also Flashield's feedback
+    /// window), holding the features observed at rejection time.
+    rejected: IdMap<(Features, u64)>,
+    /// Features of admitted objects, for end-of-life feedback.
+    admitted: IdMap<Features>,
+    /// Bound on the rejected-ghost, in entries.
+    ghost_entries: usize,
+    /// Insertion order for ghost expiry.
+    ghost_fifo: std::collections::VecDeque<u64>,
+    stats: FlashStats,
+    scratch: Vec<Eviction>,
+    flash_scratch: Vec<FlashEviction>,
+    now: u64,
+    dram_bytes: u64,
+}
+
+impl FlashCache {
+    /// Builds the two-tier cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when sizes are degenerate (zero DRAM for a
+    /// scheme that needs one, zero flash).
+    pub fn new(cfg: FlashCacheConfig) -> Result<Self, CacheError> {
+        if cfg.total_bytes == 0 {
+            return Err(CacheError::InvalidCapacity(
+                "total_bytes must be > 0".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&cfg.dram_fraction) {
+            return Err(CacheError::InvalidParameter(format!(
+                "dram_fraction must be in [0,1), got {}",
+                cfg.dram_fraction
+            )));
+        }
+        let dram_bytes = ((cfg.total_bytes as f64 * cfg.dram_fraction).round() as u64).max(1);
+        let flash_bytes = cfg.total_bytes.saturating_sub(dram_bytes).max(1);
+        let dram: Option<Box<dyn Policy>> = match cfg.admission {
+            AdmissionKind::WriteAll => None,
+            // The S3-FIFO scheme's DRAM *is* the small FIFO queue.
+            AdmissionKind::SmallFifoTwoAccess => Some(Box::new(Fifo::new(dram_bytes)?)),
+            // The other schemes use an LRU DRAM cache (§5.4).
+            _ => Some(Box::new(Lru::new(dram_bytes)?)),
+        };
+        Ok(FlashCache {
+            dram,
+            admission: AdmissionPolicy::new(cfg.admission, dram_bytes as usize),
+            flash: FlashTier::new(flash_bytes),
+            rejected: IdMap::default(),
+            admitted: IdMap::default(),
+            ghost_entries: (flash_bytes / 1024).clamp(1024, 1 << 20) as usize,
+            ghost_fifo: std::collections::VecDeque::new(),
+            stats: FlashStats::default(),
+            scratch: Vec::new(),
+            flash_scratch: Vec::new(),
+            now: 0,
+            dram_bytes,
+        })
+    }
+
+    /// Name of the configured admission policy.
+    pub fn admission_name(&self) -> &'static str {
+        self.admission.name()
+    }
+
+    /// Accumulated statistics (flash write bytes are read from the tier).
+    pub fn stats(&self) -> FlashStats {
+        let mut s = self.stats;
+        s.flash_write_bytes = self.flash.write_bytes();
+        s
+    }
+
+    fn remember_rejection(&mut self, id: u64, features: Features) {
+        if self.rejected.insert(id, (features, self.now)).is_none() {
+            self.ghost_fifo.push_back(id);
+        }
+        while self.ghost_fifo.len() > self.ghost_entries {
+            if let Some(old) = self.ghost_fifo.pop_front() {
+                if let Some((feat, _)) = self.rejected.remove(&old) {
+                    // Expired unreferenced rejection: the rejection was
+                    // correct.
+                    self.admission.feedback(feat, false, false);
+                }
+            }
+        }
+    }
+
+    fn write_to_flash(&mut self, id: u64, size: u32, features: Features) {
+        self.flash_scratch.clear();
+        self.flash.write(id, size, &mut self.flash_scratch);
+        self.admitted.insert(id, features);
+        // End-of-life feedback for admitted objects.
+        let evictions: Vec<FlashEviction> = self.flash_scratch.drain(..).collect();
+        for ev in evictions {
+            if let Some(feat) = self.admitted.remove(&ev.id) {
+                self.admission.feedback(feat, true, ev.hits > 0);
+            }
+        }
+    }
+
+    /// Handles one DRAM eviction: consult admission, write or remember.
+    fn on_dram_eviction(&mut self, ev: Eviction) {
+        let features = Features {
+            dram_hits: f64::from(ev.freq),
+            residence: (self.now.saturating_sub(ev.insert_time)) as f64
+                / self.dram_bytes.max(1) as f64,
+        };
+        if self.admission.admit(ev.id, features) {
+            self.write_to_flash(ev.id, ev.size, features);
+        } else {
+            self.remember_rejection(ev.id, features);
+        }
+    }
+
+    /// Processes one read request; returns true on a hit in either tier.
+    pub fn request(&mut self, id: u64, size: u32) -> bool {
+        self.now += 1;
+        self.stats.requests += 1;
+        self.stats.request_bytes += u64::from(size);
+        // DRAM first.
+        if let Some(dram) = self.dram.as_mut() {
+            if dram.contains(id) {
+                self.scratch.clear();
+                let req = Request::get_sized(id, size, self.now);
+                dram.request(&req, &mut self.scratch);
+                self.stats.dram_hits += 1;
+                return true;
+            }
+        }
+        // Then flash.
+        if self.flash.read(id) {
+            self.stats.flash_hits += 1;
+            return true;
+        }
+        // Miss: fetch from the backend.
+        self.stats.misses += 1;
+        self.stats.miss_bytes += u64::from(size);
+        if let Some((features, _)) = self.rejected.remove(&id) {
+            // A rejected object proved useful: learn, and (for the S3-FIFO
+            // scheme) this is the ghost hit that earns direct flash
+            // admission ("only objects requested in S and G are written").
+            self.admission.feedback(features, false, true);
+            if matches!(self.admission, AdmissionPolicy::SmallFifo) {
+                self.write_to_flash(id, size, features);
+                return false;
+            }
+        }
+        match self.dram.as_mut() {
+            None => {
+                // Write-all: straight to flash.
+                self.flash_scratch.clear();
+                self.flash.write(id, size, &mut self.flash_scratch);
+            }
+            Some(dram) => {
+                self.scratch.clear();
+                let req = Request::get_sized(id, size, self.now);
+                dram.request(&req, &mut self.scratch);
+                let evictions: Vec<Eviction> = self.scratch.drain(..).collect();
+                for ev in evictions {
+                    self.on_dram_eviction(ev);
+                }
+            }
+        }
+        false
+    }
+
+    /// Replays a full trace (read requests only), returning the stats.
+    pub fn run(&mut self, reqs: &[Request]) -> FlashStats {
+        for r in reqs {
+            if r.op == Op::Get {
+                self.request(r.id, r.size);
+            }
+        }
+        self.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_trace::gen::{SizeModel, WorkloadSpec};
+
+    fn cdn_trace(seed: u64) -> cache_trace::Trace {
+        let mut spec = WorkloadSpec::zipf("cdn", 60_000, 6000, 0.8, seed);
+        spec.one_hit_fraction = 0.3;
+        spec.size_model = SizeModel::Uniform {
+            min: 100,
+            max: 2000,
+        };
+        spec.generate()
+    }
+
+    fn run(kind: AdmissionKind, dram_fraction: f64, trace: &cache_trace::Trace) -> FlashStats {
+        let cfg = FlashCacheConfig {
+            total_bytes: trace.footprint_bytes() / 10,
+            dram_fraction,
+            admission: kind,
+        };
+        let mut c = FlashCache::new(cfg).unwrap();
+        c.run(&trace.requests)
+    }
+
+    #[test]
+    fn write_all_writes_every_missed_byte_once() {
+        let trace = cdn_trace(1);
+        let s = run(AdmissionKind::WriteAll, 0.01, &trace);
+        assert!(s.flash_write_bytes > 0);
+        assert!(s.miss_ratio() > 0.0 && s.miss_ratio() < 1.0);
+    }
+
+    #[test]
+    fn admission_reduces_write_bytes() {
+        let trace = cdn_trace(2);
+        let all = run(AdmissionKind::WriteAll, 0.01, &trace);
+        for kind in [
+            AdmissionKind::Probabilistic(0.2),
+            AdmissionKind::SmallFifoTwoAccess,
+            AdmissionKind::BloomSecondAccess,
+        ] {
+            let s = run(kind, 0.01, &trace);
+            assert!(
+                s.flash_write_bytes < all.flash_write_bytes,
+                "{kind:?}: {} vs write-all {}",
+                s.flash_write_bytes,
+                all.flash_write_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn s3fifo_admission_beats_probabilistic_on_both_axes() {
+        // Fig. 9's headline: the small-FIFO filter reduces both writes and
+        // miss ratio relative to probabilistic admission.
+        let trace = cdn_trace(3);
+        let prob = run(AdmissionKind::Probabilistic(0.2), 0.01, &trace);
+        let s3 = run(AdmissionKind::SmallFifoTwoAccess, 0.01, &trace);
+        assert!(
+            s3.miss_ratio() <= prob.miss_ratio() + 0.02,
+            "S3 MR {:.4} vs prob MR {:.4}",
+            s3.miss_ratio(),
+            prob.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn tiny_dram_does_not_break_anything() {
+        let trace = cdn_trace(4);
+        for kind in [
+            AdmissionKind::SmallFifoTwoAccess,
+            AdmissionKind::FlashieldLike,
+        ] {
+            let s = run(kind, 0.001, &trace);
+            assert!(s.requests == 60_000);
+            assert!(s.miss_ratio() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn flashield_with_large_dram_filters_writes() {
+        let trace = cdn_trace(5);
+        let all = run(AdmissionKind::WriteAll, 0.1, &trace);
+        let fl = run(AdmissionKind::FlashieldLike, 0.1, &trace);
+        assert!(
+            fl.flash_write_bytes < all.flash_write_bytes,
+            "Flashield {} vs write-all {}",
+            fl.flash_write_bytes,
+            all.flash_write_bytes
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(FlashCache::new(FlashCacheConfig {
+            total_bytes: 0,
+            dram_fraction: 0.1,
+            admission: AdmissionKind::WriteAll,
+        })
+        .is_err());
+        assert!(FlashCache::new(FlashCacheConfig {
+            total_bytes: 100,
+            dram_fraction: 1.5,
+            admission: AdmissionKind::WriteAll,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn stats_normalization() {
+        let mut s = FlashStats::default();
+        s.flash_write_bytes = 500;
+        assert!((s.normalized_write_bytes(1000) - 0.5).abs() < 1e-12);
+        assert_eq!(s.normalized_write_bytes(0), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The flash device model: a byte-capacity FIFO store with write
+//! accounting.
+//!
+//! §5.4: "most production flash cache systems … use FIFO or
+//! FIFO-reinsertion" because insertion-order eviction turns into sequential
+//! writes. The experiments use plain FIFO for every admission policy so the
+//! admission effect is isolated.
+
+use cache_ds::{IdMap, IdSet};
+use cache_types::ObjId;
+use std::collections::VecDeque;
+
+/// A FIFO flash tier.
+#[derive(Debug)]
+pub struct FlashTier {
+    fifo: VecDeque<(ObjId, u32)>,
+    set: IdSet,
+    /// Hits each resident object has received (for admission feedback).
+    hits: IdMap<u32>,
+    used: u64,
+    capacity: u64,
+    /// Total bytes ever written.
+    write_bytes: u64,
+    /// Objects written.
+    writes: u64,
+}
+
+/// An object evicted from flash, with its hit count while resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashEviction {
+    /// Evicted object.
+    pub id: ObjId,
+    /// Its size in bytes.
+    pub size: u32,
+    /// Hits received while on flash.
+    pub hits: u32,
+}
+
+impl FlashTier {
+    /// Creates a flash tier of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "flash capacity must be positive");
+        FlashTier {
+            fifo: VecDeque::new(),
+            set: IdSet::default(),
+            hits: IdMap::default(),
+            used: 0,
+            capacity,
+            write_bytes: 0,
+            writes: 0,
+        }
+    }
+
+    /// True when `id` is resident.
+    pub fn contains(&self, id: ObjId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Records a read hit on a resident object. Returns false when the
+    /// object is not resident.
+    pub fn read(&mut self, id: ObjId) -> bool {
+        if self.set.contains(&id) {
+            *self.hits.entry(id).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Writes `id` to flash (a no-op when already resident), evicting in
+    /// FIFO order to make room. Evictions are appended to `evicted`.
+    pub fn write(&mut self, id: ObjId, size: u32, evicted: &mut Vec<FlashEviction>) {
+        if u64::from(size) > self.capacity || self.set.contains(&id) {
+            return;
+        }
+        while self.used + u64::from(size) > self.capacity {
+            let Some((old, old_size)) = self.fifo.pop_front() else {
+                break;
+            };
+            if self.set.remove(&old) {
+                self.used -= u64::from(old_size);
+                evicted.push(FlashEviction {
+                    id: old,
+                    size: old_size,
+                    hits: self.hits.remove(&old).unwrap_or(0),
+                });
+            }
+        }
+        self.fifo.push_back((id, size));
+        self.set.insert(id);
+        self.used += u64::from(size);
+        self.write_bytes += u64::from(size);
+        self.writes += 1;
+    }
+
+    /// Total bytes written to the device so far.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Objects written so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Resident bytes.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Resident object count.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut f = FlashTier::new(100);
+        let mut evs = Vec::new();
+        f.write(1, 10, &mut evs);
+        assert!(f.contains(1));
+        assert!(f.read(1));
+        assert!(!f.read(2));
+        assert_eq!(f.write_bytes(), 10);
+    }
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut f = FlashTier::new(20);
+        let mut evs = Vec::new();
+        f.write(1, 10, &mut evs);
+        f.write(2, 10, &mut evs);
+        f.read(1); // hits do not protect FIFO entries
+        f.write(3, 10, &mut evs);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, 1);
+        assert_eq!(evs[0].hits, 1);
+        assert!(!f.contains(1));
+    }
+
+    #[test]
+    fn duplicate_write_is_noop() {
+        let mut f = FlashTier::new(100);
+        let mut evs = Vec::new();
+        f.write(1, 10, &mut evs);
+        f.write(1, 10, &mut evs);
+        assert_eq!(f.write_bytes(), 10);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut f = FlashTier::new(10);
+        let mut evs = Vec::new();
+        f.write(1, 100, &mut evs);
+        assert!(!f.contains(1));
+        assert_eq!(f.write_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut f = FlashTier::new(50);
+        let mut evs = Vec::new();
+        for i in 0..100u64 {
+            f.write(i, 7, &mut evs);
+            assert!(f.used() <= 50);
+        }
+        assert_eq!(f.write_bytes(), 700);
+    }
+}

@@ -1,0 +1,210 @@
+//! FIFO eviction: evict in insertion order, no metadata updates on hits.
+//!
+//! FIFO is the baseline every result in the paper is expressed against
+//! (§5.1.2's miss-ratio reduction). It needs no per-hit work at all, which is
+//! why flash caches and scalable in-memory caches favour it (§2.1).
+
+use crate::util::Meta;
+use cache_ds::{DList, Handle, IdMap};
+use cache_types::{CacheError, Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+
+struct Entry {
+    handle: Handle,
+    meta: Meta,
+}
+
+/// First-in first-out eviction.
+pub struct Fifo {
+    capacity: u64,
+    used: u64,
+    table: IdMap<Entry>,
+    /// Head = newest insert, tail = next eviction.
+    queue: DList<ObjId>,
+    stats: PolicyStats,
+}
+
+impl Fifo {
+    /// Creates a FIFO cache of `capacity` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(Fifo {
+            capacity,
+            used: 0,
+            table: IdMap::default(),
+            queue: DList::new(),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if let Some(id) = self.queue.pop_back() {
+            let entry = self.table.remove(&id).expect("queued id in table");
+            self.used -= u64::from(entry.meta.size);
+            self.stats.evictions += 1;
+            evicted.push(entry.meta.eviction(id, false));
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.table.is_empty() {
+            self.evict_one(evicted);
+        }
+        let handle = self.queue.push_front(req.id);
+        self.table.insert(
+            req.id,
+            Entry {
+                handle,
+                meta: Meta::new(req.size, req.time),
+            },
+        );
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, id: ObjId) {
+        if let Some(e) = self.table.remove(&id) {
+            self.queue.remove(e.handle);
+            self.used -= u64::from(e.meta.size);
+        }
+    }
+}
+
+impl Policy for Fifo {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.table.contains_key(&id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if let Some(e) = self.table.get_mut(&req.id) {
+                    e.meta.touch(req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::check_policy_basics;
+
+    #[test]
+    fn evicts_in_insertion_order() {
+        let mut p = Fifo::new(3).unwrap();
+        let mut evs = Vec::new();
+        for id in 1..=3 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        // Hit object 1; FIFO must still evict it first.
+        p.request(&Request::get(1, 10), &mut evs);
+        evs.clear();
+        p.request(&Request::get(4, 11), &mut evs);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, 1);
+        assert_eq!(evs[0].freq, 1, "object 1 had one post-insert access");
+    }
+
+    #[test]
+    fn hits_do_not_reorder() {
+        let mut p = Fifo::new(2).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get(1, 0), &mut evs);
+        p.request(&Request::get(2, 1), &mut evs);
+        for t in 2..10 {
+            p.request(&Request::get(1, t), &mut evs); // many hits on 1
+        }
+        evs.clear();
+        p.request(&Request::get(3, 10), &mut evs);
+        assert_eq!(evs[0].id, 1, "FIFO ignores recency");
+    }
+
+    #[test]
+    fn basics() {
+        let mut p = Fifo::new(100).unwrap();
+        check_policy_basics(&mut p, 100);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(Fifo::new(0).is_err());
+    }
+
+    #[test]
+    fn delete_and_set() {
+        let mut p = Fifo::new(10).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get(1, 0), &mut evs);
+        p.request(&Request::delete(1, 1), &mut evs);
+        assert!(!p.contains(1));
+        p.request(
+            &Request {
+                id: 2,
+                size: 4,
+                time: 2,
+                op: Op::Set,
+            },
+            &mut evs,
+        );
+        assert!(p.contains(2));
+        assert_eq!(p.used(), 4);
+    }
+
+    #[test]
+    fn sized_objects() {
+        let mut p = Fifo::new(10).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get_sized(1, 6, 0), &mut evs);
+        p.request(&Request::get_sized(2, 6, 1), &mut evs);
+        // 1 must have been evicted to fit 2.
+        assert!(!p.contains(1));
+        assert!(p.contains(2));
+        assert_eq!(p.used(), 6);
+    }
+}

@@ -1,0 +1,66 @@
+//! Baseline cache eviction algorithms for the S3-FIFO reproduction.
+//!
+//! §5.2 compares S3-FIFO against the state-of-the-art algorithms of the past
+//! three decades. Every algorithm named in the paper's evaluation is
+//! implemented here, each in its own module, all behind the shared
+//! [`cache_types::Policy`] trait:
+//!
+//! | Module | Algorithm | Paper's role |
+//! |---|---|---|
+//! | [`fifo`] | FIFO | the baseline all reductions are relative to |
+//! | [`lru`] | LRU | the incumbent (§2.2) |
+//! | [`clock`] | CLOCK / FIFO-Reinsertion / Second Chance | "different implementations of the same algorithm" (§3) |
+//! | [`sieve`] | SIEVE | related work, simpler-than-LRU eviction |
+//! | [`slru`] | Segmented LRU (4 segments) | §5.2 |
+//! | [`twoq`] | 2Q | "most similar design to S3-FIFO" |
+//! | [`arc`] | ARC | adaptive state of the art |
+//! | [`lirs`] | LIRS | inter-reference recency competitor |
+//! | [`tinylfu`] | W-TinyLFU (1 % and 10 % windows) | "the closest competitor" |
+//! | [`lruk`] | LRU-K (K=2) | §2 related work |
+//! | [`lecar`] | LeCaR | ML-based expert mixing |
+//! | [`cacheus`] | CACHEUS | LeCaR successor |
+//! | [`lhd`] | LHD | hit-density sampling |
+//! | [`blru`] | Bloom-filter LRU | CDN admission baseline |
+//! | [`fifomerge`] | FIFO-Merge | Segcache's eviction |
+//! | [`belady`] | Belady / OPT | offline optimal (Fig. 4) |
+//!
+//! [`registry`] builds policies by name for the sweep engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arc;
+pub mod belady;
+pub mod blru;
+pub mod cacheus;
+pub mod clock;
+pub mod fifo;
+pub mod fifomerge;
+pub mod lecar;
+pub mod lhd;
+pub mod lirs;
+pub mod lru;
+pub mod lruk;
+pub mod registry;
+pub mod sieve;
+pub mod slru;
+pub mod tinylfu;
+pub mod twoq;
+pub(crate) mod util;
+
+pub use arc::Arc;
+pub use belady::Belady;
+pub use blru::BloomLru;
+pub use cacheus::Cacheus;
+pub use clock::Clock;
+pub use fifo::Fifo;
+pub use fifomerge::FifoMerge;
+pub use lecar::LeCar;
+pub use lhd::Lhd;
+pub use lirs::Lirs;
+pub use lru::Lru;
+pub use lruk::LruK;
+pub use sieve::Sieve;
+pub use slru::Slru;
+pub use tinylfu::TinyLfu;
+pub use twoq::TwoQ;

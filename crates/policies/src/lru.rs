@@ -1,0 +1,224 @@
+//! LRU eviction: promote to the queue head on every hit, evict the tail.
+//!
+//! The incumbent that §2.2 critiques: promotion costs "at least six random
+//! memory accesses protected by a lock" in a concurrent setting, and the
+//! two list pointers per object are significant overhead for small objects.
+//! (This single-threaded simulation version measures only its miss ratio;
+//! the scalability cost shows up in `cache-concurrent`.)
+
+use crate::util::Meta;
+use cache_ds::{DList, Handle, IdMap};
+use cache_types::{CacheError, Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+
+struct Entry {
+    handle: Handle,
+    meta: Meta,
+}
+
+/// Least-recently-used eviction.
+pub struct Lru {
+    capacity: u64,
+    used: u64,
+    table: IdMap<Entry>,
+    /// Head = most recently used, tail = next eviction.
+    queue: DList<ObjId>,
+    stats: PolicyStats,
+}
+
+impl Lru {
+    /// Creates an LRU cache of `capacity` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(Lru {
+            capacity,
+            used: 0,
+            table: IdMap::default(),
+            queue: DList::new(),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if let Some(id) = self.queue.pop_back() {
+            let entry = self.table.remove(&id).expect("queued id in table");
+            self.used -= u64::from(entry.meta.size);
+            self.stats.evictions += 1;
+            evicted.push(entry.meta.eviction(id, false));
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.table.is_empty() {
+            self.evict_one(evicted);
+        }
+        let handle = self.queue.push_front(req.id);
+        self.table.insert(
+            req.id,
+            Entry {
+                handle,
+                meta: Meta::new(req.size, req.time),
+            },
+        );
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, id: ObjId) {
+        if let Some(e) = self.table.remove(&id) {
+            self.queue.remove(e.handle);
+            self.used -= u64::from(e.meta.size);
+        }
+    }
+}
+
+impl Policy for Lru {
+    fn name(&self) -> String {
+        "LRU".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.table.contains_key(&id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if let Some(e) = self.table.get_mut(&req.id) {
+                    e.meta.touch(req.time);
+                    let h = e.handle;
+                    self.queue.move_to_front(h);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{check_policy_basics, miss_ratio_of, test_trace};
+
+    #[test]
+    fn promotes_on_hit() {
+        let mut p = Lru::new(2).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get(1, 0), &mut evs);
+        p.request(&Request::get(2, 1), &mut evs);
+        p.request(&Request::get(1, 2), &mut evs); // 1 becomes MRU
+        evs.clear();
+        p.request(&Request::get(3, 3), &mut evs);
+        assert_eq!(evs[0].id, 2, "LRU must evict the least recently used");
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn matches_reference_model() {
+        // Differential test against a naive Vec-based LRU model.
+        let trace = test_trace(5000, 100, 42);
+        let cap = 32usize;
+        let mut p = Lru::new(cap as u64).unwrap();
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        let mut evs = Vec::new();
+        for r in &trace {
+            evs.clear();
+            let out = p.request(r, &mut evs);
+            let model_hit = if let Some(pos) = model.iter().position(|&x| x == r.id) {
+                model.remove(pos);
+                model.insert(0, r.id);
+                true
+            } else {
+                model.insert(0, r.id);
+                if model.len() > cap {
+                    model.pop();
+                }
+                false
+            };
+            assert_eq!(out.is_hit(), model_hit, "diverged at t={}", r.time);
+        }
+    }
+
+    #[test]
+    fn loop_workload_thrashes() {
+        // Classic LRU pathology: a loop one object larger than the cache
+        // yields zero hits after the first pass.
+        let mut p = Lru::new(10).unwrap();
+        let mut evs = Vec::new();
+        let mut hits = 0;
+        for pass in 0..5u64 {
+            for id in 0..11u64 {
+                evs.clear();
+                if p.request(&Request::get(id, pass * 11 + id), &mut evs)
+                    .is_hit()
+                {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn beats_fifo_on_skewed_trace() {
+        let trace = test_trace(30_000, 3000, 7);
+        let mut lru = Lru::new(64).unwrap();
+        let mut fifo = crate::fifo::Fifo::new(64).unwrap();
+        let mr_lru = miss_ratio_of(&mut lru, &trace);
+        let mr_fifo = miss_ratio_of(&mut fifo, &trace);
+        assert!(
+            mr_lru <= mr_fifo + 0.01,
+            "LRU {mr_lru:.4} should be no worse than FIFO {mr_fifo:.4} here"
+        );
+    }
+
+    #[test]
+    fn basics() {
+        let mut p = Lru::new(100).unwrap();
+        check_policy_basics(&mut p, 100);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(Lru::new(0).is_err());
+    }
+}

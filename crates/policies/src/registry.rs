@@ -1,0 +1,210 @@
+//! Build policies by name — the factory the sweep engine and benchmark
+//! binaries use.
+
+use crate::{
+    Arc, Belady, BloomLru, Cacheus, Clock, Fifo, FifoMerge, LeCar, Lhd, Lirs, Lru, LruK, Sieve,
+    Slru, TinyLfu, TwoQ,
+};
+use cache_types::{CacheError, Policy, Request};
+use s3fifo::{Qdlp, QdlpConfig, QueueKind, S3Fifo, S3FifoConfig, S3FifoD};
+
+/// Names of the algorithms compared in Fig. 6 (S3-FIFO plus the twelve
+/// state-of-the-art baselines and FIFO itself).
+pub const FIG6_ALGORITHMS: &[&str] = &[
+    "S3-FIFO",
+    "TinyLFU",
+    "TinyLFU-0.1",
+    "LIRS",
+    "2Q",
+    "SLRU",
+    "ARC",
+    "CACHEUS",
+    "LeCaR",
+    "LHD",
+    "FIFO-Merge",
+    "B-LRU",
+    "CLOCK",
+    "LRU",
+];
+
+/// Every name [`build`] accepts.
+pub const ALL_ALGORITHMS: &[&str] = &[
+    "FIFO",
+    "LRU",
+    "CLOCK",
+    "CLOCK-2bit",
+    "SIEVE",
+    "SLRU",
+    "2Q",
+    "ARC",
+    "LIRS",
+    "TinyLFU",
+    "TinyLFU-0.1",
+    "LRU-2",
+    "LeCaR",
+    "CACHEUS",
+    "LHD",
+    "B-LRU",
+    "FIFO-Merge",
+    "S3-FIFO",
+    "S3-FIFO-D",
+    "QDLP-LRU-LRU",
+    "QDLP-LRU-FIFO",
+    "QDLP-FIFO-LRU",
+    "S3-FIFO-Sieve",
+    "Belady",
+];
+
+/// Builds the named policy at the given byte capacity.
+///
+/// `trace` is required only by `"Belady"` (the offline-optimal policy needs
+/// the future); pass `None` for online algorithms.
+///
+/// `"S3-FIFO(r)"` with a literal float `r` (e.g. `"S3-FIFO(0.25)"`) selects
+/// a non-default small-queue ratio, as does `"TinyLFU(r)"` for the window.
+///
+/// # Errors
+///
+/// Returns [`CacheError::InvalidParameter`] for an unknown name, a missing
+/// trace for Belady, or an invalid embedded parameter.
+pub fn build(
+    name: &str,
+    capacity: u64,
+    trace: Option<&[Request]>,
+) -> Result<Box<dyn Policy>, CacheError> {
+    // Parameterized forms: NAME(float).
+    if let Some(ratio) = parse_param(name, "S3-FIFO") {
+        let cfg = S3FifoConfig {
+            small_ratio: ratio?,
+            ..Default::default()
+        };
+        return Ok(Box::new(S3Fifo::with_config(capacity, cfg)?));
+    }
+    if let Some(ratio) = parse_param(name, "TinyLFU") {
+        return Ok(Box::new(TinyLfu::with_window(capacity, ratio?)?));
+    }
+    Ok(match name {
+        "FIFO" => Box::new(Fifo::new(capacity)?),
+        "LRU" => Box::new(Lru::new(capacity)?),
+        "CLOCK" => Box::new(Clock::new(capacity, 1)?),
+        "CLOCK-2bit" => Box::new(Clock::new(capacity, 2)?),
+        "SIEVE" => Box::new(Sieve::new(capacity)?),
+        "SLRU" => Box::new(Slru::new(capacity)?),
+        "2Q" => Box::new(TwoQ::new(capacity)?),
+        "ARC" => Box::new(Arc::new(capacity)?),
+        "LIRS" => Box::new(Lirs::new(capacity)?),
+        "TinyLFU" => Box::new(TinyLfu::new(capacity)?),
+        "TinyLFU-0.1" => Box::new(TinyLfu::with_window(capacity, 0.1)?),
+        "LRU-2" => Box::new(LruK::new(capacity)?),
+        "LeCaR" => Box::new(LeCar::new(capacity)?),
+        "CACHEUS" => Box::new(Cacheus::new(capacity)?),
+        "LHD" => Box::new(Lhd::new(capacity)?),
+        "B-LRU" => Box::new(BloomLru::new(capacity)?),
+        "FIFO-Merge" => Box::new(FifoMerge::new(capacity)?),
+        "S3-FIFO" => Box::new(S3Fifo::new(capacity)?),
+        "S3-FIFO-D" => Box::new(S3FifoD::new(capacity)?),
+        "QDLP-LRU-LRU" => Box::new(Qdlp::new(
+            capacity,
+            QdlpConfig {
+                small: QueueKind::Lru,
+                main: QueueKind::Lru,
+                ..Default::default()
+            },
+        )?),
+        "QDLP-LRU-FIFO" => Box::new(Qdlp::new(
+            capacity,
+            QdlpConfig {
+                small: QueueKind::Lru,
+                main: QueueKind::Fifo,
+                ..Default::default()
+            },
+        )?),
+        "QDLP-FIFO-LRU" => Box::new(Qdlp::new(
+            capacity,
+            QdlpConfig {
+                small: QueueKind::Fifo,
+                main: QueueKind::Lru,
+                ..Default::default()
+            },
+        )?),
+        // §7's suggested extension: SIEVE replaces the main FIFO queue.
+        "S3-FIFO-Sieve" => Box::new(Qdlp::new(
+            capacity,
+            QdlpConfig {
+                small: QueueKind::Fifo,
+                main: QueueKind::Sieve,
+                ..Default::default()
+            },
+        )?),
+        "Belady" => {
+            let trace = trace
+                .ok_or_else(|| CacheError::InvalidParameter("Belady requires the trace".into()))?;
+            Box::new(Belady::new(capacity, trace)?)
+        }
+        other => {
+            return Err(CacheError::InvalidParameter(format!(
+                "unknown algorithm {other:?}"
+            )))
+        }
+    })
+}
+
+/// Parses `"<prefix>(<float>)"`, returning `Some(Ok(float))` on a match,
+/// `Some(Err)` on a malformed parameter, `None` when the name does not have
+/// that parameterized shape.
+fn parse_param(name: &str, prefix: &str) -> Option<Result<f64, CacheError>> {
+    let rest = name.strip_prefix(prefix)?;
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    Some(
+        inner
+            .parse::<f64>()
+            .map_err(|e| CacheError::InvalidParameter(format!("bad parameter in {name:?}: {e}"))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_types::policy::run_trace;
+    use cache_types::Request;
+
+    #[test]
+    fn builds_every_listed_algorithm() {
+        let trace: Vec<Request> = (0..100u64).map(|i| Request::get(i % 37, i)).collect();
+        for name in ALL_ALGORITHMS {
+            let mut p = build(name, 16, Some(&trace)).unwrap_or_else(|e| {
+                panic!("failed to build {name}: {e}");
+            });
+            let stats = run_trace(p.as_mut(), &trace);
+            assert_eq!(stats.gets, 100, "{name} lost requests");
+            assert!(p.used() <= 16, "{name} over capacity");
+        }
+    }
+
+    #[test]
+    fn fig6_algorithms_are_buildable() {
+        for name in FIG6_ALGORITHMS {
+            assert!(build(name, 100, None).is_ok(), "cannot build {name}");
+        }
+    }
+
+    #[test]
+    fn parameterized_names() {
+        let p = build("S3-FIFO(0.25)", 100, None).unwrap();
+        assert_eq!(p.name(), "S3-FIFO(0.25)");
+        let p = build("TinyLFU(0.2)", 100, None).unwrap();
+        assert_eq!(p.name(), "TinyLFU-0.2");
+        assert!(build("S3-FIFO(zzz)", 100, None).is_err());
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(build("MRU", 100, None).is_err());
+    }
+
+    #[test]
+    fn belady_needs_trace() {
+        assert!(build("Belady", 100, None).is_err());
+        assert!(build("Belady", 100, Some(&[])).is_ok());
+    }
+}

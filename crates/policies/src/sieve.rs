@@ -1,0 +1,278 @@
+//! SIEVE eviction (referenced in §7 as a simpler-than-LRU algorithm).
+//!
+//! SIEVE keeps a FIFO-ordered queue and a moving *hand*. On a hit the object's
+//! visited bit is set (no movement). At eviction the hand walks from the tail
+//! toward the head: visited objects have their bit cleared and **retain their
+//! position** (unlike CLOCK, which reinserts them at the head); the first
+//! non-visited object is evicted and the hand stays just before it. New
+//! objects are inserted at the head.
+//!
+//! The paper notes SIEVE "can be used to replace the large FIFO queue in
+//! S3-FIFO to further improve efficiency"; the `ablation_queue_type` bench
+//! exercises that idea indirectly via the ablation matrix.
+
+use crate::util::Meta;
+use cache_ds::{DList, Handle, IdMap};
+use cache_types::{CacheError, Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+
+struct Entry {
+    handle: Handle,
+    visited: bool,
+    meta: Meta,
+}
+
+/// The SIEVE eviction algorithm.
+pub struct Sieve {
+    capacity: u64,
+    used: u64,
+    table: IdMap<Entry>,
+    /// Head = newest insert.
+    queue: DList<ObjId>,
+    /// The hand: next eviction candidate. `None` means "start at the tail".
+    hand: Option<Handle>,
+    stats: PolicyStats,
+}
+
+impl Sieve {
+    /// Creates a SIEVE cache of `capacity` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(Sieve {
+            capacity,
+            used: 0,
+            table: IdMap::default(),
+            queue: DList::new(),
+            hand: None,
+            stats: PolicyStats::default(),
+        })
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        // Resume from the hand, or from the tail when the hand is invalid
+        // (start, wrap-around, or the pointed-to node was deleted).
+        let mut cur = self
+            .hand
+            .filter(|&h| self.queue.get(h).is_some())
+            .or_else(|| self.queue.back_handle());
+        while let Some(h) = cur {
+            let id = *self.queue.get(h).expect("hand points at live node");
+            let e = self.table.get_mut(&id).expect("queued id in table");
+            if e.visited {
+                e.visited = false;
+                // Move toward the head; wrap to the tail at the end.
+                cur = self
+                    .queue
+                    .prev_handle(h)
+                    .or_else(|| self.queue.back_handle());
+            } else {
+                // Evict; the hand moves to the neighbour toward the head.
+                self.hand = self.queue.prev_handle(h);
+                let entry = self.table.remove(&id).expect("entry exists");
+                self.queue.remove(entry.handle);
+                self.used -= u64::from(entry.meta.size);
+                self.stats.evictions += 1;
+                evicted.push(entry.meta.eviction(id, false));
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.table.is_empty() {
+            self.evict_one(evicted);
+        }
+        let handle = self.queue.push_front(req.id);
+        self.table.insert(
+            req.id,
+            Entry {
+                handle,
+                visited: false,
+                meta: Meta::new(req.size, req.time),
+            },
+        );
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, id: ObjId) {
+        if let Some(e) = self.table.remove(&id) {
+            if self.hand == Some(e.handle) {
+                self.hand = self.queue.prev_handle(e.handle);
+            }
+            self.queue.remove(e.handle);
+            self.used -= u64::from(e.meta.size);
+        }
+    }
+}
+
+impl Policy for Sieve {
+    fn name(&self) -> String {
+        "SIEVE".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.table.contains_key(&id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if let Some(e) = self.table.get_mut(&req.id) {
+                    e.visited = true;
+                    e.meta.touch(req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{check_policy_basics, miss_ratio_of, test_trace};
+
+    #[test]
+    fn visited_objects_survive_in_place() {
+        let mut p = Sieve::new(3).unwrap();
+        let mut evs = Vec::new();
+        for id in 1..=3u64 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        p.request(&Request::get(1, 10), &mut evs); // visit tail object 1
+        evs.clear();
+        p.request(&Request::get(4, 11), &mut evs);
+        // Hand starts at tail (1), clears its bit, moves to 2, evicts 2.
+        assert_eq!(evs[0].id, 2);
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn hand_persists_across_evictions() {
+        let mut p = Sieve::new(3).unwrap();
+        let mut evs = Vec::new();
+        for id in 1..=3u64 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        // Visit everything once.
+        for (t, id) in (1..=3u64).enumerate() {
+            p.request(&Request::get(id, 10 + t as u64), &mut evs);
+        }
+        evs.clear();
+        p.request(&Request::get(4, 20), &mut evs);
+        // All were visited; the hand sweeps 1,2,3 clearing bits, wraps, and
+        // evicts object 1 (oldest, bit now clear).
+        assert_eq!(evs[0].id, 1);
+        evs.clear();
+        p.request(&Request::get(5, 21), &mut evs);
+        // Hand continues from where it stopped: evicts 2 next (bit cleared
+        // in the previous sweep).
+        assert_eq!(evs[0].id, 2);
+    }
+
+    #[test]
+    fn scan_does_not_displace_visited_working_set() {
+        let mut p = Sieve::new(10).unwrap();
+        let mut evs = Vec::new();
+        let mut t = 0u64;
+        for id in 1..=5u64 {
+            p.request(&Request::get(id, t), &mut evs);
+            t += 1;
+        }
+        for _ in 0..3 {
+            for id in 1..=5u64 {
+                p.request(&Request::get(id, t), &mut evs);
+                t += 1;
+            }
+        }
+        // Scan of one-time objects.
+        for id in 100..150u64 {
+            evs.clear();
+            p.request(&Request::get(id, t), &mut evs);
+            t += 1;
+        }
+        let survivors = (1..=5u64).filter(|&id| p.contains(id)).count();
+        assert!(survivors >= 4, "only {survivors}/5 hot objects survived");
+    }
+
+    #[test]
+    fn delete_on_hand_position_is_safe() {
+        let mut p = Sieve::new(3).unwrap();
+        let mut evs = Vec::new();
+        for id in 1..=3u64 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        p.request(&Request::get(1, 5), &mut evs);
+        p.request(&Request::get(4, 6), &mut evs); // hand now points near 1
+        p.request(&Request::delete(1, 7), &mut evs);
+        // Further inserts must not panic.
+        for id in 10..20u64 {
+            p.request(&Request::get(id, 10 + id), &mut evs);
+        }
+        assert!(p.used() <= 3);
+    }
+
+    #[test]
+    fn competitive_with_lru_on_skew() {
+        let trace = test_trace(30_000, 2000, 5);
+        let mut sieve = Sieve::new(64).unwrap();
+        let mut lru = crate::lru::Lru::new(64).unwrap();
+        let mr_s = miss_ratio_of(&mut sieve, &trace);
+        let mr_l = miss_ratio_of(&mut lru, &trace);
+        assert!(
+            mr_s <= mr_l + 0.02,
+            "SIEVE {mr_s:.4} should be close to or better than LRU {mr_l:.4}"
+        );
+    }
+
+    #[test]
+    fn basics() {
+        let mut p = Sieve::new(100).unwrap();
+        check_policy_basics(&mut p, 100);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(Sieve::new(0).is_err());
+    }
+}

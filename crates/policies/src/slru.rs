@@ -1,0 +1,272 @@
+//! Segmented LRU with four equal segments (§5.2).
+//!
+//! "SLRU uses four equal-sized LRU queues. Objects are first inserted into
+//! the lowest-level LRU queue and promoted to higher-level queues upon cache
+//! hits. An inserted object is evicted if not reused in the lowest LRU queue,
+//! which performs quick demotion … However, unlike other schemes, SLRU does
+//! not use a ghost queue, making it not scan-tolerant."
+
+use crate::util::Meta;
+use cache_ds::{DList, Handle, IdMap};
+use cache_types::{CacheError, Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+
+const SEGMENTS: usize = 4;
+
+struct Entry {
+    handle: Handle,
+    seg: usize,
+    meta: Meta,
+}
+
+/// Segmented LRU with four segments.
+pub struct Slru {
+    capacity: u64,
+    seg_capacity: u64,
+    seg_used: [u64; SEGMENTS],
+    table: IdMap<Entry>,
+    /// `segs[0]` is the probationary segment; `segs[3]` the most protected.
+    segs: [DList<ObjId>; SEGMENTS],
+    stats: PolicyStats,
+}
+
+impl Slru {
+    /// Creates a 4-segment SLRU of `capacity` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(Slru {
+            capacity,
+            seg_capacity: (capacity / SEGMENTS as u64).max(1),
+            seg_used: [0; SEGMENTS],
+            table: IdMap::default(),
+            segs: std::array::from_fn(|_| DList::new()),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    fn used_total(&self) -> u64 {
+        self.seg_used.iter().sum()
+    }
+
+    /// Demotes tails of segment `seg` into segment `seg - 1` until the
+    /// segment fits its share; cascades down to segment 0.
+    fn rebalance_from(&mut self, seg: usize) {
+        for s in (1..=seg).rev() {
+            while self.seg_used[s] > self.seg_capacity {
+                let Some(id) = self.segs[s].pop_back() else {
+                    break;
+                };
+                let e = self.table.get_mut(&id).expect("segment id in table");
+                self.seg_used[s] -= u64::from(e.meta.size);
+                e.seg = s - 1;
+                e.handle = self.segs[s - 1].push_front(id);
+                self.seg_used[s - 1] += u64::from(e.meta.size);
+            }
+        }
+    }
+
+    /// Evicts one object from the lowest non-empty segment.
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        for s in 0..SEGMENTS {
+            if let Some(id) = self.segs[s].pop_back() {
+                let entry = self.table.remove(&id).expect("entry exists");
+                self.seg_used[s] -= u64::from(entry.meta.size);
+                self.stats.evictions += 1;
+                evicted.push(entry.meta.eviction(id, s == 0));
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used_total() + u64::from(req.size) > self.capacity && !self.table.is_empty() {
+            self.evict_one(evicted);
+        }
+        let handle = self.segs[0].push_front(req.id);
+        self.table.insert(
+            req.id,
+            Entry {
+                handle,
+                seg: 0,
+                meta: Meta::new(req.size, req.time),
+            },
+        );
+        self.seg_used[0] += u64::from(req.size);
+    }
+
+    fn on_hit(&mut self, id: ObjId, now: u64) {
+        let (seg, size, handle) = {
+            let e = self.table.get_mut(&id).expect("hit entry exists");
+            e.meta.touch(now);
+            (e.seg, e.meta.size, e.handle)
+        };
+        let target = (seg + 1).min(SEGMENTS - 1);
+        if target == seg {
+            self.segs[seg].move_to_front(handle);
+            return;
+        }
+        self.segs[seg].remove(handle);
+        self.seg_used[seg] -= u64::from(size);
+        let h = self.segs[target].push_front(id);
+        self.seg_used[target] += u64::from(size);
+        let e = self.table.get_mut(&id).expect("entry exists");
+        e.seg = target;
+        e.handle = h;
+        self.rebalance_from(target);
+    }
+
+    fn delete(&mut self, id: ObjId) {
+        if let Some(e) = self.table.remove(&id) {
+            self.segs[e.seg].remove(e.handle);
+            self.seg_used[e.seg] -= u64::from(e.meta.size);
+        }
+    }
+}
+
+impl Policy for Slru {
+    fn name(&self) -> String {
+        "SLRU".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_total()
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.table.contains_key(&id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.table.contains_key(&req.id) {
+                    self.on_hit(req.id, req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{check_policy_basics, miss_ratio_of, test_trace};
+
+    #[test]
+    fn new_objects_evicted_before_promoted_ones() {
+        let mut p = Slru::new(8).unwrap();
+        let mut evs = Vec::new();
+        // Promote 1 and 2 out of the probationary segment.
+        for id in [1u64, 2] {
+            p.request(&Request::get(id, 0), &mut evs);
+            p.request(&Request::get(id, 1), &mut evs);
+        }
+        // Fill with one-hit objects, overflowing the cache.
+        for id in 10..30u64 {
+            evs.clear();
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        assert!(p.contains(1) && p.contains(2), "promoted objects survive");
+    }
+
+    #[test]
+    fn probationary_evictions_flagged() {
+        let mut p = Slru::new(4).unwrap();
+        let mut evs = Vec::new();
+        for id in 0..20u64 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        assert!(!evs.is_empty());
+        assert!(evs.iter().all(|e| e.from_probationary));
+    }
+
+    #[test]
+    fn hits_climb_segments() {
+        let mut p = Slru::new(40).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get(1, 0), &mut evs);
+        assert_eq!(p.table[&1].seg, 0);
+        p.request(&Request::get(1, 1), &mut evs);
+        assert_eq!(p.table[&1].seg, 1);
+        p.request(&Request::get(1, 2), &mut evs);
+        assert_eq!(p.table[&1].seg, 2);
+        p.request(&Request::get(1, 3), &mut evs);
+        assert_eq!(p.table[&1].seg, 3);
+        p.request(&Request::get(1, 4), &mut evs);
+        assert_eq!(p.table[&1].seg, 3, "top segment is terminal");
+    }
+
+    #[test]
+    fn segment_overflow_demotes() {
+        let mut p = Slru::new(8).unwrap(); // seg capacity = 2
+        let mut evs = Vec::new();
+        // Promote three objects into segment 1 (capacity 2).
+        for id in [1u64, 2, 3] {
+            p.request(&Request::get(id, id * 2), &mut evs);
+            p.request(&Request::get(id, id * 2 + 1), &mut evs);
+        }
+        // One of them must have been demoted back to segment 0.
+        let seg0_count = [1u64, 2, 3]
+            .iter()
+            .filter(|id| p.table[id].seg == 0)
+            .count();
+        assert_eq!(seg0_count, 1);
+        assert!(p.seg_used[1] <= p.seg_capacity);
+    }
+
+    #[test]
+    fn better_than_fifo_on_skew() {
+        let trace = test_trace(30_000, 2000, 3);
+        let mut slru = Slru::new(64).unwrap();
+        let mut fifo = crate::fifo::Fifo::new(64).unwrap();
+        assert!(miss_ratio_of(&mut slru, &trace) < miss_ratio_of(&mut fifo, &trace));
+    }
+
+    #[test]
+    fn basics() {
+        let mut p = Slru::new(100).unwrap();
+        check_policy_basics(&mut p, 100);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(Slru::new(0).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! 2Q (Johnson & Shasha, VLDB '94).
+//!
+//! §5.2: "2Q has the most similar design to S3-FIFO. It uses 25 % cache
+//! space for a FIFO queue [A1in], the rest for an LRU queue [Am], and also
+//! has a ghost queue [A1out]. Besides the difference in queue size and type,
+//! objects evicted from the small queue are not inserted into the LRU queue"
+//! — only a later request for an A1out (ghost) id promotes into Am.
+
+use crate::util::{GhostList, Meta};
+use cache_ds::{DList, Handle, IdMap};
+use cache_types::{CacheError, Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    A1In,
+    Am,
+}
+
+struct Entry {
+    handle: Handle,
+    loc: Loc,
+    meta: Meta,
+}
+
+/// The 2Q eviction algorithm with the paper's parameters
+/// (Kin = 25 % of the cache, Kout = 50 % of the cache's entries).
+pub struct TwoQ {
+    capacity: u64,
+    a1in_capacity: u64,
+    a1in: DList<ObjId>,
+    am: DList<ObjId>,
+    a1out: GhostList,
+    a1in_used: u64,
+    am_used: u64,
+    table: IdMap<Entry>,
+    stats: PolicyStats,
+}
+
+impl TwoQ {
+    /// Creates a 2Q cache with the classic 25 %/50 % parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64) -> Result<Self, CacheError> {
+        Self::with_params(capacity, 0.25, 0.5)
+    }
+
+    /// Creates a 2Q cache with explicit `kin` (A1in share of the cache) and
+    /// `kout` (A1out ghost size as a fraction of the cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the capacity is zero or the fractions are
+    /// out of `(0, 1)` / `[0, ∞)`.
+    pub fn with_params(capacity: u64, kin: f64, kout: f64) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        if !(kin > 0.0 && kin < 1.0) || kout < 0.0 {
+            return Err(CacheError::InvalidParameter(format!(
+                "kin must be in (0,1), kout >= 0; got {kin}, {kout}"
+            )));
+        }
+        let a1in_capacity = ((capacity as f64 * kin).round() as u64).max(1);
+        Ok(TwoQ {
+            capacity,
+            a1in_capacity,
+            a1in: DList::new(),
+            am: DList::new(),
+            a1out: GhostList::new((capacity as f64 * kout).round() as u64),
+            a1in_used: 0,
+            am_used: 0,
+            table: IdMap::default(),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    fn used_total(&self) -> u64 {
+        self.a1in_used + self.am_used
+    }
+
+    /// The RECLAIM step of the 2Q paper: when A1in holds more than its
+    /// share, its tail is dropped and remembered in A1out; otherwise the LRU
+    /// tail of Am is evicted.
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if self.a1in_used >= self.a1in_capacity || self.am.is_empty() {
+            if let Some(id) = self.a1in.pop_back() {
+                let entry = self.table.remove(&id).expect("a1in id in table");
+                self.a1in_used -= u64::from(entry.meta.size);
+                self.a1out.insert(id, entry.meta.size);
+                self.stats.evictions += 1;
+                evicted.push(entry.meta.eviction(id, true));
+                return;
+            }
+        }
+        if let Some(id) = self.am.pop_back() {
+            let entry = self.table.remove(&id).expect("am id in table");
+            self.am_used -= u64::from(entry.meta.size);
+            self.stats.evictions += 1;
+            evicted.push(entry.meta.eviction(id, false));
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        // Decide A1out membership before evicting: eviction inserts into
+        // A1out and could displace the entry being looked up.
+        let in_a1out = self.a1out.remove(req.id);
+        while self.used_total() + u64::from(req.size) > self.capacity && !self.table.is_empty() {
+            self.evict_one(evicted);
+        }
+        let (handle, loc) = if in_a1out {
+            // A1out hit: the second chance promotes straight into Am.
+            self.am_used += u64::from(req.size);
+            (self.am.push_front(req.id), Loc::Am)
+        } else {
+            self.a1in_used += u64::from(req.size);
+            (self.a1in.push_front(req.id), Loc::A1In)
+        };
+        self.table.insert(
+            req.id,
+            Entry {
+                handle,
+                loc,
+                meta: Meta::new(req.size, req.time),
+            },
+        );
+    }
+
+    fn delete(&mut self, id: ObjId) {
+        if let Some(e) = self.table.remove(&id) {
+            match e.loc {
+                Loc::A1In => {
+                    self.a1in.remove(e.handle);
+                    self.a1in_used -= u64::from(e.meta.size);
+                }
+                Loc::Am => {
+                    self.am.remove(e.handle);
+                    self.am_used -= u64::from(e.meta.size);
+                }
+            }
+        }
+    }
+}
+
+impl Policy for TwoQ {
+    fn name(&self) -> String {
+        "2Q".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_total()
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.table.contains_key(&id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if let Some(e) = self.table.get_mut(&req.id) {
+                    e.meta.touch(req.time);
+                    // A1in hits do nothing (FIFO); Am hits promote.
+                    if e.loc == Loc::Am {
+                        let h = e.handle;
+                        self.am.move_to_front(h);
+                    }
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{check_policy_basics, miss_ratio_of, test_trace};
+
+    #[test]
+    fn one_hit_wonders_fall_out_of_a1in() {
+        let mut p = TwoQ::new(20).unwrap();
+        let mut evs = Vec::new();
+        for id in 0..40u64 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        // A scan never populates Am.
+        assert_eq!(p.am.len(), 0);
+        assert!(p.a1out.len() > 0);
+    }
+
+    #[test]
+    fn ghost_hit_promotes_to_am() {
+        let mut p = TwoQ::new(20).unwrap();
+        let mut evs = Vec::new();
+        for id in 0..40u64 {
+            p.request(&Request::get(id, id), &mut evs);
+        }
+        let ghosted = (0..40u64).rev().find(|&id| !p.contains(id)).unwrap();
+        evs.clear();
+        let out = p.request(&Request::get(ghosted, 100), &mut evs);
+        assert!(out.is_miss());
+        assert_eq!(p.table[&ghosted].loc, Loc::Am);
+    }
+
+    #[test]
+    fn a1in_hits_do_not_promote() {
+        let mut p = TwoQ::new(100).unwrap();
+        let mut evs = Vec::new();
+        p.request(&Request::get(1, 0), &mut evs);
+        p.request(&Request::get(1, 1), &mut evs);
+        p.request(&Request::get(1, 2), &mut evs);
+        // 2Q leaves repeat hits in A1in alone — promotion happens only via
+        // the ghost.
+        assert_eq!(p.table[&1].loc, Loc::A1In);
+    }
+
+    #[test]
+    fn scan_resistant() {
+        let mut p = TwoQ::new(40).unwrap();
+        let mut evs = Vec::new();
+        let mut t = 0u64;
+        // A genuinely hot set (ids 0..10) interleaved with a cold stream:
+        // hot ids cycle through A1in into the ghost once, then their next
+        // request promotes them into Am where LRU retains them.
+        for _round in 0..4 {
+            for j in 0..60u64 {
+                evs.clear();
+                p.request(&Request::get(1000 + t % 999_983, t), &mut evs);
+                t += 1;
+                if j % 4 == 0 {
+                    evs.clear();
+                    p.request(&Request::get((j / 4) % 10, t), &mut evs);
+                    t += 1;
+                }
+            }
+        }
+        let in_am = (0..10u64)
+            .filter(|id| p.table.get(id).map(|e| e.loc == Loc::Am).unwrap_or(false))
+            .count();
+        assert!(in_am >= 5, "hot set should be in Am, got {in_am}");
+        // Long scan: evictions must come from A1in, leaving Am untouched.
+        let before: Vec<u64> = (0..10u64)
+            .filter(|id| p.table.get(id).map(|e| e.loc == Loc::Am).unwrap_or(false))
+            .collect();
+        for id in 5000..5200u64 {
+            evs.clear();
+            p.request(&Request::get(id, t), &mut evs);
+            t += 1;
+        }
+        for id in &before {
+            assert!(p.contains(*id), "scan evicted Am resident {id}");
+        }
+    }
+
+    #[test]
+    fn better_than_fifo_on_skew() {
+        let trace = test_trace(30_000, 2000, 21);
+        let mut q = TwoQ::new(64).unwrap();
+        let mut f = crate::fifo::Fifo::new(64).unwrap();
+        assert!(miss_ratio_of(&mut q, &trace) < miss_ratio_of(&mut f, &trace));
+    }
+
+    #[test]
+    fn basics() {
+        let mut p = TwoQ::new(100).unwrap();
+        check_policy_basics(&mut p, 100);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(TwoQ::new(0).is_err());
+        assert!(TwoQ::with_params(10, 0.0, 0.5).is_err());
+        assert!(TwoQ::with_params(10, 1.5, 0.5).is_err());
+        assert!(TwoQ::with_params(10, 0.5, -1.0).is_err());
+    }
+}

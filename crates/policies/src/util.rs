@@ -1,0 +1,170 @@
+//! Shared helpers for the policy implementations.
+
+use cache_ds::IdSet;
+use cache_types::{Eviction, ObjId};
+use std::collections::VecDeque;
+
+/// Per-object bookkeeping common to every policy: size and the timestamps
+/// and counters that eviction records report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Meta {
+    pub size: u32,
+    pub insert_time: u64,
+    pub last_access: u64,
+    /// Accesses after insertion.
+    pub hits: u32,
+}
+
+impl Meta {
+    pub(crate) fn new(size: u32, now: u64) -> Self {
+        Meta {
+            size,
+            insert_time: now,
+            last_access: now,
+            hits: 0,
+        }
+    }
+
+    pub(crate) fn touch(&mut self, now: u64) {
+        self.hits += 1;
+        self.last_access = now;
+    }
+
+    pub(crate) fn eviction(&self, id: ObjId, from_probationary: bool) -> Eviction {
+        Eviction {
+            id,
+            size: self.size,
+            insert_time: self.insert_time,
+            last_access_time: self.last_access,
+            freq: self.hits,
+            from_probationary,
+        }
+    }
+}
+
+/// A byte-bounded FIFO ghost list of object ids (2Q's A1out, ARC's B1/B2,
+/// LeCaR's history lists).
+#[derive(Debug, Default)]
+pub(crate) struct GhostList {
+    fifo: VecDeque<(ObjId, u32)>,
+    set: IdSet,
+    used: u64,
+    capacity: u64,
+}
+
+impl GhostList {
+    pub(crate) fn new(capacity: u64) -> Self {
+        GhostList {
+            fifo: VecDeque::new(),
+            set: IdSet::default(),
+            used: 0,
+            capacity,
+        }
+    }
+
+    pub(crate) fn contains(&self, id: ObjId) -> bool {
+        self.set.contains(&id)
+    }
+
+    pub(crate) fn insert(&mut self, id: ObjId, size: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.set.insert(id) {
+            self.fifo.push_back((id, size));
+            self.used += u64::from(size);
+        }
+        self.trim_to(self.capacity);
+    }
+
+    /// Removes the id (ghost hit); the FIFO slot becomes a tombstone.
+    pub(crate) fn remove(&mut self, id: ObjId) -> bool {
+        self.set.remove(&id)
+    }
+
+    /// Drops oldest entries until at most `cap` bytes are charged.
+    pub(crate) fn trim_to(&mut self, cap: u64) {
+        while self.used > cap {
+            match self.fifo.pop_front() {
+                Some((old, sz)) => {
+                    self.used -= u64::from(sz);
+                    self.set.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    pub(crate) fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+/// Returns a stable per-test skewed trace for differential tests.
+#[cfg(test)]
+pub(crate) fn test_trace(n: usize, universe: u64, seed: u64) -> Vec<cache_types::Request> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|t| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            let id = if r % 3 == 0 { r % 10 } else { r % universe };
+            cache_types::Request::get(id, t as u64)
+        })
+        .collect()
+}
+
+/// Drives a policy over a trace and returns its miss ratio.
+#[cfg(test)]
+pub(crate) fn miss_ratio_of(
+    policy: &mut dyn cache_types::Policy,
+    reqs: &[cache_types::Request],
+) -> f64 {
+    cache_types::policy::run_trace(policy, reqs).miss_ratio()
+}
+
+/// Checks the baseline invariants every policy must satisfy after a run.
+#[cfg(test)]
+pub(crate) fn check_policy_basics(policy: &mut dyn cache_types::Policy, cap: u64) {
+    use cache_types::Request;
+    let mut evs = Vec::new();
+    let trace = test_trace(5000, 400, 0xBA5E);
+    for r in &trace {
+        evs.clear();
+        policy.request(r, &mut evs);
+        assert!(
+            policy.used() <= cap,
+            "{} exceeded capacity: {} > {}",
+            policy.name(),
+            policy.used(),
+            cap
+        );
+        for e in &evs {
+            assert!(
+                !policy.contains(e.id),
+                "{} reported evicting {} but still contains it",
+                policy.name(),
+                e.id
+            );
+        }
+    }
+    // A hit after an insert must be reported as a hit.
+    evs.clear();
+    policy.request(&Request::get(0xFFFF_0001, 1_000_000), &mut evs);
+    evs.clear();
+    let out = policy.request(&Request::get(0xFFFF_0001, 1_000_001), &mut evs);
+    assert!(
+        out.is_hit(),
+        "{} missed a just-inserted object",
+        policy.name()
+    );
+    let s = policy.stats();
+    assert!(s.gets >= 5000);
+    assert!(s.misses <= s.gets);
+}

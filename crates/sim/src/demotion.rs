@@ -1,0 +1,200 @@
+//! Quick-demotion speed and precision (§6.1, Fig. 10).
+//!
+//! - **Speed**: "how long objects stay in S before they are evicted or moved
+//!   to M. We use the LRU eviction age as a baseline and calculate the speed
+//!   as LRU-eviction-age / time-in-S", in logical time.
+//! - **Precision**: "if the number of requests till an object's next reuse
+//!   is larger than cache-size / miss-ratio, then … the quick demotion
+//!   results in a correct early eviction."
+//!
+//! Both are computed from the policies' probationary-eviction records plus
+//! the [`NextAccessOracle`].
+
+use crate::oracle::NextAccessOracle;
+use cache_policies::registry;
+use cache_trace::Trace;
+use cache_types::{CacheError, Eviction, Request};
+
+/// The Fig. 10 metrics for one (algorithm, trace, size) combination.
+#[derive(Debug, Clone, Copy)]
+pub struct DemotionMetrics {
+    /// Mean logical time spent in the probationary structure before
+    /// demotion (eviction from S / the window / T1).
+    pub mean_time_in_probation: f64,
+    /// LRU's mean eviction age on the same trace and size.
+    pub lru_eviction_age: f64,
+    /// Normalized speed: `lru_eviction_age / mean_time_in_probation`.
+    pub speed: f64,
+    /// Fraction of probationary evictions that were *correct* early
+    /// evictions per the paper's criterion.
+    pub precision: f64,
+    /// Number of probationary evictions observed.
+    pub demotions: u64,
+    /// The algorithm's miss ratio on this run.
+    pub miss_ratio: f64,
+}
+
+/// Runs `name` on `trace` at `capacity` (unit sizes) and computes demotion
+/// speed and precision. `lru_eviction_age` is the precomputed LRU baseline
+/// (see [`lru_mean_eviction_age`]).
+///
+/// # Errors
+///
+/// Propagates registry errors for unknown algorithm names.
+pub fn demotion_metrics(
+    name: &str,
+    trace: &Trace,
+    capacity: u64,
+    lru_eviction_age: f64,
+    oracle: &NextAccessOracle,
+) -> Result<DemotionMetrics, CacheError> {
+    let mut policy = registry::build(name, capacity, Some(&trace.requests))?;
+    let mut evs: Vec<Eviction> = Vec::new();
+    let mut probation_time_sum = 0u64;
+    let mut demotions = 0u64;
+    // (eviction time, reuse distance or None) for precision, judged after
+    // the run when the final miss ratio is known.
+    let mut reuse: Vec<Option<u64>> = Vec::new();
+    for (i, r) in trace.requests.iter().enumerate() {
+        let req = Request { size: 1, ..*r };
+        evs.clear();
+        policy.request(&req, &mut evs);
+        let now = i as u64;
+        for e in &evs {
+            if e.from_probationary {
+                demotions += 1;
+                probation_time_sum += now.saturating_sub(e.insert_time);
+                reuse.push(oracle.reuse_distance(e.id, now));
+            }
+        }
+    }
+    let stats = policy.stats();
+    let miss_ratio = stats.miss_ratio().max(1e-6);
+    let threshold = capacity as f64 / miss_ratio;
+    let correct = reuse
+        .iter()
+        .filter(|d| match d {
+            None => true, // never reused: unquestionably correct
+            Some(dist) => (*dist as f64) > threshold,
+        })
+        .count();
+    let mean_time = if demotions == 0 {
+        f64::INFINITY
+    } else {
+        probation_time_sum as f64 / demotions as f64
+    };
+    let precision = if reuse.is_empty() {
+        1.0
+    } else {
+        correct as f64 / reuse.len() as f64
+    };
+    Ok(DemotionMetrics {
+        mean_time_in_probation: mean_time,
+        lru_eviction_age,
+        speed: if mean_time.is_finite() && mean_time > 0.0 {
+            lru_eviction_age / mean_time
+        } else {
+            0.0
+        },
+        precision,
+        demotions,
+        miss_ratio: stats.miss_ratio(),
+    })
+}
+
+/// LRU's mean eviction age on `trace` at `capacity` — the speed baseline.
+pub fn lru_mean_eviction_age(trace: &Trace, capacity: u64) -> f64 {
+    let mut lru = cache_policies::Lru::new(capacity).expect("capacity > 0");
+    let mut evs: Vec<Eviction> = Vec::new();
+    let mut sum = 0u64;
+    let mut n = 0u64;
+    for (i, r) in trace.requests.iter().enumerate() {
+        let req = Request { size: 1, ..*r };
+        evs.clear();
+        cache_types::Policy::request(&mut lru, &req, &mut evs);
+        for e in &evs {
+            sum += (i as u64).saturating_sub(e.insert_time);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_trace::gen::WorkloadSpec;
+
+    fn trace() -> Trace {
+        WorkloadSpec::zipf("t", 30_000, 3000, 1.0, 13).generate()
+    }
+
+    #[test]
+    fn lru_age_positive_under_pressure() {
+        let t = trace();
+        let age = lru_mean_eviction_age(&t, 200);
+        assert!(age > 200.0, "LRU eviction age {age} should exceed capacity");
+    }
+
+    #[test]
+    fn s3fifo_demotes_faster_than_lru_evicts() {
+        let t = trace();
+        let cap = 300u64;
+        let oracle = NextAccessOracle::new(&t.requests);
+        let lru_age = lru_mean_eviction_age(&t, cap);
+        let m = demotion_metrics("S3-FIFO", &t, cap, lru_age, &oracle).unwrap();
+        assert!(m.demotions > 0);
+        assert!(
+            m.speed > 1.0,
+            "S3-FIFO's small queue must demote faster than LRU evicts: speed {}",
+            m.speed
+        );
+    }
+
+    #[test]
+    fn smaller_s_is_faster() {
+        // §6.1: "reducing the size of S always increases the demotion
+        // speed."
+        let t = trace();
+        let cap = 300u64;
+        let oracle = NextAccessOracle::new(&t.requests);
+        let lru_age = lru_mean_eviction_age(&t, cap);
+        let fast = demotion_metrics("S3-FIFO(0.05)", &t, cap, lru_age, &oracle).unwrap();
+        let slow = demotion_metrics("S3-FIFO(0.40)", &t, cap, lru_age, &oracle).unwrap();
+        assert!(
+            fast.speed > slow.speed,
+            "5% S speed {} should exceed 40% S speed {}",
+            fast.speed,
+            slow.speed
+        );
+    }
+
+    #[test]
+    fn precision_between_zero_and_one() {
+        let t = trace();
+        let cap = 300u64;
+        let oracle = NextAccessOracle::new(&t.requests);
+        let lru_age = lru_mean_eviction_age(&t, cap);
+        for name in ["S3-FIFO", "TinyLFU-0.1", "ARC", "2Q"] {
+            let m = demotion_metrics(name, &t, cap, lru_age, &oracle).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&m.precision),
+                "{name} precision {}",
+                m.precision
+            );
+        }
+    }
+
+    #[test]
+    fn no_demotions_without_pressure() {
+        let small = WorkloadSpec::zipf("t", 1000, 50, 1.0, 3).generate();
+        let oracle = NextAccessOracle::new(&small.requests);
+        let m = demotion_metrics("S3-FIFO", &small, 10_000, 0.0, &oracle).unwrap();
+        assert_eq!(m.demotions, 0);
+        assert_eq!(m.speed, 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Cache simulator and parameter-sweep engine (the workspace's libCacheSim
+//! substitute).
+//!
+//! - [`engine`] replays a trace through one policy and collects the
+//!   eviction-time metrics the paper's figures need (miss ratio, byte miss
+//!   ratio, frequency at eviction for Fig. 4, eviction ages).
+//! - [`demotion`] computes the quick-demotion *speed* and *precision*
+//!   metrics of §6.1 / Fig. 10 using an exact next-access oracle.
+//! - [`sweep`] fans (trace × algorithm × cache size) combinations across a
+//!   crossbeam worker pool and aggregates the paper's miss-ratio-reduction
+//!   percentiles (Figs. 6, 7, 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demotion;
+pub mod engine;
+pub mod mrc;
+pub mod oracle;
+pub mod sweep;
+
+pub use demotion::{demotion_metrics, DemotionMetrics};
+pub use engine::{simulate, simulate_named, CacheSizeSpec, SimConfig, SimResult};
+pub use mrc::{miss_ratio_curve, MissRatioCurve, MrcPoint};
+pub use oracle::NextAccessOracle;
+pub use sweep::{
+    miss_ratio_reduction, per_dataset_means, run_sweep, summarize_reductions, SweepRecord,
+    SweepSpec,
+};

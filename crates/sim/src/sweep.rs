@@ -1,0 +1,272 @@
+//! Parallel (trace × algorithm × size) sweeps and the paper's
+//! miss-ratio-reduction aggregation.
+//!
+//! §5.1.2 defines the headline metric: the *miss ratio reduction* of an
+//! algorithm relative to FIFO, `(MR_fifo − MR_algo) / MR_fifo`, with the
+//! negated inverse when the algorithm is worse so values stay in `[-1, 1]`.
+
+use crate::engine::{simulate_named, SimConfig};
+use cache_ds::hist::{summarize, Summary};
+use cache_trace::Trace;
+use cache_types::CacheError;
+
+/// One (trace, algorithm, size) measurement.
+#[derive(Debug, Clone)]
+pub struct SweepRecord {
+    /// Dataset the trace belongs to (empty when standalone).
+    pub dataset: String,
+    /// Trace name.
+    pub trace: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Resolved capacity.
+    pub capacity: u64,
+    /// Request miss ratio.
+    pub miss_ratio: f64,
+    /// Byte miss ratio.
+    pub byte_miss_ratio: f64,
+    /// Fraction of evicted objects that were one-hit wonders.
+    pub one_hit_eviction_fraction: f64,
+}
+
+/// A sweep: every algorithm against every (dataset, trace) pair.
+#[derive(Debug)]
+pub struct SweepSpec<'a> {
+    /// `(dataset name, trace)` pairs.
+    pub traces: Vec<(String, &'a Trace)>,
+    /// Algorithm names (see `cache_policies::registry`).
+    pub algorithms: Vec<String>,
+    /// Simulation configuration (size derivation, unit sizes).
+    pub config: SimConfig,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+/// Runs the sweep on a crossbeam worker pool. Records for configurations
+/// skipped by the `min_objects` rule are silently omitted, mirroring the
+/// paper's exclusions.
+///
+/// # Errors
+///
+/// Returns the first simulation error (unknown algorithm, bad parameter).
+pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
+    let jobs: Vec<(usize, usize)> = (0..spec.traces.len())
+        .flat_map(|t| (0..spec.algorithms.len()).map(move |a| (t, a)))
+        .collect();
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        spec.threads
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: std::sync::Mutex<Vec<SweepRecord>> = std::sync::Mutex::new(Vec::new());
+    let first_error: std::sync::Mutex<Option<CacheError>> = std::sync::Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(t, a)) = jobs.get(i) else { break };
+                let (dataset, trace) = &spec.traces[t];
+                let algo = &spec.algorithms[a];
+                match simulate_named(algo, trace, &spec.config) {
+                    Ok(Some(r)) => {
+                        results.lock().expect("poisoned").push(SweepRecord {
+                            dataset: dataset.clone(),
+                            trace: trace.name.clone(),
+                            algorithm: algo.clone(),
+                            capacity: r.capacity,
+                            miss_ratio: r.miss_ratio,
+                            byte_miss_ratio: r.byte_miss_ratio,
+                            one_hit_eviction_fraction: r.one_hit_eviction_fraction,
+                        });
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        first_error.lock().expect("poisoned").get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    if let Some(e) = first_error.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    let mut out = results.into_inner().expect("poisoned");
+    // Deterministic order regardless of worker interleaving.
+    out.sort_by(|x, y| {
+        (&x.dataset, &x.trace, &x.algorithm).cmp(&(&y.dataset, &y.trace, &y.algorithm))
+    });
+    Ok(out)
+}
+
+/// The paper's bounded miss-ratio-reduction metric (§5.1.2).
+pub fn miss_ratio_reduction(mr_fifo: f64, mr_algo: f64) -> f64 {
+    if mr_fifo <= 0.0 && mr_algo <= 0.0 {
+        return 0.0;
+    }
+    if mr_algo <= mr_fifo {
+        (mr_fifo - mr_algo) / mr_fifo.max(1e-12)
+    } else {
+        -((mr_algo - mr_fifo) / mr_algo.max(1e-12))
+    }
+}
+
+/// Groups sweep records per algorithm, computes each trace's reduction
+/// against that trace's FIFO record, and summarizes percentiles (Fig. 6).
+/// Uses `byte` miss ratios when `byte` is true (§5.2.3).
+///
+/// Traces missing a FIFO baseline are skipped. Returns
+/// `(algorithm, Summary)` pairs sorted by mean reduction, best first.
+pub fn summarize_reductions(records: &[SweepRecord], byte: bool) -> Vec<(String, Summary)> {
+    use std::collections::BTreeMap;
+    let mr = |r: &SweepRecord| {
+        if byte {
+            r.byte_miss_ratio
+        } else {
+            r.miss_ratio
+        }
+    };
+    let mut fifo: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for r in records {
+        if r.algorithm == "FIFO" {
+            fifo.insert((r.dataset.clone(), r.trace.clone()), mr(r));
+        }
+    }
+    let mut per_algo: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        if r.algorithm == "FIFO" {
+            continue;
+        }
+        let Some(&base) = fifo.get(&(r.dataset.clone(), r.trace.clone())) else {
+            continue;
+        };
+        per_algo
+            .entry(r.algorithm.clone())
+            .or_default()
+            .push(miss_ratio_reduction(base, mr(r)));
+    }
+    let mut out: Vec<(String, Summary)> = per_algo
+        .into_iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(a, v)| (a, summarize(&v)))
+        .collect();
+    out.sort_by(|a, b| b.1.mean.partial_cmp(&a.1.mean).expect("no NaN"));
+    out
+}
+
+/// Mean reduction per (dataset, algorithm) — the Fig. 7 view.
+pub fn per_dataset_means(records: &[SweepRecord]) -> Vec<(String, String, f64)> {
+    use std::collections::BTreeMap;
+    let mut fifo: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for r in records {
+        if r.algorithm == "FIFO" {
+            fifo.insert((r.dataset.clone(), r.trace.clone()), r.miss_ratio);
+        }
+    }
+    let mut acc: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
+    for r in records {
+        if r.algorithm == "FIFO" {
+            continue;
+        }
+        let Some(&base) = fifo.get(&(r.dataset.clone(), r.trace.clone())) else {
+            continue;
+        };
+        let e = acc
+            .entry((r.dataset.clone(), r.algorithm.clone()))
+            .or_insert((0.0, 0));
+        e.0 += miss_ratio_reduction(base, r.miss_ratio);
+        e.1 += 1;
+    }
+    acc.into_iter()
+        .map(|((d, a), (sum, n))| (d, a, sum / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_trace::gen::WorkloadSpec;
+
+    #[test]
+    fn reduction_formula_matches_paper() {
+        assert!((miss_ratio_reduction(0.5, 0.4) - 0.2).abs() < 1e-12);
+        // Worse than FIFO: negated inverse, bounded by -1.
+        assert!((miss_ratio_reduction(0.4, 0.5) + 0.2).abs() < 1e-12);
+        assert_eq!(miss_ratio_reduction(0.5, 0.5), 0.0);
+        assert!(miss_ratio_reduction(1e-9, 1.0) >= -1.0);
+        assert!(miss_ratio_reduction(1.0, 0.0) <= 1.0);
+        assert_eq!(miss_ratio_reduction(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sweep_runs_all_combinations() {
+        let t1 = WorkloadSpec::zipf("t1", 5000, 500, 1.0, 1).generate();
+        let t2 = WorkloadSpec::zipf("t2", 5000, 500, 0.8, 2).generate();
+        let spec = SweepSpec {
+            traces: vec![("d1".into(), &t1), ("d1".into(), &t2)],
+            algorithms: vec!["FIFO".into(), "LRU".into(), "S3-FIFO".into()],
+            config: SimConfig::large(),
+            threads: 2,
+        };
+        let records = run_sweep(&spec).unwrap();
+        assert_eq!(records.len(), 6);
+        // Deterministic ordering.
+        let again = run_sweep(&spec).unwrap();
+        let names: Vec<_> = records
+            .iter()
+            .map(|r| (r.trace.clone(), r.algorithm.clone()))
+            .collect();
+        let names2: Vec<_> = again
+            .iter()
+            .map(|r| (r.trace.clone(), r.algorithm.clone()))
+            .collect();
+        assert_eq!(names, names2);
+        for (a, b) in records.iter().zip(again.iter()) {
+            assert_eq!(a.miss_ratio, b.miss_ratio, "sweep must be reproducible");
+        }
+    }
+
+    #[test]
+    fn summaries_rank_s3fifo_above_lru_on_skew() {
+        let traces: Vec<Trace> = (0..4)
+            .map(|i| WorkloadSpec::zipf(format!("t{i}"), 20_000, 2000, 1.0, i as u64).generate())
+            .collect();
+        let spec = SweepSpec {
+            traces: traces.iter().map(|t| ("d".to_string(), t)).collect(),
+            algorithms: vec!["FIFO".into(), "LRU".into(), "S3-FIFO".into()],
+            config: SimConfig::large(),
+            threads: 0,
+        };
+        let records = run_sweep(&spec).unwrap();
+        let sums = summarize_reductions(&records, false);
+        let pos = |name: &str| sums.iter().position(|(a, _)| a == name).unwrap();
+        assert!(
+            pos("S3-FIFO") < pos("LRU"),
+            "S3-FIFO should rank above LRU: {sums:?}"
+        );
+        // Reductions vs FIFO must be positive for S3-FIFO here.
+        assert!(sums[pos("S3-FIFO")].1.mean > 0.0);
+    }
+
+    #[test]
+    fn per_dataset_means_shape() {
+        let t1 = WorkloadSpec::zipf("t1", 5000, 500, 1.0, 1).generate();
+        let spec = SweepSpec {
+            traces: vec![("d1".into(), &t1)],
+            algorithms: vec!["FIFO".into(), "LRU".into()],
+            config: SimConfig::large(),
+            threads: 1,
+        };
+        let records = run_sweep(&spec).unwrap();
+        let means = per_dataset_means(&records);
+        assert_eq!(means.len(), 1);
+        assert_eq!(means[0].0, "d1");
+        assert_eq!(means[0].1, "LRU");
+    }
+}

@@ -1,0 +1,256 @@
+//! One-hit-wonder and frequency analysis (§3.1, Figs. 1–3).
+//!
+//! The paper's motivating observation: the fraction of objects requested
+//! exactly once (the *one-hit-wonder ratio*) is much higher in a short
+//! request window than over the full trace, because unpopular objects rarely
+//! get a second request within the window. These functions reproduce that
+//! analysis on any trace.
+
+use cache_ds::{IdMap, SplitMix64};
+use cache_types::Request;
+
+/// Fraction of distinct objects with exactly one request in `reqs`.
+///
+/// Returns 0 for an empty trace.
+pub fn one_hit_wonder_ratio(reqs: &[Request]) -> f64 {
+    let mut counts: IdMap<u32> = IdMap::default();
+    for r in reqs {
+        if r.is_read() {
+            *counts.entry(r.id).or_insert(0) += 1;
+        }
+    }
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let ones = counts.values().filter(|&&c| c == 1).count();
+    ones as f64 / counts.len() as f64
+}
+
+/// One-hit-wonder ratio of the window starting at `start` and extending
+/// until `unique_objects` distinct objects have been seen (or the trace
+/// ends). This is the paper's "sequence length measured in the number of
+/// unique objects".
+pub fn window_one_hit_wonder_ratio(reqs: &[Request], start: usize, unique_objects: usize) -> f64 {
+    let mut counts: IdMap<u32> = IdMap::default();
+    for r in reqs[start.min(reqs.len())..].iter().filter(|r| r.is_read()) {
+        if counts.len() >= unique_objects && !counts.contains_key(&r.id) {
+            break;
+        }
+        *counts.entry(r.id).or_insert(0) += 1;
+    }
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let ones = counts.values().filter(|&&c| c == 1).count();
+    ones as f64 / counts.len() as f64
+}
+
+/// Mean one-hit-wonder ratio over `samples` random windows each containing
+/// `fraction` of the trace's unique objects (Fig. 2's measurement: "take
+/// random sub-sequences and measure the one-hit-wonder ratios; we repeat 100
+/// times and report the mean").
+pub fn sampled_window_ohw(reqs: &[Request], fraction: f64, samples: usize, seed: u64) -> f64 {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+    assert!(samples > 0, "need at least one sample");
+    let footprint = {
+        let mut s = cache_ds::IdSet::default();
+        for r in reqs {
+            if r.is_read() {
+                s.insert(r.id);
+            }
+        }
+        s.len()
+    };
+    if footprint == 0 {
+        return 0.0;
+    }
+    let target = ((footprint as f64 * fraction).round() as usize).max(1);
+    if target >= footprint {
+        return one_hit_wonder_ratio(reqs);
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut acc = 0.0;
+    for _ in 0..samples {
+        // Windows anchored uniformly over the first 3/4 of the trace so they
+        // have room to collect `target` unique objects.
+        let limit = (reqs.len() * 3 / 4).max(1);
+        let start = rng.next_below(limit as u64) as usize;
+        acc += window_one_hit_wonder_ratio(reqs, start, target);
+    }
+    acc / samples as f64
+}
+
+/// Per-object request counts.
+pub fn frequency_map(reqs: &[Request]) -> IdMap<u32> {
+    let mut counts: IdMap<u32> = IdMap::default();
+    for r in reqs {
+        if r.is_read() {
+            *counts.entry(r.id).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Summary statistics of a trace, as reported per dataset in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Number of read requests.
+    pub requests: usize,
+    /// Distinct objects.
+    pub objects: usize,
+    /// Total requested bytes.
+    pub request_bytes: u64,
+    /// Sum of distinct objects' sizes.
+    pub object_bytes: u64,
+    /// Full-trace one-hit-wonder ratio.
+    pub ohw_full: f64,
+    /// Mean OHW over windows holding 10 % of the objects.
+    pub ohw_10pct: f64,
+    /// Mean OHW over windows holding 1 % of the objects.
+    pub ohw_1pct: f64,
+}
+
+/// Computes [`TraceStats`] (window OHW uses `samples` random windows).
+pub fn trace_stats(reqs: &[Request], samples: usize, seed: u64) -> TraceStats {
+    let mut counts: IdMap<u32> = IdMap::default();
+    let mut request_bytes = 0u64;
+    let mut object_bytes = 0u64;
+    let mut requests = 0usize;
+    for r in reqs {
+        if r.is_read() {
+            requests += 1;
+            request_bytes += u64::from(r.size);
+            if *counts.entry(r.id).or_insert(0) == 0 {
+                object_bytes += u64::from(r.size);
+            }
+            *counts.get_mut(&r.id).expect("just inserted") += 1;
+        }
+    }
+    let objects = counts.len();
+    let ones = counts.values().filter(|&&c| c == 1).count();
+    let ohw_full = if objects == 0 {
+        0.0
+    } else {
+        ones as f64 / objects as f64
+    };
+    TraceStats {
+        requests,
+        objects,
+        request_bytes,
+        object_bytes,
+        ohw_full,
+        ohw_10pct: sampled_window_ohw(reqs, 0.10, samples, seed),
+        ohw_1pct: sampled_window_ohw(reqs, 0.01, samples, seed ^ 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadSpec;
+
+    fn reqs_of(ids: &[u64]) -> Vec<Request> {
+        ids.iter()
+            .enumerate()
+            .map(|(t, &id)| Request::get(id, t as u64))
+            .collect()
+    }
+
+    /// Fig. 1's toy example: seventeen requests to five objects, with E the
+    /// only one-hit wonder → full-trace OHW = 20 %; the 1..7 prefix has two
+    /// of four unique objects requested once → 50 %; the 1..4 prefix → 67 %.
+    #[test]
+    fn fig1_toy_example() {
+        // A B A C B A D A B C B A E C A B D  (1-indexed in the paper)
+        let (a, b, c, d, e) = (1u64, 2, 3, 4, 5);
+        let ids = [a, b, a, c, b, a, d, a, b, c, b, a, e, c, a, b, d];
+        let reqs = reqs_of(&ids);
+        assert!((one_hit_wonder_ratio(&reqs) - 0.2).abs() < 1e-12);
+        // Requests 1..=7 contain A,B,C,D; C and D appear once → 50 %.
+        let w = window_one_hit_wonder_ratio(&reqs[..7], 0, 4);
+        assert!((w - 0.5).abs() < 1e-12);
+        // Requests 1..=4 contain A,B,C; B and C appear once → 67 %.
+        let w = window_one_hit_wonder_ratio(&reqs[..4], 0, 3);
+        assert!((w - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        assert_eq!(one_hit_wonder_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_unique_is_one() {
+        let reqs = reqs_of(&[1, 2, 3, 4, 5]);
+        assert!((one_hit_wonder_ratio(&reqs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_repeated_is_zero() {
+        let reqs = reqs_of(&[1, 2, 1, 2]);
+        assert_eq!(one_hit_wonder_ratio(&reqs), 0.0);
+    }
+
+    #[test]
+    fn window_respects_unique_limit() {
+        let reqs = reqs_of(&[1, 1, 2, 3, 4, 5]);
+        // Window of 2 uniques starting at 0: sees 1,1,2 → OHW 1/2.
+        let w = window_one_hit_wonder_ratio(&reqs, 0, 2);
+        assert!((w - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shorter_windows_have_higher_ohw_on_zipf() {
+        // The paper's core observation (Fig. 2): OHW rises as the window
+        // shrinks.
+        let t = WorkloadSpec::zipf("z", 200_000, 20_000, 1.0, 9).generate();
+        let full = one_hit_wonder_ratio(&t.requests);
+        let w50 = sampled_window_ohw(&t.requests, 0.5, 20, 1);
+        let w10 = sampled_window_ohw(&t.requests, 0.1, 20, 2);
+        let w01 = sampled_window_ohw(&t.requests, 0.01, 20, 3);
+        assert!(
+            full < w50 && w50 < w10 && w10 < w01,
+            "OHW must rise as windows shrink: full {full:.3}, 50% {w50:.3}, 10% {w10:.3}, 1% {w01:.3}"
+        );
+    }
+
+    #[test]
+    fn more_skew_lower_window_ohw() {
+        // Fig. 2: more skewed workloads have lower OHW at the same window
+        // length (popular objects repeat even in short windows).
+        let mild = WorkloadSpec::zipf("z", 100_000, 10_000, 0.6, 11).generate();
+        let steep = WorkloadSpec::zipf("z", 100_000, 10_000, 1.2, 11).generate();
+        let ohw_mild = sampled_window_ohw(&mild.requests, 0.1, 20, 5);
+        let ohw_steep = sampled_window_ohw(&steep.requests, 0.1, 20, 5);
+        assert!(
+            ohw_steep < ohw_mild,
+            "alpha=1.2 OHW {ohw_steep:.3} should be below alpha=0.6 OHW {ohw_mild:.3}"
+        );
+    }
+
+    #[test]
+    fn frequency_map_counts() {
+        let reqs = reqs_of(&[1, 1, 1, 2]);
+        let m = frequency_map(&reqs);
+        assert_eq!(m[&1], 3);
+        assert_eq!(m[&2], 1);
+    }
+
+    #[test]
+    fn trace_stats_consistency() {
+        let t = WorkloadSpec::zipf("z", 50_000, 5000, 0.9, 13).generate();
+        let s = trace_stats(&t.requests, 10, 1);
+        assert_eq!(s.requests, 50_000);
+        assert_eq!(s.objects, t.footprint());
+        assert!(s.ohw_full <= s.ohw_10pct);
+        assert!(s.ohw_10pct <= s.ohw_1pct + 0.05);
+        assert_eq!(s.request_bytes, t.total_bytes());
+        assert_eq!(s.object_bytes, t.footprint_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        sampled_window_ohw(&[], 0.0, 1, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace serialization: a human-readable CSV format and a compact binary
+//! format.
+//!
+//! CSV lines are `id,size,op` (op ∈ {get,set,del}); lines starting with `#`
+//! are comments. The binary format is a 16-byte header (`S3FT` magic,
+//! version, record count) followed by 13-byte little-endian records.
+
+use crate::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cache_types::{CacheError, Op, Request};
+use std::io::{BufRead, BufReader, Read, Write};
+
+const MAGIC: &[u8; 4] = b"S3FT";
+const VERSION: u32 = 1;
+
+fn op_code(op: Op) -> u8 {
+    match op {
+        Op::Get => 0,
+        Op::Set => 1,
+        Op::Delete => 2,
+    }
+}
+
+fn code_op(code: u8) -> Result<Op, CacheError> {
+    match code {
+        0 => Ok(Op::Get),
+        1 => Ok(Op::Set),
+        2 => Ok(Op::Delete),
+        other => Err(CacheError::TraceFormat(format!("bad op code {other}"))),
+    }
+}
+
+/// Writes a trace as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_csv<W: Write>(trace: &Trace, w: &mut W) -> Result<(), CacheError> {
+    writeln!(w, "# trace: {}", trace.name)?;
+    writeln!(w, "# id,size,op")?;
+    for r in &trace.requests {
+        let op = match r.op {
+            Op::Get => "get",
+            Op::Set => "set",
+            Op::Delete => "del",
+        };
+        writeln!(w, "{},{},{}", r.id, r.size, op)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV trace; logical times are assigned by line order.
+///
+/// # Errors
+///
+/// Returns [`CacheError::TraceFormat`] on malformed lines and propagates
+/// I/O errors.
+pub fn read_csv<R: Read>(name: impl Into<String>, r: R) -> Result<Trace, CacheError> {
+    let reader = BufReader::new(r);
+    let mut reqs = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let id: u64 = parts
+            .next()
+            .ok_or_else(|| CacheError::TraceFormat(format!("line {}: missing id", lineno + 1)))?
+            .trim()
+            .parse()
+            .map_err(|e| CacheError::TraceFormat(format!("line {}: bad id: {e}", lineno + 1)))?;
+        let size: u32 = match parts.next() {
+            Some(s) => s.trim().parse().map_err(|e| {
+                CacheError::TraceFormat(format!("line {}: bad size: {e}", lineno + 1))
+            })?,
+            None => 1,
+        };
+        let op = match parts.next().map(str::trim) {
+            None | Some("get") | Some("") => Op::Get,
+            Some("set") => Op::Set,
+            Some("del") => Op::Delete,
+            Some(other) => {
+                return Err(CacheError::TraceFormat(format!(
+                    "line {}: unknown op {other:?}",
+                    lineno + 1
+                )))
+            }
+        };
+        reqs.push(Request {
+            id,
+            size,
+            time: 0,
+            op,
+        });
+    }
+    Ok(Trace::new(name, reqs))
+}
+
+/// Encodes a trace into the compact binary format.
+pub fn to_binary(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * 13);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(trace.len() as u64);
+    for r in &trace.requests {
+        buf.put_u64_le(r.id);
+        buf.put_u32_le(r.size);
+        buf.put_u8(op_code(r.op));
+    }
+    buf.freeze()
+}
+
+/// Decodes a trace from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`CacheError::TraceFormat`] on bad magic, version, or truncation.
+pub fn from_binary(name: impl Into<String>, mut data: &[u8]) -> Result<Trace, CacheError> {
+    if data.len() < 16 {
+        return Err(CacheError::TraceFormat("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CacheError::TraceFormat("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(CacheError::TraceFormat(format!("bad version {version}")));
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 13 {
+        return Err(CacheError::TraceFormat(format!(
+            "truncated body: {} bytes for {} records",
+            data.remaining(),
+            n
+        )));
+    }
+    let mut reqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = data.get_u64_le();
+        let size = data.get_u32_le();
+        let op = code_op(data.get_u8())?;
+        reqs.push(Request {
+            id,
+            size,
+            time: 0,
+            op,
+        });
+    }
+    Ok(Trace::new(name, reqs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadSpec;
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = WorkloadSpec::zipf("z", 1000, 100, 1.0, 1).generate();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv("z", &buf[..]).unwrap();
+        assert_eq!(t.requests, back.requests);
+    }
+
+    #[test]
+    fn csv_parses_ops_and_defaults() {
+        let csv = "# comment\n1,100,get\n2,50,set\n3,0,del\n4\n";
+        let t = read_csv("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.requests[0].op, Op::Get);
+        assert_eq!(t.requests[1].op, Op::Set);
+        assert_eq!(t.requests[2].op, Op::Delete);
+        assert_eq!(t.requests[3].size, 1);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(read_csv("t", "not-a-number,1,get\n".as_bytes()).is_err());
+        assert!(read_csv("t", "1,xyz,get\n".as_bytes()).is_err());
+        assert!(read_csv("t", "1,1,frobnicate\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = WorkloadSpec::zipf("z", 5000, 300, 0.9, 2).generate();
+        let bytes = to_binary(&t);
+        let back = from_binary("z", &bytes).unwrap();
+        assert_eq!(t.requests, back.requests);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let t = WorkloadSpec::zipf("z", 10, 5, 1.0, 3).generate();
+        let bytes = to_binary(&t);
+        assert!(from_binary("z", &bytes[..10]).is_err()); // truncated header
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(from_binary("z", &bad).is_err()); // bad magic
+        let short = &bytes[..bytes.len() - 5];
+        assert!(from_binary("z", short).is_err()); // truncated body
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let t = WorkloadSpec::zipf("z", 10, 5, 1.0, 3).generate();
+        let mut bytes = to_binary(&t).to_vec();
+        bytes[4] = 99;
+        assert!(from_binary("z", &bytes).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty", vec![]);
+        let bytes = to_binary(&t);
+        let back = from_binary("empty", &bytes).unwrap();
+        assert!(back.is_empty());
+    }
+}

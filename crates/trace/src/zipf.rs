@@ -1,0 +1,167 @@
+//! Zipf popularity sampling under the independent reference model.
+//!
+//! §3.1 analyzes request sequences whose object popularity follows a Zipf
+//! distribution: the object of rank `i` is requested with probability
+//! proportional to `1 / i^α`. [`ZipfSampler`] draws ranks from that
+//! distribution by inverting a precomputed CDF (exact, O(M) setup, O(log M)
+//! per sample, fully deterministic given the RNG stream).
+
+use cache_ds::SplitMix64;
+
+/// Samples ranks `1..=n` with probability ∝ `1 / rank^alpha`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[i]` = P(rank <= i + 1).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `alpha >= 0`
+    /// (`alpha == 0` is the uniform distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `alpha` is negative or not finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        // partition_point returns the count of entries < u, which is the
+        // zero-based index of the first cdf entry >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+
+    /// Probability of the given rank (1-based).
+    pub fn probability(&self, rank: u64) -> f64 {
+        assert!(rank >= 1 && rank <= self.n(), "rank out of range");
+        let i = (rank - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn rank_one_is_most_popular() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = SplitMix64::new(2);
+        let mut counts = vec![0u64; 1001];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[1] > counts[100]);
+    }
+
+    #[test]
+    fn frequencies_match_probabilities() {
+        let z = ZipfSampler::new(50, 0.8);
+        let mut rng = SplitMix64::new(3);
+        let n = 200_000;
+        let mut counts = vec![0u64; 51];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for rank in [1u64, 2, 5, 10] {
+            let expected = z.probability(rank) * n as f64;
+            let got = counts[rank as usize] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.1 + 30.0,
+                "rank {rank}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for rank in 1..=10 {
+            assert!((z.probability(rank) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_more_skewed() {
+        let flat = ZipfSampler::new(1000, 0.6);
+        let steep = ZipfSampler::new(1000, 1.2);
+        assert!(steep.probability(1) > flat.probability(1));
+        assert!(steep.probability(1000) < flat.probability(1000));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(200, 1.0);
+        let sum: f64 = (1..=200).map(|r| z.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = ZipfSampler::new(100, 1.0);
+        let a: Vec<u64> = {
+            let mut rng = SplitMix64::new(7);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SplitMix64::new(7);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_rank_always_one() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by caches, trace parsers, and the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Capacity was zero or otherwise unusable.
+    InvalidCapacity(String),
+    /// A configuration parameter was out of range.
+    InvalidParameter(String),
+    /// A trace file could not be parsed.
+    TraceFormat(String),
+    /// An I/O error, stringified to keep the type `Clone + Eq`.
+    Io(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidCapacity(m) => write!(f, "invalid capacity: {m}"),
+            CacheError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            CacheError::TraceFormat(m) => write!(f, "trace format error: {m}"),
+            CacheError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = CacheError::InvalidCapacity("zero".into());
+        assert!(e.to_string().contains("zero"));
+        let e = CacheError::TraceFormat("bad line 3".into());
+        assert!(e.to_string().contains("bad line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: CacheError = io.into();
+        assert!(matches!(e, CacheError::Io(_)));
+    }
+}

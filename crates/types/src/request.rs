@@ -1,0 +1,130 @@
+//! Trace request representation.
+//!
+//! A trace is an ordered sequence of [`Request`]s. Logical time is the index
+//! of the request in the trace; the simulator supplies it when replaying so
+//! that requests themselves stay compact.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cached object.
+///
+/// Production traces key objects by block number, URL hash, or key hash; all
+/// of those collapse to a 64-bit id in this workspace.
+pub type ObjId = u64;
+
+/// The operation a request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the object; a miss triggers insertion (read-through).
+    Get,
+    /// Write/overwrite the object (always an insertion or update).
+    Set,
+    /// Remove the object from the cache if present.
+    Delete,
+}
+
+impl Default for Op {
+    fn default() -> Self {
+        Op::Get
+    }
+}
+
+/// A single cache request.
+///
+/// `time` is logical time measured in request count, which is how the paper
+/// measures eviction age and demotion speed ("We use logical time measured in
+/// request count", §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Object identifier.
+    pub id: ObjId,
+    /// Object size in bytes. Simulations that ignore size use `1`.
+    pub size: u32,
+    /// Logical timestamp (request index within the trace).
+    pub time: u64,
+    /// Operation kind.
+    pub op: Op,
+}
+
+impl Request {
+    /// Creates a unit-size `Get` request, the common case in simulations
+    /// that ignore object size (§5.1.2).
+    #[inline]
+    pub fn get(id: ObjId, time: u64) -> Self {
+        Request {
+            id,
+            size: 1,
+            time,
+            op: Op::Get,
+        }
+    }
+
+    /// Creates a `Get` request with an explicit byte size, used by byte
+    /// miss ratio experiments (§5.2.3).
+    #[inline]
+    pub fn get_sized(id: ObjId, size: u32, time: u64) -> Self {
+        Request {
+            id,
+            size,
+            time,
+            op: Op::Get,
+        }
+    }
+
+    /// Creates a `Delete` request (§4.2 discusses deletion handling).
+    #[inline]
+    pub fn delete(id: ObjId, time: u64) -> Self {
+        Request {
+            id,
+            size: 0,
+            time,
+            op: Op::Delete,
+        }
+    }
+
+    /// Returns true when this request can produce a cache hit.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        self.op == Op::Get
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_request_defaults() {
+        let r = Request::get(42, 7);
+        assert_eq!(r.id, 42);
+        assert_eq!(r.size, 1);
+        assert_eq!(r.time, 7);
+        assert_eq!(r.op, Op::Get);
+        assert!(r.is_read());
+    }
+
+    #[test]
+    fn sized_request_keeps_size() {
+        let r = Request::get_sized(1, 4096, 0);
+        assert_eq!(r.size, 4096);
+    }
+
+    #[test]
+    fn delete_is_not_read() {
+        let r = Request::delete(3, 1);
+        assert!(!r.is_read());
+        assert_eq!(r.size, 0);
+    }
+
+    #[test]
+    fn op_default_is_get() {
+        assert_eq!(Op::default(), Op::Get);
+    }
+
+    #[test]
+    fn request_is_copy_and_comparable() {
+        let r = Request::get_sized(9, 512, 3);
+        let r2 = r;
+        assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: use `S3FifoCache` as a drop-in bounded map.
+//!
+//! Run: `cargo run --example quickstart`
+
+use s3fifo::S3FifoCache;
+
+fn main() {
+    // A cache holding up to 1000 entries; 10% of the space is the small
+    // probationary queue that filters one-hit wonders.
+    let mut cache: S3FifoCache<String, Vec<u8>> = S3FifoCache::new(1000).expect("capacity > 0");
+
+    // Insert and read back.
+    cache.insert("user:42".to_string(), b"alice".to_vec());
+    assert_eq!(
+        cache.get(&"user:42".to_string()),
+        Some(&b"alice"[..].to_vec())
+    );
+
+    // Establish a small hot set...
+    for i in 0..50 {
+        cache.insert(format!("hot:{i}"), vec![1u8; 64]);
+    }
+    for _ in 0..3 {
+        for i in 0..50 {
+            cache.get(&format!("hot:{i}"));
+        }
+    }
+
+    // ...then blast the cache with 20x its capacity of one-time keys.
+    for i in 0..20_000 {
+        cache.insert(format!("scan:{i}"), vec![0u8; 64]);
+    }
+
+    let survivors = (0..50)
+        .filter(|i| cache.contains(&format!("hot:{i}")))
+        .count();
+    let m = cache.metrics();
+    println!("hot keys surviving a 20x scan: {survivors}/50");
+    println!(
+        "hits={} misses={} evictions={} ghost admissions={}",
+        m.hits, m.misses, m.evictions, m.ghost_admissions
+    );
+    assert!(
+        survivors >= 45,
+        "S3-FIFO should shield the hot set from scans"
+    );
+    println!("quickstart OK");
+}

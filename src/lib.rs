@@ -1,0 +1,20 @@
+//! Umbrella crate for the S3-FIFO reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for documentation:
+//!
+//! - [`s3fifo`] — the paper's contribution (S3-FIFO, S3-FIFO-D, ablations).
+//! - [`cache_policies`] — baseline eviction algorithms.
+//! - [`cache_trace`] — synthetic workload generation and trace analysis.
+//! - [`cache_sim`] — the cache simulator and sweep engine.
+//! - [`cache_concurrent`] — the concurrent cache prototype.
+//! - [`cache_flash`] — the DRAM+flash two-tier cache.
+
+pub use cache_concurrent;
+pub use cache_ds;
+pub use cache_flash;
+pub use cache_policies;
+pub use cache_sim;
+pub use cache_trace;
+pub use cache_types;
+pub use s3fifo;

@@ -1,0 +1,118 @@
+//! End-to-end integration: corpus generation → sweep → aggregation,
+//! spanning cache-trace, cache-policies, s3fifo, and cache-sim.
+
+use cache_sim::{run_sweep, summarize_reductions, SimConfig, SweepSpec};
+use cache_trace::corpus::{datasets, CorpusConfig};
+
+#[test]
+fn corpus_sweep_ranks_s3fifo_first_or_second() {
+    // A small corpus, the Fig. 6 pipeline, and the paper's headline claim:
+    // S3-FIFO leads the mean miss-ratio reduction.
+    let cfg = CorpusConfig {
+        traces_per_dataset: 1,
+        requests_per_trace: 40_000,
+        seed: 0xE2E,
+    };
+    let mut traces = Vec::new();
+    for ds in datasets() {
+        for t in ds.traces(&cfg) {
+            traces.push((ds.name.to_string(), t));
+        }
+    }
+    let spec = SweepSpec {
+        traces: traces.iter().map(|(d, t)| (d.clone(), t)).collect(),
+        algorithms: vec![
+            "FIFO".into(),
+            "LRU".into(),
+            "CLOCK".into(),
+            "ARC".into(),
+            "TinyLFU-0.1".into(),
+            "S3-FIFO".into(),
+        ],
+        config: SimConfig::large(),
+        threads: 0,
+    };
+    let records = run_sweep(&spec).expect("sweep runs");
+    assert_eq!(records.len(), traces.len() * 6);
+    let sums = summarize_reductions(&records, false);
+    let rank = sums
+        .iter()
+        .position(|(a, _)| a == "S3-FIFO")
+        .expect("S3-FIFO present");
+    assert!(
+        rank <= 1,
+        "S3-FIFO should lead the ranking, got position {rank} in {:?}",
+        sums.iter()
+            .map(|(a, s)| (a.clone(), s.mean))
+            .collect::<Vec<_>>()
+    );
+    // And it must beat plain LRU and CLOCK outright.
+    let mean_of = |name: &str| {
+        sums.iter()
+            .find(|(a, _)| a == name)
+            .map(|(_, s)| s.mean)
+            .expect("algorithm present")
+    };
+    assert!(mean_of("S3-FIFO") > mean_of("LRU"));
+    assert!(mean_of("S3-FIFO") > mean_of("CLOCK"));
+    assert!(mean_of("S3-FIFO") > 0.0);
+}
+
+#[test]
+fn belady_bounds_every_algorithm_on_every_dataset_type() {
+    let cfg = CorpusConfig {
+        traces_per_dataset: 1,
+        requests_per_trace: 20_000,
+        seed: 0xB37,
+    };
+    for ds_name in ["twitter", "msr", "cdn1"] {
+        let ds = datasets().into_iter().find(|d| d.name == ds_name).unwrap();
+        let trace = ds.trace(&cfg, 0);
+        let sim_cfg = SimConfig::large();
+        let opt = cache_sim::simulate_named("Belady", &trace, &sim_cfg)
+            .unwrap()
+            .unwrap();
+        for algo in ["FIFO", "LRU", "S3-FIFO", "ARC", "LIRS", "TinyLFU"] {
+            let r = cache_sim::simulate_named(algo, &trace, &sim_cfg)
+                .unwrap()
+                .unwrap();
+            assert!(
+                opt.miss_ratio <= r.miss_ratio + 1e-12,
+                "{ds_name}: Belady {:.4} vs {algo} {:.4}",
+                opt.miss_ratio,
+                r.miss_ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn byte_miss_ratio_sweep_works_with_sizes() {
+    // §5.2.3: byte miss ratios with real object sizes.
+    let cfg = CorpusConfig {
+        traces_per_dataset: 1,
+        requests_per_trace: 30_000,
+        seed: 0xB17E,
+    };
+    let ds = datasets().into_iter().find(|d| d.name == "cdn1").unwrap();
+    let trace = ds.trace(&cfg, 0);
+    let sim_cfg = SimConfig {
+        size: cache_sim::CacheSizeSpec::FractionOfBytes(0.10),
+        ignore_size: false,
+        min_objects: 0,
+        floor_objects: 0,
+    };
+    let fifo = cache_sim::simulate_named("FIFO", &trace, &sim_cfg)
+        .unwrap()
+        .unwrap();
+    let s3 = cache_sim::simulate_named("S3-FIFO", &trace, &sim_cfg)
+        .unwrap()
+        .unwrap();
+    assert!(s3.byte_miss_ratio > 0.0 && s3.byte_miss_ratio <= 1.0);
+    assert!(
+        s3.byte_miss_ratio <= fifo.byte_miss_ratio + 0.01,
+        "S3-FIFO byte MR {:.4} should not trail FIFO {:.4}",
+        s3.byte_miss_ratio,
+        fifo.byte_miss_ratio
+    );
+}

@@ -1,0 +1,43 @@
+//! Trace serialization round-trips through real files.
+
+use cache_trace::gen::{SizeModel, WorkloadSpec};
+use cache_trace::io;
+
+#[test]
+fn csv_file_roundtrip() {
+    let mut spec = WorkloadSpec::zipf("io-test", 5000, 500, 1.0, 9);
+    spec.size_model = SizeModel::Uniform { min: 1, max: 9999 };
+    let trace = spec.generate();
+    let dir = std::env::temp_dir();
+    let path = dir.join("s3fifo_repro_io_test.csv");
+    {
+        let mut f = std::fs::File::create(&path).expect("create temp file");
+        io::write_csv(&trace, &mut f).expect("write");
+    }
+    let back = io::read_csv("io-test", std::fs::File::open(&path).expect("open")).expect("read");
+    assert_eq!(trace.requests, back.requests);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_file_roundtrip() {
+    let trace = WorkloadSpec::zipf("io-bin", 20_000, 2000, 0.9, 10).generate();
+    let dir = std::env::temp_dir();
+    let path = dir.join("s3fifo_repro_io_test.bin");
+    std::fs::write(&path, io::to_binary(&trace)).expect("write");
+    let bytes = std::fs::read(&path).expect("read");
+    let back = io::from_binary("io-bin", &bytes).expect("decode");
+    assert_eq!(trace.requests, back.requests);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn miss_ratio_identical_after_roundtrip() {
+    use cache_sim::{simulate_named, SimConfig};
+    let trace = WorkloadSpec::zipf("io-sim", 20_000, 2000, 1.0, 11).generate();
+    let back = io::from_binary("io-sim", &io::to_binary(&trace)).expect("decode");
+    let cfg = SimConfig::large();
+    let a = simulate_named("S3-FIFO", &trace, &cfg).unwrap().unwrap();
+    let b = simulate_named("S3-FIFO", &back, &cfg).unwrap().unwrap();
+    assert_eq!(a.misses, b.misses);
+}
