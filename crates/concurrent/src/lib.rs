@@ -47,6 +47,10 @@ pub trait ConcurrentCache: Send + Sync {
     fn remove(&self, key: u64) -> bool;
     /// Approximate number of cached entries.
     fn len(&self) -> usize;
+    /// True when no entries are cached (approximate, like `len`).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Maximum number of entries.
     fn capacity(&self) -> usize;
 }
@@ -59,26 +63,28 @@ pub(crate) fn shard_of(key: u64) -> usize {
     (cache_ds::rng::mix64(key) as usize) & (SHARDS - 1)
 }
 
+/// Every concurrent implementation at `capacity`, for cross-cutting tests
+/// (the remove suite, the torture harness).
+#[cfg(test)]
+pub(crate) fn test_caches(capacity: usize) -> Vec<std::sync::Arc<dyn ConcurrentCache>> {
+    use std::sync::Arc;
+    vec![
+        Arc::new(crate::s3fifo::ConcurrentS3Fifo::new(capacity)),
+        Arc::new(crate::lru::MutexLru::strict(capacity)),
+        Arc::new(crate::lru::MutexLru::optimized(capacity)),
+        Arc::new(crate::clock::ConcurrentClock::new(capacity)),
+        Arc::new(crate::locked::locked_tinylfu(capacity)),
+        Arc::new(crate::locked::locked_twoq(capacity)),
+        Arc::new(crate::segcache::SegcacheLike::new(capacity)),
+    ]
+}
+
 #[cfg(test)]
 mod remove_tests {
     use super::*;
-    use crate::clock::ConcurrentClock;
-    use crate::locked::{locked_tinylfu, locked_twoq};
-    use crate::lru::MutexLru;
-    use crate::s3fifo::ConcurrentS3Fifo;
-    use crate::segcache::SegcacheLike;
-    use std::sync::Arc;
 
-    fn all_caches(capacity: usize) -> Vec<Arc<dyn ConcurrentCache>> {
-        vec![
-            Arc::new(ConcurrentS3Fifo::new(capacity)),
-            Arc::new(MutexLru::strict(capacity)),
-            Arc::new(MutexLru::optimized(capacity)),
-            Arc::new(ConcurrentClock::new(capacity)),
-            Arc::new(locked_tinylfu(capacity)),
-            Arc::new(locked_twoq(capacity)),
-            Arc::new(SegcacheLike::new(capacity)),
-        ]
+    fn all_caches(capacity: usize) -> Vec<std::sync::Arc<dyn ConcurrentCache>> {
+        test_caches(capacity)
     }
 
     #[test]

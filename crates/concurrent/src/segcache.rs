@@ -85,7 +85,7 @@ impl SegcacheLike {
                 }
             }
         }
-        candidates.sort_by(|a, b| b.1.cmp(&a.1));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.1));
         let keep = candidates.len() / 4;
         let new_id = self.next_seg.fetch_add(1, Ordering::Relaxed);
         let mut merged = Segment {

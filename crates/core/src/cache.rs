@@ -255,6 +255,9 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> S3FifoCache<K, V, S> {
             let freq = self.table[&tail_key].freq;
             if freq > 1 {
                 // Promote to M with cleared access bits.
+            // Invariant: queue membership and table entries are updated
+            // together under &mut self, so a queued key is always in the
+            // table (freq was just read through it above).
                 let entry = self.table.get_mut(&tail_key).expect("entry exists");
                 let old = entry.handle;
                 let w = entry.weight as usize;
@@ -266,6 +269,9 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> S3FifoCache<K, V, S> {
                 entry.loc = Loc::Main;
                 entry.freq = 0;
             } else {
+            // Invariant: queue membership and table entries are updated
+            // together under &mut self, so a queued key is always in the
+            // table (freq was just read through it above).
                 let entry = self.table.remove(&tail_key).expect("entry exists");
                 self.small.remove(entry.handle);
                 self.small_used -= entry.weight as usize;
@@ -283,11 +289,17 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> S3FifoCache<K, V, S> {
         while let Some(tail_key) = self.main.back().cloned() {
             let freq = self.table[&tail_key].freq;
             if freq > 0 {
+            // Invariant: queue membership and table entries are updated
+            // together under &mut self, so a queued key is always in the
+            // table (freq was just read through it above).
                 let entry = self.table.get_mut(&tail_key).expect("entry exists");
                 let h = entry.handle;
                 entry.freq -= 1;
                 self.main.move_to_front(h);
             } else {
+            // Invariant: queue membership and table entries are updated
+            // together under &mut self, so a queued key is always in the
+            // table (freq was just read through it above).
                 let entry = self.table.remove(&tail_key).expect("entry exists");
                 self.main.remove(entry.handle);
                 self.used -= entry.weight as usize;

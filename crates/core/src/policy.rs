@@ -236,6 +236,8 @@ impl S3Fifo {
     /// (Algorithm 1, `EVICTS`).
     fn evict_small(&mut self, now: u64, evicted: &mut Vec<Eviction>) {
         while let Some(&tail_id) = self.small.back() {
+            // Invariant: every id on queue S has a table entry; both are
+            // updated together under the same &mut self.
             let entry = *self.table.get(&tail_id).expect("small tail in table");
             debug_assert_eq!(entry.queue, Queue::Small);
             if entry.freq > self.cfg.promote_threshold {
@@ -243,6 +245,8 @@ impl S3Fifo {
                 self.small.remove(entry.handle);
                 self.s_used -= u64::from(entry.size);
                 let h = self.main.push_front(tail_id);
+                // Invariant: tail_id's entry was just read above; nothing
+                // between removed it.
                 let e = self.table.get_mut(&tail_id).expect("entry exists");
                 e.handle = h;
                 e.queue = Queue::Main;
@@ -278,11 +282,15 @@ impl S3Fifo {
     /// (Algorithm 1, `EVICTM`).
     fn evict_main(&mut self, _now: u64, evicted: &mut Vec<Eviction>) {
         while let Some(&tail_id) = self.main.back() {
+            // Invariant: every id on queue M has a table entry; both are
+            // updated together under the same &mut self.
             let entry = *self.table.get(&tail_id).expect("main tail in table");
             debug_assert_eq!(entry.queue, Queue::Main);
             if entry.freq > 0 {
                 // Reinsert at the head with frequency decreased by one.
                 self.main.move_to_front(entry.handle);
+                // Invariant: tail_id's entry was just read above; nothing
+                // between removed it.
                 let e = self.table.get_mut(&tail_id).expect("entry exists");
                 e.freq -= 1;
             } else {

@@ -1,0 +1,258 @@
+//! The error-budget trip wire and degradation state machine.
+//!
+//! The flash cache runs this ladder (DESIGN.md "Failure model"):
+//!
+//! ```text
+//! Healthy --[errors in window > budget]--> Degraded
+//! Degraded --[probe interval elapsed]----> probe the device
+//! Degraded --[`recovery_probes` consecutive probe successes]--> Healthy
+//! ```
+//!
+//! Time is logical (operation count), matching the simulator's clock.
+
+use std::collections::VecDeque;
+
+/// Parameters of the error budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorBudgetConfig {
+    /// Sliding window length in operations.
+    pub window_ops: u64,
+    /// Errors tolerated inside one window before tripping.
+    pub max_errors: u32,
+    /// While degraded, probe the device every this many operations.
+    pub probe_interval: u64,
+    /// Consecutive successful probes required to recover.
+    pub recovery_probes: u32,
+}
+
+impl Default for ErrorBudgetConfig {
+    fn default() -> Self {
+        ErrorBudgetConfig {
+            window_ops: 1000,
+            max_errors: 10,
+            probe_interval: 100,
+            recovery_probes: 3,
+        }
+    }
+}
+
+/// Where the tier currently sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationState {
+    /// Flash is in use.
+    Healthy,
+    /// The budget tripped; the cache runs DRAM-only and probes the device.
+    Degraded,
+}
+
+/// Sliding-window error counter plus the degraded/probing/recovery logic.
+#[derive(Debug, Clone)]
+pub struct ErrorBudget {
+    cfg: ErrorBudgetConfig,
+    /// Logical times of errors inside the current window.
+    errors: VecDeque<u64>,
+    state: DegradationState,
+    /// Time the budget tripped or the last probe was made.
+    last_probe: u64,
+    consecutive_probe_successes: u32,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl ErrorBudget {
+    /// Builds the budget.
+    pub fn new(cfg: ErrorBudgetConfig) -> Self {
+        ErrorBudget {
+            cfg,
+            errors: VecDeque::new(),
+            state: DegradationState::Healthy,
+            last_probe: 0,
+            consecutive_probe_successes: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current ladder position.
+    pub fn state(&self) -> DegradationState {
+        self.state
+    }
+
+    /// Times the budget has tripped.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Times the device recovered.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Errors currently inside the window.
+    pub fn errors_in_window(&self) -> usize {
+        self.errors.len()
+    }
+
+    fn expire(&mut self, now: u64) {
+        while let Some(&t) = self.errors.front() {
+            if now.saturating_sub(t) >= self.cfg.window_ops {
+                self.errors.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Records a (post-retry) operation failure at logical time `now`.
+    /// Returns `true` when this error trips the budget (Healthy →
+    /// Degraded transition).
+    pub fn record_error(&mut self, now: u64) -> bool {
+        self.expire(now);
+        self.errors.push_back(now);
+        if self.state == DegradationState::Healthy
+            && self.errors.len() > self.cfg.max_errors as usize
+        {
+            self.state = DegradationState::Degraded;
+            self.trips += 1;
+            self.last_probe = now;
+            self.consecutive_probe_successes = 0;
+            return true;
+        }
+        false
+    }
+
+    /// True when, at time `now`, a degraded tier should attempt a probe
+    /// operation against the device.
+    pub fn should_probe(&self, now: u64) -> bool {
+        self.state == DegradationState::Degraded
+            && now.saturating_sub(self.last_probe) >= self.cfg.probe_interval
+    }
+
+    /// Reports a probe's outcome. Returns `true` when this probe completes
+    /// recovery (Degraded → Healthy transition).
+    pub fn record_probe(&mut self, now: u64, ok: bool) -> bool {
+        if self.state != DegradationState::Degraded {
+            return false;
+        }
+        self.last_probe = now;
+        if ok {
+            self.consecutive_probe_successes += 1;
+            if self.consecutive_probe_successes >= self.cfg.recovery_probes {
+                self.state = DegradationState::Healthy;
+                self.errors.clear();
+                self.consecutive_probe_successes = 0;
+                self.recoveries += 1;
+                return true;
+            }
+        } else {
+            self.consecutive_probe_successes = 0;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ErrorBudgetConfig {
+        ErrorBudgetConfig {
+            window_ops: 100,
+            max_errors: 3,
+            probe_interval: 10,
+            recovery_probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_only_past_budget() {
+        let mut b = ErrorBudget::new(cfg());
+        assert!(!b.record_error(1));
+        assert!(!b.record_error(2));
+        assert!(!b.record_error(3));
+        assert_eq!(b.state(), DegradationState::Healthy);
+        assert!(b.record_error(4), "4th error in window must trip");
+        assert_eq!(b.state(), DegradationState::Degraded);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn window_expiry_forgives_old_errors() {
+        let mut b = ErrorBudget::new(cfg());
+        for t in 0..3 {
+            assert!(!b.record_error(t));
+        }
+        // 100 ops later the window is clean; three more errors fit.
+        for t in 200..203 {
+            assert!(!b.record_error(t), "expired errors must not count");
+        }
+        assert_eq!(b.errors_in_window(), 3);
+        assert_eq!(b.state(), DegradationState::Healthy);
+    }
+
+    #[test]
+    fn probe_cadence_and_recovery() {
+        let mut b = ErrorBudget::new(cfg());
+        for t in 0..4 {
+            b.record_error(t);
+        }
+        assert_eq!(b.state(), DegradationState::Degraded);
+        // Too soon to probe.
+        assert!(!b.should_probe(5));
+        assert!(b.should_probe(13), "probe_interval elapsed");
+        assert!(!b.record_probe(13, true), "one success is not recovery");
+        assert!(!b.should_probe(14), "interval restarts after a probe");
+        assert!(b.should_probe(23));
+        assert!(b.record_probe(23, true), "second success recovers");
+        assert_eq!(b.state(), DegradationState::Healthy);
+        assert_eq!(b.recoveries(), 1);
+        assert_eq!(b.errors_in_window(), 0, "recovery clears the window");
+    }
+
+    #[test]
+    fn failed_probe_resets_the_streak() {
+        let mut b = ErrorBudget::new(cfg());
+        for t in 0..4 {
+            b.record_error(t);
+        }
+        assert!(!b.record_probe(13, true));
+        assert!(!b.record_probe(23, false), "failure resets");
+        assert!(!b.record_probe(33, true));
+        assert_eq!(b.state(), DegradationState::Degraded);
+        assert!(b.record_probe(43, true), "needs a fresh streak of 2");
+        assert_eq!(b.state(), DegradationState::Healthy);
+    }
+
+    #[test]
+    fn no_double_trip_while_degraded() {
+        let mut b = ErrorBudget::new(cfg());
+        for t in 0..20 {
+            b.record_error(t);
+        }
+        assert_eq!(b.trips(), 1, "degraded state absorbs further errors");
+    }
+
+    #[test]
+    fn healthy_probe_reports_are_ignored() {
+        let mut b = ErrorBudget::new(cfg());
+        assert!(!b.record_probe(1, true));
+        assert_eq!(b.state(), DegradationState::Healthy);
+    }
+
+    #[test]
+    fn full_trip_recover_trip_cycle() {
+        let mut b = ErrorBudget::new(cfg());
+        for t in 0..4 {
+            b.record_error(t);
+        }
+        b.record_probe(20, true);
+        b.record_probe(30, true);
+        assert_eq!(b.state(), DegradationState::Healthy);
+        // Device fails again later: a second trip is counted.
+        for t in 1000..1004 {
+            b.record_error(t);
+        }
+        assert_eq!(b.state(), DegradationState::Degraded);
+        assert_eq!(b.trips(), 2);
+    }
+}

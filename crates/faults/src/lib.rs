@@ -1,0 +1,32 @@
+//! Deterministic fault injection for the storage tiers.
+//!
+//! The paper's §5.4 flash experiments assume a perfectly reliable device;
+//! production flash throws transient write failures, unreadable sectors,
+//! checksum mismatches, device-full conditions, and latency spikes. This
+//! crate provides the failure model the rest of the workspace builds on:
+//!
+//! - [`FaultPlan`] / [`FaultInjector`] — a seeded, schedule-driven decision
+//!   source: "does operation #n of this class fault, and how?". Fully
+//!   deterministic from the seed, so every torture run is replayable.
+//! - [`Backoff`] — bounded decorrelated-jitter retry backoff (the AWS
+//!   architecture-blog variant), in simulated time units.
+//! - [`ErrorBudget`] — the degradation ladder's trip wire: a sliding-window
+//!   error counter that trips to [`DegradationState::Degraded`], probes the
+//!   device while degraded, and recovers after a run of successful probes.
+//!
+//! The flash cache composes these: transient faults are retried with
+//! [`Backoff`]; repeated failures trip the [`ErrorBudget`] and the cache
+//! falls back to DRAM-only operation; recovery probes re-admit the flash
+//! tier. See `cache-flash` for the integration and `cache-concurrent` for
+//! the multi-threaded torture harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod plan;
+pub mod retry;
+
+pub use budget::{DegradationState, ErrorBudget, ErrorBudgetConfig};
+pub use plan::{DeviceFault, FaultInjector, FaultKind, FaultPlan, FaultStats, OpClass, Schedule};
+pub use retry::{Backoff, RetryPolicy};

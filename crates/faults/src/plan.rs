@@ -1,0 +1,437 @@
+//! Fault taxonomy, probability schedules, and the seeded injector.
+
+use cache_ds::SplitMix64;
+
+/// The kinds of fault a device can throw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A write fails but the device stays healthy; retrying may succeed.
+    TransientWrite,
+    /// A read fails (unreadable sector); the object is effectively lost.
+    ReadError,
+    /// The device reports no space even though accounting says otherwise
+    /// (e.g. garbage collection lagging behind).
+    DeviceFull,
+    /// A read returns data failing its checksum; the object must be
+    /// discarded.
+    Corruption,
+    /// The operation succeeds but takes far longer than usual.
+    LatencySpike,
+}
+
+impl FaultKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TransientWrite,
+        FaultKind::ReadError,
+        FaultKind::DeviceFull,
+        FaultKind::Corruption,
+        FaultKind::LatencySpike,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientWrite => "transient-write",
+            FaultKind::ReadError => "read-error",
+            FaultKind::DeviceFull => "device-full",
+            FaultKind::Corruption => "corruption",
+            FaultKind::LatencySpike => "latency-spike",
+        }
+    }
+}
+
+/// A fault as surfaced by a device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Whether a retry of the same operation can plausibly succeed.
+    pub retryable: bool,
+}
+
+impl DeviceFault {
+    /// Builds the fault for `kind` with its conventional retryability:
+    /// transient writes, device-full, and latency spikes are retryable;
+    /// read errors and corruption are not (the data is gone).
+    pub fn of(kind: FaultKind) -> Self {
+        let retryable = matches!(
+            kind,
+            FaultKind::TransientWrite | FaultKind::DeviceFull | FaultKind::LatencySpike
+        );
+        DeviceFault { kind, retryable }
+    }
+}
+
+impl std::fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind.label())
+    }
+}
+
+impl From<DeviceFault> for cache_types::CacheError {
+    fn from(fault: DeviceFault) -> Self {
+        match fault.kind {
+            FaultKind::Corruption => cache_types::CacheError::Corruption(fault.kind.label().into()),
+            _ => cache_types::CacheError::DeviceFailure(fault.kind.label().into()),
+        }
+    }
+}
+
+/// Which class of device operation is being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A read of a (supposedly) resident object.
+    Read,
+    /// A write/admission of an object.
+    Write,
+}
+
+/// A fault probability as a function of operation index.
+///
+/// All schedules are pure functions of the op index, so a `(seed, plan)`
+/// pair fully determines every injection decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Constant probability.
+    Constant(f64),
+    /// Linear ramp from `start` to `end` over the first `over_ops`
+    /// operations, then holding `end`.
+    Ramp {
+        /// Probability at op 0.
+        start: f64,
+        /// Probability from `over_ops` onward.
+        end: f64,
+        /// Ramp length in operations (must be > 0).
+        over_ops: u64,
+    },
+    /// Periodic bursts: probability `inside` for the first `burst_len` ops
+    /// of every `period`-op cycle, `outside` for the rest.
+    Burst {
+        /// Cycle length in operations (must be > 0).
+        period: u64,
+        /// Burst length at the start of each cycle.
+        burst_len: u64,
+        /// Probability inside the burst.
+        inside: f64,
+        /// Probability outside the burst.
+        outside: f64,
+    },
+}
+
+impl Schedule {
+    /// Probability of a fault at operation `op`, clamped to `[0, 1]`.
+    pub fn probability(&self, op: u64) -> f64 {
+        let p = match *self {
+            Schedule::Constant(p) => p,
+            Schedule::Ramp {
+                start,
+                end,
+                over_ops,
+            } => {
+                if over_ops == 0 || op >= over_ops {
+                    end
+                } else {
+                    start + (end - start) * (op as f64 / over_ops as f64)
+                }
+            }
+            Schedule::Burst {
+                period,
+                burst_len,
+                inside,
+                outside,
+            } => {
+                if period == 0 || op % period.max(1) < burst_len {
+                    inside
+                } else {
+                    outside
+                }
+            }
+        };
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// A seeded description of which faults a device throws and when.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG.
+    pub seed: u64,
+    /// Per-kind probability schedules. Kinds not listed never fire.
+    pub schedules: Vec<(FaultKind, Schedule)>,
+    /// Simulated latency units added by one latency spike.
+    pub spike_latency: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never faults.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            schedules: Vec::new(),
+            spike_latency: 0,
+        }
+    }
+
+    /// An empty plan with the given seed; add schedules with
+    /// [`FaultPlan::with`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            schedules: Vec::new(),
+            spike_latency: 100,
+        }
+    }
+
+    /// Adds a schedule for `kind`.
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind, schedule: Schedule) -> Self {
+        self.schedules.push((kind, schedule));
+        self
+    }
+
+    /// Convenience: constant-rate transient write failures.
+    #[must_use]
+    pub fn with_transient_writes(self, p: f64) -> Self {
+        self.with(FaultKind::TransientWrite, Schedule::Constant(p))
+    }
+
+    /// Convenience: constant-rate read errors.
+    #[must_use]
+    pub fn with_read_errors(self, p: f64) -> Self {
+        self.with(FaultKind::ReadError, Schedule::Constant(p))
+    }
+
+    /// Convenience: constant-rate corruption.
+    #[must_use]
+    pub fn with_corruption(self, p: f64) -> Self {
+        self.with(FaultKind::Corruption, Schedule::Constant(p))
+    }
+
+    /// True when no schedule can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.schedules.is_empty()
+    }
+}
+
+/// Counters of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient write failures injected.
+    pub transient_writes: u64,
+    /// Read errors injected.
+    pub read_errors: u64,
+    /// Device-full conditions injected.
+    pub device_full: u64,
+    /// Corruptions injected.
+    pub corruptions: u64,
+    /// Latency spikes injected.
+    pub latency_spikes: u64,
+    /// Total simulated latency units added by spikes.
+    pub spike_latency_units: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults (spikes included).
+    pub fn total(&self) -> u64 {
+        self.transient_writes
+            + self.read_errors
+            + self.device_full
+            + self.corruptions
+            + self.latency_spikes
+    }
+
+    fn record(&mut self, kind: FaultKind, spike_latency: u64) {
+        match kind {
+            FaultKind::TransientWrite => self.transient_writes += 1,
+            FaultKind::ReadError => self.read_errors += 1,
+            FaultKind::DeviceFull => self.device_full += 1,
+            FaultKind::Corruption => self.corruptions += 1,
+            FaultKind::LatencySpike => {
+                self.latency_spikes += 1;
+                self.spike_latency_units += spike_latency;
+            }
+        }
+    }
+}
+
+/// The seeded decision source: evaluates a [`FaultPlan`] operation by
+/// operation.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    op: u64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed ^ 0xFA_0175);
+        FaultInjector {
+            plan,
+            rng,
+            op: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector that never faults.
+    pub fn disabled() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// Decides whether the next operation of class `class` faults.
+    ///
+    /// Schedules are evaluated in plan order; the first that fires wins, so
+    /// at most one fault is injected per operation. [`FaultKind::LatencySpike`]
+    /// applies to both classes; write-side kinds only to writes, read-side
+    /// kinds only to reads.
+    pub fn next_fault(&mut self, class: OpClass) -> Option<DeviceFault> {
+        let op = self.op;
+        self.op += 1;
+        if self.plan.schedules.is_empty() {
+            return None;
+        }
+        for i in 0..self.plan.schedules.len() {
+            let (kind, schedule) = self.plan.schedules[i];
+            let applies = match kind {
+                FaultKind::TransientWrite | FaultKind::DeviceFull => class == OpClass::Write,
+                FaultKind::ReadError | FaultKind::Corruption => class == OpClass::Read,
+                FaultKind::LatencySpike => true,
+            };
+            if !applies {
+                continue;
+            }
+            // One RNG draw per applicable schedule keeps the stream aligned
+            // with the schedule list regardless of which kinds fire.
+            let draw = self.rng.next_f64();
+            if draw < schedule.probability(op) {
+                self.stats.record(kind, self.plan.spike_latency);
+                return Some(DeviceFault::of(kind));
+            }
+        }
+        None
+    }
+
+    /// Operations decided so far.
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// Counters of injected faults.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Simulated latency units added by one spike under this plan.
+    pub fn spike_latency(&self) -> u64 {
+        self.plan.spike_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_rate_is_respected() {
+        let plan = FaultPlan::new(7).with_transient_writes(0.1);
+        let mut inj = FaultInjector::new(plan);
+        let n = 100_000;
+        let faults = (0..n)
+            .filter(|_| inj.next_fault(OpClass::Write).is_some())
+            .count();
+        let rate = faults as f64 / n as f64;
+        assert!((0.08..0.12).contains(&rate), "rate {rate}");
+        assert_eq!(inj.stats().transient_writes, faults as u64);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let plan = FaultPlan::new(42)
+            .with_transient_writes(0.05)
+            .with_read_errors(0.02);
+        let run = |mut inj: FaultInjector| -> Vec<Option<DeviceFault>> {
+            (0..1000)
+                .map(|i| {
+                    inj.next_fault(if i % 2 == 0 {
+                        OpClass::Write
+                    } else {
+                        OpClass::Read
+                    })
+                })
+                .collect()
+        };
+        let a = run(FaultInjector::new(plan.clone()));
+        let b = run(FaultInjector::new(plan));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kinds_respect_op_class() {
+        let plan = FaultPlan::new(3)
+            .with(FaultKind::TransientWrite, Schedule::Constant(1.0))
+            .with(FaultKind::ReadError, Schedule::Constant(1.0));
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..100 {
+            let w = inj.next_fault(OpClass::Write).expect("write always faults");
+            assert_eq!(w.kind, FaultKind::TransientWrite);
+            let r = inj.next_fault(OpClass::Read).expect("read always faults");
+            assert_eq!(r.kind, FaultKind::ReadError);
+        }
+    }
+
+    #[test]
+    fn ramp_schedule_increases() {
+        let s = Schedule::Ramp {
+            start: 0.0,
+            end: 1.0,
+            over_ops: 100,
+        };
+        assert_eq!(s.probability(0), 0.0);
+        assert!((s.probability(50) - 0.5).abs() < 1e-12);
+        assert_eq!(s.probability(100), 1.0);
+        assert_eq!(s.probability(10_000), 1.0);
+    }
+
+    #[test]
+    fn burst_schedule_alternates() {
+        let s = Schedule::Burst {
+            period: 10,
+            burst_len: 2,
+            inside: 1.0,
+            outside: 0.0,
+        };
+        assert_eq!(s.probability(0), 1.0);
+        assert_eq!(s.probability(1), 1.0);
+        assert_eq!(s.probability(2), 0.0);
+        assert_eq!(s.probability(10), 1.0);
+        assert_eq!(s.probability(19), 0.0);
+    }
+
+    #[test]
+    fn probabilities_clamp() {
+        assert_eq!(Schedule::Constant(7.0).probability(0), 1.0);
+        assert_eq!(Schedule::Constant(-3.0).probability(0), 0.0);
+    }
+
+    #[test]
+    fn noop_plan_never_fires() {
+        let mut inj = FaultInjector::disabled();
+        assert!(inj.next_fault(OpClass::Write).is_none());
+        assert!(inj.next_fault(OpClass::Read).is_none());
+        assert_eq!(inj.stats().total(), 0);
+        assert!(FaultPlan::none().is_noop());
+    }
+
+    #[test]
+    fn retryability_convention() {
+        assert!(DeviceFault::of(FaultKind::TransientWrite).retryable);
+        assert!(DeviceFault::of(FaultKind::DeviceFull).retryable);
+        assert!(DeviceFault::of(FaultKind::LatencySpike).retryable);
+        assert!(!DeviceFault::of(FaultKind::ReadError).retryable);
+        assert!(!DeviceFault::of(FaultKind::Corruption).retryable);
+    }
+}

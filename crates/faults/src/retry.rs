@@ -1,0 +1,176 @@
+//! Bounded retries with decorrelated-jitter backoff.
+//!
+//! Delays are *simulated* time units (the simulator measures logical time,
+//! §6.1), so retry behavior is deterministic and unit-testable; a real
+//! deployment would map a unit onto microseconds.
+
+use cache_ds::SplitMix64;
+
+/// How a fallible device operation is retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail immediately).
+    pub max_retries: u32,
+    /// Base backoff delay in simulated units.
+    pub base_delay: u64,
+    /// Upper bound on a single backoff delay.
+    pub max_delay: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: 10,
+            max_delay: 1000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Decorrelated-jitter backoff: each delay is drawn uniformly from
+/// `[base, prev * 3)` and capped at `max` — the "decorrelated jitter"
+/// variant recommended by the AWS architecture blog, which spreads retry
+/// storms better than plain exponential backoff.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    rng: SplitMix64,
+    prev: u64,
+    attempts: u32,
+}
+
+impl Backoff {
+    /// Starts a backoff sequence for one logical operation.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        Backoff {
+            policy,
+            rng: SplitMix64::new(seed ^ 0xBAC0FF),
+            prev: policy.base_delay,
+            attempts: 0,
+        }
+    }
+
+    /// Returns the next delay, or `None` once retries are exhausted.
+    pub fn next_delay(&mut self) -> Option<u64> {
+        if self.attempts >= self.policy.max_retries {
+            return None;
+        }
+        self.attempts += 1;
+        let base = self.policy.base_delay.max(1);
+        let upper = self.prev.saturating_mul(3).max(base + 1);
+        let delay = (base + self.rng.next_below(upper - base)).min(self.policy.max_delay);
+        self.prev = delay.max(base);
+        Some(delay)
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Resets the sequence for a fresh operation (keeps the RNG stream).
+    pub fn reset(&mut self) {
+        self.prev = self.policy.base_delay;
+        self.attempts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_max_retries() {
+        let mut b = Backoff::new(
+            RetryPolicy {
+                max_retries: 3,
+                base_delay: 10,
+                max_delay: 1000,
+            },
+            1,
+        );
+        let mut n = 0;
+        while b.next_delay().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert_eq!(b.attempts(), 3);
+        assert!(b.next_delay().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn delays_bounded_by_policy() {
+        let policy = RetryPolicy {
+            max_retries: 100,
+            base_delay: 10,
+            max_delay: 250,
+        };
+        let mut b = Backoff::new(policy, 99);
+        while let Some(d) = b.next_delay() {
+            assert!((10..=250).contains(&d), "delay {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_with_seed() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_delay: 10,
+            max_delay: 100_000,
+        };
+        let collect = |seed| {
+            let mut b = Backoff::new(policy, seed);
+            std::iter::from_fn(|| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_ne!(collect(1), collect(2), "different seeds, different jitter");
+        assert_eq!(collect(1), collect(1), "same seed, same schedule");
+    }
+
+    #[test]
+    fn no_retries_policy_fails_immediately() {
+        let mut b = Backoff::new(RetryPolicy::no_retries(), 5);
+        assert!(b.next_delay().is_none());
+    }
+
+    #[test]
+    fn reset_restarts_the_sequence() {
+        let policy = RetryPolicy::default();
+        let mut b = Backoff::new(policy, 3);
+        while b.next_delay().is_some() {}
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay().is_some());
+    }
+
+    #[test]
+    fn delays_grow_from_base_on_average() {
+        // Decorrelated jitter should trend upward from the base delay.
+        let policy = RetryPolicy {
+            max_retries: 6,
+            base_delay: 10,
+            max_delay: 1_000_000,
+        };
+        let mut sum_first = 0u64;
+        let mut sum_last = 0u64;
+        for seed in 0..200 {
+            let mut b = Backoff::new(policy, seed);
+            let ds: Vec<u64> = std::iter::from_fn(|| b.next_delay()).collect();
+            sum_first += ds[0];
+            sum_last += ds[ds.len() - 1];
+        }
+        assert!(
+            sum_last > sum_first,
+            "later delays should exceed the first on average ({sum_last} vs {sum_first})"
+        );
+    }
+}

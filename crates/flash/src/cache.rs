@@ -1,8 +1,26 @@
-//! The two-tier DRAM + flash cache orchestrator (Fig. 9's experiment).
+//! The two-tier DRAM + flash cache orchestrator (Fig. 9's experiment),
+//! generic over the flash device so the same pipeline runs against a
+//! perfect device or one wrapped in fault injection.
+//!
+//! Failure handling (the "degradation ladder", see DESIGN.md):
+//!
+//! 1. **Retry** — retryable device faults (transient write, device-full)
+//!    are retried with bounded decorrelated-jitter backoff.
+//! 2. **Degrade** — post-retry failures feed a sliding-window
+//!    [`ErrorBudget`]; when it trips, the cache stops touching the device
+//!    and serves from DRAM only.
+//! 3. **Probe & recover** — while degraded, every `probe_interval` ops one
+//!    request is attempted against the device as a canary; a run of
+//!    successful probes re-admits the flash tier.
 
 use crate::admission::{AdmissionKind, AdmissionPolicy, Features};
+use crate::device::{FaultyDevice, FlashDevice};
 use crate::tier::{FlashEviction, FlashTier};
-use cache_ds::IdMap;
+use cache_ds::{IdMap, SplitMix64};
+use cache_faults::{
+    Backoff, DegradationState, DeviceFault, ErrorBudget, ErrorBudgetConfig, FaultPlan, FaultStats,
+    RetryPolicy,
+};
 use cache_policies::{Fifo, Lru};
 use cache_types::{CacheError, Eviction, Op, Policy, Request};
 
@@ -17,7 +35,16 @@ pub struct FlashCacheConfig {
     pub admission: AdmissionKind,
 }
 
-/// Fig. 9's two metrics plus supporting counters.
+/// How the cache responds to device faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResilienceConfig {
+    /// Retry/backoff policy for retryable device faults.
+    pub retry: RetryPolicy,
+    /// Error budget governing the degrade/probe/recover ladder.
+    pub budget: ErrorBudgetConfig,
+}
+
+/// Fig. 9's two metrics plus supporting and fault counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FlashStats {
     /// Read requests.
@@ -34,6 +61,22 @@ pub struct FlashStats {
     pub request_bytes: u64,
     /// Bytes missed.
     pub miss_bytes: u64,
+    /// Device operations retried after a retryable fault.
+    pub retries: u64,
+    /// Simulated latency units spent in retry backoff.
+    pub retry_latency_units: u64,
+    /// Reads that failed after exhausting retries (corruption included).
+    pub device_read_errors: u64,
+    /// Writes that failed after exhausting retries.
+    pub device_write_errors: u64,
+    /// Objects discarded because a read failed its checksum.
+    pub corruptions: u64,
+    /// Requests processed while the flash tier was bypassed (degraded).
+    pub degraded_ops: u64,
+    /// Times the error budget tripped (flash taken offline).
+    pub budget_trips: u64,
+    /// Times the device recovered (flash re-admitted).
+    pub budget_recoveries: u64,
 }
 
 impl FlashStats {
@@ -55,14 +98,19 @@ impl FlashStats {
             self.flash_write_bytes as f64 / unique_bytes as f64
         }
     }
+
+    /// Post-retry device failures, both directions.
+    pub fn device_errors(&self) -> u64 {
+        self.device_read_errors + self.device_write_errors
+    }
 }
 
 /// The DRAM tier + admission + flash tier pipeline.
-pub struct FlashCache {
+pub struct FlashCache<D: FlashDevice = FlashTier> {
     /// DRAM tier; `None` for the write-all scheme (which bypasses DRAM).
     dram: Option<Box<dyn Policy>>,
     admission: AdmissionPolicy,
-    flash: FlashTier,
+    flash: D,
     /// Ghost of rejected objects (S3-FIFO's G; also Flashield's feedback
     /// window), holding the features observed at rejection time.
     rejected: IdMap<(Features, u64)>,
@@ -77,29 +125,76 @@ pub struct FlashCache {
     flash_scratch: Vec<FlashEviction>,
     now: u64,
     dram_bytes: u64,
+    resilience: ResilienceConfig,
+    budget: ErrorBudget,
+    /// Seeds per-operation backoff jitter; deterministic per op sequence.
+    backoff_rng: SplitMix64,
+    /// First fault seen while serving the current request.
+    pending_fault: Option<CacheError>,
 }
 
-impl FlashCache {
-    /// Builds the two-tier cache.
+fn tier_sizes(cfg: &FlashCacheConfig) -> Result<(u64, u64), CacheError> {
+    if cfg.total_bytes == 0 {
+        return Err(CacheError::InvalidCapacity(
+            "total_bytes must be > 0".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&cfg.dram_fraction) {
+        return Err(CacheError::InvalidParameter(format!(
+            "dram_fraction must be in [0,1), got {}",
+            cfg.dram_fraction
+        )));
+    }
+    let dram_bytes = ((cfg.total_bytes as f64 * cfg.dram_fraction).round() as u64).max(1);
+    let flash_bytes = cfg.total_bytes.saturating_sub(dram_bytes).max(1);
+    Ok((dram_bytes, flash_bytes))
+}
+
+impl FlashCache<FlashTier> {
+    /// Builds the two-tier cache over a perfect device.
     ///
     /// # Errors
     ///
     /// Returns [`CacheError`] when sizes are degenerate (zero DRAM for a
     /// scheme that needs one, zero flash).
     pub fn new(cfg: FlashCacheConfig) -> Result<Self, CacheError> {
-        if cfg.total_bytes == 0 {
-            return Err(CacheError::InvalidCapacity(
-                "total_bytes must be > 0".into(),
-            ));
-        }
-        if !(0.0..1.0).contains(&cfg.dram_fraction) {
-            return Err(CacheError::InvalidParameter(format!(
-                "dram_fraction must be in [0,1), got {}",
-                cfg.dram_fraction
-            )));
-        }
-        let dram_bytes = ((cfg.total_bytes as f64 * cfg.dram_fraction).round() as u64).max(1);
-        let flash_bytes = cfg.total_bytes.saturating_sub(dram_bytes).max(1);
+        let (_, flash_bytes) = tier_sizes(&cfg)?;
+        // Invariant: tier_sizes clamps flash_bytes >= 1, so FlashTier::new
+        // cannot panic.
+        FlashCache::with_device(cfg, FlashTier::new(flash_bytes), ResilienceConfig::default())
+    }
+}
+
+impl FlashCache<FaultyDevice<FlashTier>> {
+    /// Builds the cache over a FIFO device wrapped in fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FlashCache::new`].
+    pub fn faulty(
+        cfg: FlashCacheConfig,
+        plan: FaultPlan,
+        resilience: ResilienceConfig,
+    ) -> Result<Self, CacheError> {
+        let (_, flash_bytes) = tier_sizes(&cfg)?;
+        FlashCache::with_device(cfg, FaultyDevice::new(flash_bytes, plan), resilience)
+    }
+}
+
+impl<D: FlashDevice> FlashCache<D> {
+    /// Builds the cache over an arbitrary device (the device supplies its
+    /// own capacity; `cfg` sizes the DRAM tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] on degenerate configuration.
+    pub fn with_device(
+        cfg: FlashCacheConfig,
+        device: D,
+        resilience: ResilienceConfig,
+    ) -> Result<Self, CacheError> {
+        let (dram_bytes, _) = tier_sizes(&cfg)?;
+        let flash_bytes = device.capacity();
         let dram: Option<Box<dyn Policy>> = match cfg.admission {
             AdmissionKind::WriteAll => None,
             // The S3-FIFO scheme's DRAM *is* the small FIFO queue.
@@ -110,7 +205,7 @@ impl FlashCache {
         Ok(FlashCache {
             dram,
             admission: AdmissionPolicy::new(cfg.admission, dram_bytes as usize),
-            flash: FlashTier::new(flash_bytes),
+            flash: device,
             rejected: IdMap::default(),
             admitted: IdMap::default(),
             ghost_entries: (flash_bytes / 1024).clamp(1024, 1 << 20) as usize,
@@ -120,6 +215,10 @@ impl FlashCache {
             flash_scratch: Vec::new(),
             now: 0,
             dram_bytes,
+            resilience,
+            budget: ErrorBudget::new(resilience.budget),
+            backoff_rng: SplitMix64::new(0xF1A5_CACE),
+            pending_fault: None,
         })
     }
 
@@ -133,6 +232,142 @@ impl FlashCache {
         let mut s = self.stats;
         s.flash_write_bytes = self.flash.write_bytes();
         s
+    }
+
+    /// Where the flash tier sits on the degradation ladder.
+    pub fn degradation(&self) -> DegradationState {
+        self.budget.state()
+    }
+
+    /// Counters of faults the device injected (all-zero for perfect
+    /// devices).
+    pub fn device_fault_stats(&self) -> FaultStats {
+        self.flash.fault_stats()
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &D {
+        &self.flash
+    }
+
+    /// Runs the device's exhaustive byte-accounting self-check.
+    pub fn verify_accounting(&self) -> bool {
+        self.flash.verify_accounting()
+    }
+
+    fn note_fault(&mut self, e: CacheError) {
+        if self.pending_fault.is_none() {
+            self.pending_fault = Some(e);
+        }
+    }
+
+    /// Feeds a post-retry failure to the error budget; notes the trip.
+    fn record_device_error(&mut self, fault: DeviceFault) {
+        if fault.kind == cache_faults::FaultKind::Corruption {
+            self.stats.corruptions += 1;
+        }
+        if self.budget.record_error(self.now) {
+            self.stats.budget_trips += 1;
+            self.note_fault(CacheError::Degraded(format!(
+                "error budget tripped at op {} ({})",
+                self.now,
+                fault.kind.label()
+            )));
+        } else {
+            self.note_fault(fault.into());
+        }
+    }
+
+    /// True when this op may touch the device: always while healthy, only
+    /// on probe ticks while degraded.
+    fn device_available(&mut self) -> bool {
+        match self.budget.state() {
+            DegradationState::Healthy => true,
+            DegradationState::Degraded => self.budget.should_probe(self.now),
+        }
+    }
+
+    /// Reports a device-op outcome to the budget when it was a probe.
+    fn after_device_op(&mut self, ok: bool) {
+        if self.budget.state() == DegradationState::Degraded
+            && self.budget.record_probe(self.now, ok)
+        {
+            self.stats.budget_recoveries += 1;
+        }
+    }
+
+    /// A flash read with the full ladder applied.
+    fn flash_read(&mut self, id: u64) -> bool {
+        if !self.flash.contains(id) {
+            return false;
+        }
+        if !self.device_available() {
+            self.stats.degraded_ops += 1;
+            return false;
+        }
+        // Read-side faults are non-retryable by convention (`DeviceFault::of`),
+        // but honor `retryable` so custom devices can opt in.
+        let mut backoff = Backoff::new(self.resilience.retry, self.backoff_rng.next_u64());
+        loop {
+            match self.flash.read(id) {
+                Ok(hit) => {
+                    self.after_device_op(true);
+                    return hit;
+                }
+                Err(f) if f.retryable => {
+                    if let Some(delay) = backoff.next_delay() {
+                        self.stats.retries += 1;
+                        self.stats.retry_latency_units += delay;
+                        continue;
+                    }
+                    self.stats.device_read_errors += 1;
+                    self.after_device_op(false);
+                    self.record_device_error(f);
+                    return false;
+                }
+                Err(f) => {
+                    self.stats.device_read_errors += 1;
+                    self.after_device_op(false);
+                    self.record_device_error(f);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// A flash write with the full ladder applied. Returns true when the
+    /// object landed on the device.
+    fn flash_write_op(&mut self, id: u64, size: u32) -> bool {
+        if !self.device_available() {
+            self.stats.degraded_ops += 1;
+            return false;
+        }
+        let mut backoff = Backoff::new(self.resilience.retry, self.backoff_rng.next_u64());
+        loop {
+            match self.flash.write(id, size, &mut self.flash_scratch) {
+                Ok(()) => {
+                    self.after_device_op(true);
+                    return true;
+                }
+                Err(f) if f.retryable => {
+                    if let Some(delay) = backoff.next_delay() {
+                        self.stats.retries += 1;
+                        self.stats.retry_latency_units += delay;
+                        continue;
+                    }
+                    self.stats.device_write_errors += 1;
+                    self.after_device_op(false);
+                    self.record_device_error(f);
+                    return false;
+                }
+                Err(f) => {
+                    self.stats.device_write_errors += 1;
+                    self.after_device_op(false);
+                    self.record_device_error(f);
+                    return false;
+                }
+            }
+        }
     }
 
     fn remember_rejection(&mut self, id: u64, features: Features) {
@@ -152,8 +387,9 @@ impl FlashCache {
 
     fn write_to_flash(&mut self, id: u64, size: u32, features: Features) {
         self.flash_scratch.clear();
-        self.flash.write(id, size, &mut self.flash_scratch);
-        self.admitted.insert(id, features);
+        if self.flash_write_op(id, size) {
+            self.admitted.insert(id, features);
+        }
         // End-of-life feedback for admitted objects.
         let evictions: Vec<FlashEviction> = self.flash_scratch.drain(..).collect();
         for ev in evictions {
@@ -178,7 +414,32 @@ impl FlashCache {
     }
 
     /// Processes one read request; returns true on a hit in either tier.
+    /// Device faults degrade to misses; use [`FlashCache::request_checked`]
+    /// to observe them.
     pub fn request(&mut self, id: u64, size: u32) -> bool {
+        // The checked path always fully serves the request (degradation is
+        // graceful); a fault report implies the result was a miss.
+        self.request_checked(id, size).unwrap_or(false)
+    }
+
+    /// Processes one read request, surfacing any device fault encountered
+    /// while serving it.
+    ///
+    /// The request is *always* fully served (cache state stays consistent;
+    /// a faulting flash tier just means a backend fetch).
+    ///
+    /// # Errors
+    ///
+    /// - [`CacheError::DeviceFailure`] — a device op failed after
+    ///   exhausting retries.
+    /// - [`CacheError::Corruption`] — a read failed its checksum; the
+    ///   object was discarded.
+    /// - [`CacheError::Degraded`] — this request's failure tripped the
+    ///   error budget; the cache is now DRAM-only until recovery.
+    ///
+    /// All three imply the request missed.
+    pub fn request_checked(&mut self, id: u64, size: u32) -> Result<bool, CacheError> {
+        self.pending_fault = None;
         self.now += 1;
         self.stats.requests += 1;
         self.stats.request_bytes += u64::from(size);
@@ -189,13 +450,13 @@ impl FlashCache {
                 let req = Request::get_sized(id, size, self.now);
                 dram.request(&req, &mut self.scratch);
                 self.stats.dram_hits += 1;
-                return true;
+                return Ok(true);
             }
         }
         // Then flash.
-        if self.flash.read(id) {
+        if self.flash_read(id) {
             self.stats.flash_hits += 1;
-            return true;
+            return Ok(true);
         }
         // Miss: fetch from the backend.
         self.stats.misses += 1;
@@ -206,15 +467,27 @@ impl FlashCache {
             // admission ("only objects requested in S and G are written").
             self.admission.feedback(features, false, true);
             if matches!(self.admission, AdmissionPolicy::SmallFifo) {
-                self.write_to_flash(id, size, features);
-                return false;
+                self.flash_scratch.clear();
+                if self.flash_write_op(id, size) {
+                    self.admitted.insert(id, features);
+                }
+                let evictions: Vec<FlashEviction> = self.flash_scratch.drain(..).collect();
+                for ev in evictions {
+                    if let Some(feat) = self.admitted.remove(&ev.id) {
+                        self.admission.feedback(feat, true, ev.hits > 0);
+                    }
+                }
+                return match self.pending_fault.take() {
+                    Some(e) => Err(e),
+                    None => Ok(false),
+                };
             }
         }
         match self.dram.as_mut() {
             None => {
                 // Write-all: straight to flash.
                 self.flash_scratch.clear();
-                self.flash.write(id, size, &mut self.flash_scratch);
+                self.flash_write_op(id, size);
             }
             Some(dram) => {
                 self.scratch.clear();
@@ -226,10 +499,14 @@ impl FlashCache {
                 }
             }
         }
-        false
+        match self.pending_fault.take() {
+            Some(e) => Err(e),
+            None => Ok(false),
+        }
     }
 
     /// Replays a full trace (read requests only), returning the stats.
+    /// Device faults are absorbed (counted in the stats), never panics.
     pub fn run(&mut self, reqs: &[Request]) -> FlashStats {
         for r in reqs {
             if r.op == Op::Get {
@@ -243,6 +520,7 @@ impl FlashCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cache_faults::{FaultKind, Schedule};
     use cache_trace::gen::{SizeModel, WorkloadSpec};
 
     fn cdn_trace(seed: u64) -> cache_trace::Trace {
@@ -355,5 +633,132 @@ mod tests {
         s.flash_write_bytes = 500;
         assert!((s.normalized_write_bytes(1000) - 0.5).abs() < 1e-12);
         assert_eq!(s.normalized_write_bytes(0), 0.0);
+    }
+
+    fn faulty_cfg(trace: &cache_trace::Trace) -> FlashCacheConfig {
+        FlashCacheConfig {
+            total_bytes: trace.footprint_bytes() / 10,
+            dram_fraction: 0.01,
+            admission: AdmissionKind::SmallFifoTwoAccess,
+        }
+    }
+
+    #[test]
+    fn perfect_plan_matches_perfect_device() {
+        let trace = cdn_trace(6);
+        let base = run(AdmissionKind::SmallFifoTwoAccess, 0.01, &trace);
+        let mut c = FlashCache::faulty(
+            faulty_cfg(&trace),
+            FaultPlan::none(),
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let s = c.run(&trace.requests);
+        assert_eq!(s.misses, base.misses);
+        assert_eq!(s.flash_write_bytes, base.flash_write_bytes);
+        assert_eq!(s.device_errors(), 0);
+        assert_eq!(s.budget_trips, 0);
+    }
+
+    #[test]
+    fn retries_absorb_sparse_transient_faults() {
+        let trace = cdn_trace(7);
+        let base = run(AdmissionKind::SmallFifoTwoAccess, 0.01, &trace);
+        let mut c = FlashCache::faulty(
+            faulty_cfg(&trace),
+            FaultPlan::new(11).with_transient_writes(0.01),
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let s = c.run(&trace.requests);
+        assert!(s.retries > 0, "1% faults must trigger retries");
+        assert_eq!(s.budget_trips, 0, "default budget absorbs 1% transients");
+        assert!(
+            (s.miss_ratio() - base.miss_ratio()).abs() < 0.02,
+            "faulty MR {:.4} vs clean {:.4}",
+            s.miss_ratio(),
+            base.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn persistent_faults_trip_budget_then_recover() {
+        let trace = cdn_trace(8);
+        // Writes always fail for the first 60 *device* ops, then are clean.
+        // The burst is short because a degraded cache only touches the
+        // device once per probe interval — probes are what traverse it.
+        let plan = FaultPlan::new(13).with(
+            FaultKind::TransientWrite,
+            Schedule::Burst {
+                period: u64::MAX,
+                burst_len: 60,
+                inside: 1.0,
+                outside: 0.0,
+            },
+        );
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy::no_retries(),
+            budget: ErrorBudgetConfig {
+                window_ops: 500,
+                max_errors: 5,
+                probe_interval: 200,
+                recovery_probes: 2,
+            },
+        };
+        let mut c = FlashCache::faulty(faulty_cfg(&trace), plan, resilience).unwrap();
+        let s = c.run(&trace.requests);
+        assert!(s.budget_trips >= 1, "dead device must trip the budget");
+        assert!(s.degraded_ops > 0, "degraded mode must have engaged");
+        assert!(
+            s.budget_recoveries >= 1,
+            "device heals after the burst; probes must recover it"
+        );
+        assert_eq!(c.degradation(), DegradationState::Healthy);
+        assert!(s.flash_hits > 0, "flash serves hits after recovery");
+    }
+
+    #[test]
+    fn corruption_discards_and_is_counted() {
+        let trace = cdn_trace(9);
+        let mut c = FlashCache::faulty(
+            faulty_cfg(&trace),
+            FaultPlan::new(17).with_corruption(0.05),
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let s = c.run(&trace.requests);
+        assert!(s.corruptions > 0);
+        assert_eq!(s.corruptions, c.device_fault_stats().corruptions);
+    }
+
+    #[test]
+    fn request_checked_surfaces_fault_variants() {
+        let cfg = FlashCacheConfig {
+            total_bytes: 100_000,
+            dram_fraction: 0.01,
+            admission: AdmissionKind::WriteAll,
+        };
+        let mut c = FlashCache::faulty(
+            cfg,
+            FaultPlan::new(19).with_transient_writes(1.0),
+            ResilienceConfig {
+                retry: RetryPolicy::no_retries(),
+                budget: ErrorBudgetConfig::default(),
+            },
+        )
+        .unwrap();
+        let mut saw_failure = false;
+        let mut saw_degraded = false;
+        for id in 0..100u64 {
+            match c.request_checked(id, 100) {
+                Ok(_) => {}
+                Err(CacheError::DeviceFailure(_)) => saw_failure = true,
+                Err(CacheError::Degraded(_)) => saw_degraded = true,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_failure, "write-all against a dead device must report");
+        assert!(saw_degraded, "budget trip must surface Degraded once");
+        assert_eq!(c.degradation(), DegradationState::Degraded);
     }
 }

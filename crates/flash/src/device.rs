@@ -1,0 +1,327 @@
+//! The device abstraction separating cache logic from device reliability.
+//!
+//! [`FlashCache`](crate::cache::FlashCache) is generic over a
+//! [`FlashDevice`], so the same orchestrator, admission policies, and stats
+//! run unchanged against the perfect in-memory model ([`FlashTier`]) or a
+//! device wrapped in deterministic fault injection ([`FaultyDevice`]).
+
+use crate::tier::{FlashEviction, FlashTier};
+use cache_faults::{DeviceFault, FaultInjector, FaultKind, FaultPlan, FaultStats, OpClass};
+use cache_types::ObjId;
+
+/// A flash device as the cache sees it: a byte-capacity object store with
+/// FIFO eviction, whose operations can fail.
+///
+/// [`FlashTier`] implements this infallibly; [`FaultyDevice`] wraps any
+/// implementation and injects faults from a seeded [`FaultPlan`].
+pub trait FlashDevice {
+    /// True when `id` is resident. Residency checks are metadata-only and
+    /// never fault.
+    fn contains(&self, id: ObjId) -> bool;
+
+    /// Reads a resident object, recording a hit. `Ok(false)` when the
+    /// object is not resident; `Err` when the device failed the read (the
+    /// object may have been discarded, e.g. on corruption).
+    fn read(&mut self, id: ObjId) -> Result<bool, DeviceFault>;
+
+    /// Writes `id`, evicting in FIFO order to make room; evictions are
+    /// appended to `evicted`. `Err` when the device rejected the write.
+    fn write(
+        &mut self,
+        id: ObjId,
+        size: u32,
+        evicted: &mut Vec<FlashEviction>,
+    ) -> Result<(), DeviceFault>;
+
+    /// Drops `id` (corruption discard / invalidation); returns its size.
+    fn remove(&mut self, id: ObjId) -> Option<u32>;
+
+    /// Total bytes ever written.
+    fn write_bytes(&self) -> u64;
+
+    /// Objects ever written.
+    fn writes(&self) -> u64;
+
+    /// Resident bytes.
+    fn used(&self) -> u64;
+
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Resident object count.
+    fn len(&self) -> usize;
+
+    /// True when nothing is resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters of faults the device has injected (zero for perfect
+    /// devices).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Exhaustive byte-accounting self-check; `true` by default for devices
+    /// with no stronger invariant to offer.
+    fn verify_accounting(&self) -> bool {
+        true
+    }
+}
+
+impl FlashDevice for FlashTier {
+    fn contains(&self, id: ObjId) -> bool {
+        FlashTier::contains(self, id)
+    }
+
+    fn read(&mut self, id: ObjId) -> Result<bool, DeviceFault> {
+        Ok(FlashTier::read(self, id))
+    }
+
+    fn write(
+        &mut self,
+        id: ObjId,
+        size: u32,
+        evicted: &mut Vec<FlashEviction>,
+    ) -> Result<(), DeviceFault> {
+        FlashTier::write(self, id, size, evicted);
+        Ok(())
+    }
+
+    fn remove(&mut self, id: ObjId) -> Option<u32> {
+        FlashTier::remove(self, id)
+    }
+
+    fn write_bytes(&self) -> u64 {
+        FlashTier::write_bytes(self)
+    }
+
+    fn writes(&self) -> u64 {
+        FlashTier::writes(self)
+    }
+
+    fn used(&self) -> u64 {
+        FlashTier::used(self)
+    }
+
+    fn capacity(&self) -> u64 {
+        FlashTier::capacity(self)
+    }
+
+    fn len(&self) -> usize {
+        FlashTier::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        FlashTier::is_empty(self)
+    }
+
+    fn verify_accounting(&self) -> bool {
+        FlashTier::verify_accounting(self)
+    }
+}
+
+/// A device wrapper injecting deterministic faults from a [`FaultPlan`].
+///
+/// Fault semantics per kind:
+///
+/// - `TransientWrite`, `DeviceFull`: the write is dropped and the error
+///   returned (retryable — a retry re-attempts the inner write).
+/// - `ReadError`: the read fails; the object stays resident (the sector
+///   might be readable later, but the cache treats the request as a miss).
+/// - `Corruption`: the read fails its checksum; the object is discarded
+///   from the device before the error is returned.
+/// - `LatencySpike`: the operation *succeeds* but simulated latency is
+///   accumulated in [`FaultyDevice::spike_latency_units`].
+#[derive(Debug)]
+pub struct FaultyDevice<D: FlashDevice = FlashTier> {
+    inner: D,
+    injector: FaultInjector,
+}
+
+impl FaultyDevice<FlashTier> {
+    /// A faulty FIFO tier of `capacity` bytes.
+    pub fn new(capacity: u64, plan: FaultPlan) -> Self {
+        FaultyDevice::wrap(FlashTier::new(capacity), plan)
+    }
+}
+
+impl<D: FlashDevice> FaultyDevice<D> {
+    /// Wraps an existing device in fault injection.
+    pub fn wrap(inner: D, plan: FaultPlan) -> Self {
+        FaultyDevice {
+            inner,
+            injector: FaultInjector::new(plan),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Total simulated latency units added by injected spikes.
+    pub fn spike_latency_units(&self) -> u64 {
+        self.injector.stats().spike_latency_units
+    }
+}
+
+impl<D: FlashDevice> FlashDevice for FaultyDevice<D> {
+    fn contains(&self, id: ObjId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn read(&mut self, id: ObjId) -> Result<bool, DeviceFault> {
+        // Faults only apply to actual device reads, not misses.
+        if !self.inner.contains(id) {
+            return Ok(false);
+        }
+        match self.injector.next_fault(OpClass::Read) {
+            None => self.inner.read(id),
+            Some(f) if f.kind == FaultKind::LatencySpike => self.inner.read(id),
+            Some(f) => {
+                if f.kind == FaultKind::Corruption {
+                    self.inner.remove(id);
+                }
+                Err(f)
+            }
+        }
+    }
+
+    fn write(
+        &mut self,
+        id: ObjId,
+        size: u32,
+        evicted: &mut Vec<FlashEviction>,
+    ) -> Result<(), DeviceFault> {
+        match self.injector.next_fault(OpClass::Write) {
+            None => self.inner.write(id, size, evicted),
+            Some(f) if f.kind == FaultKind::LatencySpike => self.inner.write(id, size, evicted),
+            Some(f) => Err(f),
+        }
+    }
+
+    fn remove(&mut self, id: ObjId) -> Option<u32> {
+        self.inner.remove(id)
+    }
+
+    fn write_bytes(&self) -> u64 {
+        self.inner.write_bytes()
+    }
+
+    fn writes(&self) -> u64 {
+        self.inner.writes()
+    }
+
+    fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    fn verify_accounting(&self) -> bool {
+        self.inner.verify_accounting()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_faults::Schedule;
+
+    #[test]
+    fn perfect_tier_never_faults() {
+        let mut d = FlashTier::new(100);
+        let mut evs = Vec::new();
+        assert!(FlashDevice::write(&mut d, 1, 10, &mut evs).is_ok());
+        assert_eq!(FlashDevice::read(&mut d, 1), Ok(true));
+        assert_eq!(d.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn transient_write_drops_the_write() {
+        let plan = FaultPlan::new(1).with_transient_writes(1.0);
+        let mut d = FaultyDevice::new(100, plan);
+        let mut evs = Vec::new();
+        let err = d.write(1, 10, &mut evs).expect_err("must fault");
+        assert_eq!(err.kind, FaultKind::TransientWrite);
+        assert!(err.retryable);
+        assert!(!d.contains(1));
+        assert_eq!(d.write_bytes(), 0);
+    }
+
+    #[test]
+    fn corruption_discards_the_object() {
+        let plan = FaultPlan::new(2).with_corruption(1.0);
+        let mut d = FaultyDevice::new(100, plan);
+        let mut evs = Vec::new();
+        d.write(1, 10, &mut evs).expect("writes are clean");
+        assert!(d.contains(1));
+        let err = d.read(1).expect_err("read must corrupt");
+        assert_eq!(err.kind, FaultKind::Corruption);
+        assert!(!d.contains(1), "corrupted object is discarded");
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn read_error_keeps_the_object() {
+        let plan = FaultPlan::new(3).with_read_errors(1.0);
+        let mut d = FaultyDevice::new(100, plan);
+        let mut evs = Vec::new();
+        d.write(1, 10, &mut evs).expect("writes are clean");
+        assert!(d.read(1).is_err());
+        assert!(d.contains(1), "read error does not discard");
+    }
+
+    #[test]
+    fn miss_consumes_no_fault_decision() {
+        let plan = FaultPlan::new(4).with_read_errors(1.0);
+        let mut d = FaultyDevice::new(100, plan);
+        assert_eq!(d.read(99), Ok(false), "miss cannot fault");
+        assert_eq!(d.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn latency_spike_succeeds_but_accumulates() {
+        let plan = FaultPlan::new(5).with(FaultKind::LatencySpike, Schedule::Constant(1.0));
+        let mut d = FaultyDevice::new(100, plan);
+        let mut evs = Vec::new();
+        d.write(1, 10, &mut evs).expect("spike is not a failure");
+        assert!(d.contains(1));
+        assert_eq!(d.read(1), Ok(true));
+        assert_eq!(d.fault_stats().latency_spikes, 2);
+        assert!(d.spike_latency_units() > 0);
+    }
+
+    #[test]
+    fn wrapped_device_is_deterministic() {
+        let mk = || {
+            FaultyDevice::new(
+                1000,
+                FaultPlan::new(9)
+                    .with_transient_writes(0.3)
+                    .with_read_errors(0.2),
+            )
+        };
+        let run = |mut d: FaultyDevice| {
+            let mut evs = Vec::new();
+            let mut log = Vec::new();
+            for i in 0..500u64 {
+                log.push(d.write(i, 10, &mut evs).is_ok());
+                log.push(d.read(i % 50).is_ok());
+            }
+            (log, d.fault_stats())
+        };
+        assert_eq!(run(mk()), run(mk()));
+    }
+}

@@ -10,19 +10,26 @@
 //!
 //! - [`tier::FlashTier`] — the flash device model: FIFO eviction (what
 //!   production flash caches use for sequential writes), write accounting.
+//! - [`device::FlashDevice`] — the fallible device abstraction;
+//!   [`device::FaultyDevice`] wraps any device in deterministic fault
+//!   injection (`cache-faults`).
 //! - [`admission`] — the §5.4 admission policies: write-all, probabilistic
 //!   (p = 0.2), Bloom-filter, Flashield-like online linear model, and the
 //!   S3-FIFO small-queue rule.
 //! - [`cache::FlashCache`] — the orchestrator that replays a trace through
-//!   DRAM tier + admission + flash tier and reports Fig. 9's two metrics.
+//!   DRAM tier + admission + flash tier and reports Fig. 9's two metrics;
+//!   generic over the device, with retry/backoff and an error-budget
+//!   degradation ladder (see DESIGN.md's "Failure model").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod cache;
+pub mod device;
 pub mod tier;
 
 pub use admission::{AdmissionKind, AdmissionPolicy};
-pub use cache::{FlashCache, FlashCacheConfig, FlashStats};
+pub use cache::{FlashCache, FlashCacheConfig, FlashStats, ResilienceConfig};
+pub use device::{FaultyDevice, FlashDevice};
 pub use tier::FlashTier;

@@ -97,6 +97,21 @@ impl FlashTier {
         self.writes += 1;
     }
 
+    /// Drops `id` from the tier (corruption discard, invalidation).
+    /// Returns the object's size, or `None` when not resident. O(n) in the
+    /// FIFO length; only used on rare corruption/invalidation paths.
+    pub fn remove(&mut self, id: ObjId) -> Option<u32> {
+        if !self.set.remove(&id) {
+            return None;
+        }
+        self.hits.remove(&id);
+        // Invariant: every id in `set` has exactly one slot in `fifo`.
+        let pos = self.fifo.iter().position(|&(fid, _)| fid == id)?;
+        let (_, size) = self.fifo.remove(pos)?;
+        self.used -= u64::from(size);
+        Some(size)
+    }
+
     /// Total bytes written to the device so far.
     pub fn write_bytes(&self) -> u64 {
         self.write_bytes
@@ -125,6 +140,23 @@ impl FlashTier {
     /// True when nothing is resident.
     pub fn is_empty(&self) -> bool {
         self.set.is_empty()
+    }
+
+    /// Exhaustive byte-accounting check (O(n)): every FIFO slot is in the
+    /// resident set, slot count matches set size, and `used` equals the sum
+    /// of resident sizes. Used by the torture harnesses.
+    pub fn verify_accounting(&self) -> bool {
+        if self.fifo.len() != self.set.len() {
+            return false;
+        }
+        let mut sum = 0u64;
+        for &(id, size) in &self.fifo {
+            if !self.set.contains(&id) {
+                return false;
+            }
+            sum += u64::from(size);
+        }
+        sum == self.used && self.used <= self.capacity
     }
 }
 
@@ -174,6 +206,22 @@ mod tests {
         f.write(1, 100, &mut evs);
         assert!(!f.contains(1));
         assert_eq!(f.write_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_keeps_accounting_exact() {
+        let mut f = FlashTier::new(100);
+        let mut evs = Vec::new();
+        f.write(1, 10, &mut evs);
+        f.write(2, 20, &mut evs);
+        assert_eq!(f.remove(1), Some(10));
+        assert!(!f.contains(1));
+        assert_eq!(f.used(), 20);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.remove(1), None);
+        // Re-writing the removed id with a different size stays exact.
+        f.write(1, 30, &mut evs);
+        assert_eq!(f.used(), 50);
     }
 
     #[test]

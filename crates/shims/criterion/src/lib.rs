@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use — groups,
+//! throughput annotation, `bench_function` / `bench_with_input`,
+//! `criterion_group!` / `criterion_main!` — over a simple
+//! warmup-then-measure timing loop. No statistics, plots, or saved
+//! baselines; each benchmark prints one line with ns/iter and derived
+//! throughput. Swap the path dependency for the real crate when a registry
+//! is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work performed per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+pub struct Bencher {
+    /// Total measured time of the last `iter` call.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    measure_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that fills the
+        // measurement window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let t = start.elapsed();
+            if t >= self.measure_time / 4 || n >= 1 << 30 {
+                // Scale up to roughly fill the window, then measure.
+                let target = self.measure_time.as_nanos().max(1);
+                let scale = (target / t.as_nanos().max(1)).clamp(1, 1 << 12);
+                let iters = n.saturating_mul(scale as u64).max(1);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    let extra = match throughput {
+        Some(Throughput::Elements(e)) => {
+            let per_sec = e as f64 * 1e9 / ns.max(1e-9);
+            format!("  ({:.2} Melem/s)", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(bytes)) => {
+            let per_sec = bytes as f64 * 1e9 / ns.max(1e-9);
+            format!("  ({:.2} MiB/s)", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{id:<40} {ns:>12.1} ns/iter{extra}");
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = self.criterion.bencher();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = self.criterion.bencher();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+    }
+
+    /// Finishes the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window: these are smoke benches in CI, not statistics.
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            measure_time: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            measure_time: self.measure_time,
+        }
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = self.bencher();
+        f(&mut b);
+        report(id, &b, None);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            measure_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41, |b, &i| {
+            b.iter(|| black_box(i + 1));
+        });
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

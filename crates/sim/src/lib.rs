@@ -7,8 +7,8 @@
 //! - [`demotion`] computes the quick-demotion *speed* and *precision*
 //!   metrics of §6.1 / Fig. 10 using an exact next-access oracle.
 //! - [`sweep`] fans (trace × algorithm × cache size) combinations across a
-//!   crossbeam worker pool and aggregates the paper's miss-ratio-reduction
-//!   percentiles (Figs. 6, 7, 11).
+//!   scoped-thread worker pool and aggregates the paper's
+//!   miss-ratio-reduction percentiles (Figs. 6, 7, 11).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -42,7 +42,7 @@ pub struct SweepSpec<'a> {
     pub threads: usize,
 }
 
-/// Runs the sweep on a crossbeam worker pool. Records for configurations
+/// Runs the sweep on a scoped worker pool. Records for configurations
 /// skipped by the `min_objects` rule are silently omitted, mirroring the
 /// paper's exclusions.
 ///
@@ -64,16 +64,17 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
     let results: std::sync::Mutex<Vec<SweepRecord>> = std::sync::Mutex::new(Vec::new());
     let first_error: std::sync::Mutex<Option<CacheError>> = std::sync::Mutex::new(None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(t, a)) = jobs.get(i) else { break };
                 let (dataset, trace) = &spec.traces[t];
                 let algo = &spec.algorithms[a];
                 match simulate_named(algo, trace, &spec.config) {
                     Ok(Some(r)) => {
-                        results.lock().expect("poisoned").push(SweepRecord {
+                        let mut guard = results.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.push(SweepRecord {
                             dataset: dataset.clone(),
                             trace: trace.name.clone(),
                             algorithm: algo.clone(),
@@ -85,19 +86,26 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
                     }
                     Ok(None) => {}
                     Err(e) => {
-                        first_error.lock().expect("poisoned").get_or_insert(e);
+                        first_error
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get_or_insert(e);
                         break;
                     }
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    if let Some(e) = first_error.into_inner().expect("poisoned") {
+    if let Some(e) = first_error
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
         return Err(e);
     }
-    let mut out = results.into_inner().expect("poisoned");
+    let mut out = results
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
     // Deterministic order regardless of worker interleaving.
     out.sort_by(|x, y| {
         (&x.dataset, &x.trace, &x.algorithm).cmp(&(&y.dataset, &y.trace, &y.algorithm))

@@ -49,53 +49,116 @@ pub fn write_csv<W: Write>(trace: &Trace, w: &mut W) -> Result<(), CacheError> {
     Ok(())
 }
 
-/// Reads a CSV trace; logical times are assigned by line order.
-///
-/// # Errors
-///
-/// Returns [`CacheError::TraceFormat`] on malformed lines and propagates
-/// I/O errors.
-pub fn read_csv<R: Read>(name: impl Into<String>, r: R) -> Result<Trace, CacheError> {
+/// Outcome of a lossy CSV read: the trace plus what was dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsvReadReport {
+    /// Malformed lines skipped.
+    pub skipped_lines: u64,
+    /// Line numbers (1-based) and reasons for the first few skips, for
+    /// diagnostics without unbounded memory on badly corrupted files.
+    pub first_skips: Vec<(u64, String)>,
+}
+
+/// How many skip diagnostics a [`CsvReadReport`] retains.
+const MAX_SKIP_DIAGNOSTICS: usize = 16;
+
+fn parse_csv_line(line: &str, lineno: usize) -> Result<Request, CacheError> {
+    let mut parts = line.split(',');
+    let id: u64 = parts
+        .next()
+        .ok_or_else(|| CacheError::TraceFormat(format!("line {}: missing id", lineno + 1)))?
+        .trim()
+        .parse()
+        .map_err(|e| CacheError::TraceFormat(format!("line {}: bad id: {e}", lineno + 1)))?;
+    let size: u32 = match parts.next() {
+        Some(s) => s.trim().parse().map_err(|e| {
+            CacheError::TraceFormat(format!("line {}: bad size: {e}", lineno + 1))
+        })?,
+        None => 1,
+    };
+    let op = match parts.next().map(str::trim) {
+        None | Some("get") | Some("") => Op::Get,
+        Some("set") => Op::Set,
+        Some("del") => Op::Delete,
+        Some(other) => {
+            return Err(CacheError::TraceFormat(format!(
+                "line {}: unknown op {other:?}",
+                lineno + 1
+            )))
+        }
+    };
+    Ok(Request {
+        id,
+        size,
+        time: 0,
+        op,
+    })
+}
+
+fn read_csv_inner<R: Read>(
+    name: impl Into<String>,
+    r: R,
+    skip_invalid: bool,
+) -> Result<(Trace, CsvReadReport), CacheError> {
     let reader = BufReader::new(r);
     let mut reqs = Vec::new();
+    let mut report = CsvReadReport::default();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        // Invalid UTF-8 is content damage (skippable in lossy mode; the
+        // reader resumes at the next line); real I/O errors never are.
+        let line = match line {
+            Ok(l) => l,
+            Err(e) if skip_invalid && e.kind() == std::io::ErrorKind::InvalidData => {
+                report.skipped_lines += 1;
+                if report.first_skips.len() < MAX_SKIP_DIAGNOSTICS {
+                    report
+                        .first_skips
+                        .push((lineno as u64 + 1, format!("invalid utf-8: {e}")));
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split(',');
-        let id: u64 = parts
-            .next()
-            .ok_or_else(|| CacheError::TraceFormat(format!("line {}: missing id", lineno + 1)))?
-            .trim()
-            .parse()
-            .map_err(|e| CacheError::TraceFormat(format!("line {}: bad id: {e}", lineno + 1)))?;
-        let size: u32 = match parts.next() {
-            Some(s) => s.trim().parse().map_err(|e| {
-                CacheError::TraceFormat(format!("line {}: bad size: {e}", lineno + 1))
-            })?,
-            None => 1,
-        };
-        let op = match parts.next().map(str::trim) {
-            None | Some("get") | Some("") => Op::Get,
-            Some("set") => Op::Set,
-            Some("del") => Op::Delete,
-            Some(other) => {
-                return Err(CacheError::TraceFormat(format!(
-                    "line {}: unknown op {other:?}",
-                    lineno + 1
-                )))
+        match parse_csv_line(line, lineno) {
+            Ok(req) => reqs.push(req),
+            Err(e) if skip_invalid => {
+                report.skipped_lines += 1;
+                if report.first_skips.len() < MAX_SKIP_DIAGNOSTICS {
+                    report.first_skips.push((lineno as u64 + 1, e.to_string()));
+                }
             }
-        };
-        reqs.push(Request {
-            id,
-            size,
-            time: 0,
-            op,
-        });
+            Err(e) => return Err(e),
+        }
     }
-    Ok(Trace::new(name, reqs))
+    Ok((Trace::new(name, reqs), report))
+}
+
+/// Reads a CSV trace; logical times are assigned by line order.
+///
+/// # Errors
+///
+/// Returns [`CacheError::TraceFormat`] (with the 1-based line number) on
+/// the first malformed line and propagates I/O errors. Use
+/// [`read_csv_lossy`] to skip malformed lines instead.
+pub fn read_csv<R: Read>(name: impl Into<String>, r: R) -> Result<Trace, CacheError> {
+    read_csv_inner(name, r, false).map(|(t, _)| t)
+}
+
+/// Reads a CSV trace, skipping malformed lines and reporting how many were
+/// dropped (plus line numbers and reasons for the first few).
+///
+/// # Errors
+///
+/// Propagates I/O errors; malformed *content* never fails this variant.
+pub fn read_csv_lossy<R: Read>(
+    name: impl Into<String>,
+    r: R,
+) -> Result<(Trace, CsvReadReport), CacheError> {
+    read_csv_inner(name, r, true)
 }
 
 /// Encodes a trace into the compact binary format.
@@ -131,7 +194,12 @@ pub fn from_binary(name: impl Into<String>, mut data: &[u8]) -> Result<Trace, Ca
         return Err(CacheError::TraceFormat(format!("bad version {version}")));
     }
     let n = data.get_u64_le() as usize;
-    if data.remaining() < n * 13 {
+    // checked_mul: a corrupted count must not overflow into a bogus small
+    // byte requirement (or panic in debug builds).
+    let body = n.checked_mul(13).ok_or_else(|| {
+        CacheError::TraceFormat(format!("record count {n} overflows the body size"))
+    })?;
+    if data.remaining() < body {
         return Err(CacheError::TraceFormat(format!(
             "truncated body: {} bytes for {} records",
             data.remaining(),
@@ -219,5 +287,127 @@ mod tests {
         let bytes = to_binary(&t);
         let back = from_binary("empty", &bytes).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_record_count() {
+        let mut bytes = to_binary(&Trace::new("empty", vec![])).to_vec();
+        // Header: magic(4) version(4) count(8). Claim u64::MAX records.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = from_binary("evil", &bytes).expect_err("must reject");
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn lossy_csv_skips_and_counts() {
+        let csv = "# header\n1,100,get\ngarbage line\n2,oops,set\n3,50,del\n,,,\n";
+        let (t, report) = read_csv_lossy("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2, "two good lines survive");
+        assert_eq!(t.requests[0].id, 1);
+        assert_eq!(t.requests[1].id, 3);
+        assert_eq!(report.skipped_lines, 3);
+        assert_eq!(report.first_skips.len(), 3);
+        // 1-based line numbers of the bad lines.
+        assert_eq!(report.first_skips[0].0, 3);
+        assert_eq!(report.first_skips[1].0, 4);
+        assert_eq!(report.first_skips[2].0, 6);
+    }
+
+    #[test]
+    fn lossy_csv_on_clean_input_skips_nothing() {
+        let t = WorkloadSpec::zipf("z", 500, 50, 1.0, 4).generate();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let (back, report) = read_csv_lossy("z", &buf[..]).unwrap();
+        assert_eq!(t.requests, back.requests);
+        assert_eq!(report.skipped_lines, 0);
+        assert!(report.first_skips.is_empty());
+    }
+
+    #[test]
+    fn lossy_skip_diagnostics_are_bounded() {
+        let mut csv = String::new();
+        for _ in 0..100 {
+            csv.push_str("bad\n");
+        }
+        let (t, report) = read_csv_lossy("t", csv.as_bytes()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(report.skipped_lines, 100);
+        assert_eq!(report.first_skips.len(), super::MAX_SKIP_DIAGNOSTICS);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::gen::WorkloadSpec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+
+        // Round-trip: any generated workload survives CSV and binary I/O.
+        #[test]
+        fn roundtrip_both_formats(
+            objects in 1u64..200,
+            requests in 1usize..400,
+            seed in 0u64..u64::MAX,
+        ) {
+            let t = WorkloadSpec::zipf("p", requests, objects, 0.9, seed).generate();
+            let mut csv = Vec::new();
+            write_csv(&t, &mut csv).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let back = read_csv("p", &csv[..]).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&t.requests, &back.requests);
+            let bin = to_binary(&t);
+            let back = from_binary("p", &bin).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&t.requests, &back.requests);
+        }
+
+        // Corrupting one byte of the binary encoding must never panic: the
+        // decoder either errors or returns some (possibly different) trace,
+        // but stays memory-safe and terminates.
+        #[test]
+        fn single_byte_corruption_never_panics(
+            seed in 0u64..u64::MAX,
+            pos_pick in 0usize..10_000,
+            flip in 1u8..=255,
+        ) {
+            let t = WorkloadSpec::zipf("c", 50, 20, 1.0, seed).generate();
+            let mut bytes = to_binary(&t).to_vec();
+            let pos = pos_pick % bytes.len();
+            bytes[pos] ^= flip;
+            // Must not panic; both outcomes are acceptable.
+            let _ = from_binary("c", &bytes);
+        }
+
+        // Truncation at any point must never panic either.
+        #[test]
+        fn truncation_never_panics(
+            seed in 0u64..u64::MAX,
+            cut_pick in 0usize..10_000,
+        ) {
+            let t = WorkloadSpec::zipf("c", 50, 20, 1.0, seed).generate();
+            let bytes = to_binary(&t);
+            let cut = cut_pick % (bytes.len() + 1);
+            let _ = from_binary("c", &bytes[..cut]);
+        }
+
+        // Corrupted CSV bytes: strict mode errors or succeeds (never
+        // panics); lossy mode never fails on content at all.
+        #[test]
+        fn csv_corruption_is_contained(
+            seed in 0u64..u64::MAX,
+            pos_pick in 0usize..10_000,
+            flip in 1u8..=255,
+        ) {
+            let t = WorkloadSpec::zipf("c", 30, 10, 1.0, seed).generate();
+            let mut csv = Vec::new();
+            write_csv(&t, &mut csv).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let pos = pos_pick % csv.len();
+            csv[pos] ^= flip;
+            let _ = read_csv("c", &csv[..]);
+            let lossy = read_csv_lossy("c", &csv[..]);
+            prop_assert!(lossy.is_ok(), "lossy mode must absorb content damage");
+        }
     }
 }

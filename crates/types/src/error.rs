@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Errors produced by caches, trace parsers, and the simulator.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so new failure modes (this enum grew the device-fault variants that way)
+/// do not break them.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CacheError {
     /// Capacity was zero or otherwise unusable.
     InvalidCapacity(String),
@@ -13,6 +18,13 @@ pub enum CacheError {
     TraceFormat(String),
     /// An I/O error, stringified to keep the type `Clone + Eq`.
     Io(String),
+    /// A storage-device operation failed after exhausting its retries.
+    DeviceFailure(String),
+    /// Stored data failed its integrity check (checksum mismatch).
+    Corruption(String),
+    /// The tier tripped its error budget and is running degraded
+    /// (DRAM-only); the operation was not attempted against the device.
+    Degraded(String),
 }
 
 impl fmt::Display for CacheError {
@@ -22,6 +34,9 @@ impl fmt::Display for CacheError {
             CacheError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             CacheError::TraceFormat(m) => write!(f, "trace format error: {m}"),
             CacheError::Io(m) => write!(f, "i/o error: {m}"),
+            CacheError::DeviceFailure(m) => write!(f, "device failure: {m}"),
+            CacheError::Corruption(m) => write!(f, "corruption: {m}"),
+            CacheError::Degraded(m) => write!(f, "tier degraded: {m}"),
         }
     }
 }
@@ -44,6 +59,16 @@ mod tests {
         assert!(e.to_string().contains("zero"));
         let e = CacheError::TraceFormat("bad line 3".into());
         assert!(e.to_string().contains("bad line 3"));
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        let e = CacheError::DeviceFailure("write failed after 3 retries".into());
+        assert!(e.to_string().contains("device failure"));
+        let e = CacheError::Corruption("checksum mismatch on obj 7".into());
+        assert!(e.to_string().contains("corruption"));
+        let e = CacheError::Degraded("error budget tripped".into());
+        assert!(e.to_string().contains("degraded"));
     }
 
     #[test]

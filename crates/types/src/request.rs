@@ -4,8 +4,6 @@
 //! of the request in the trace; the simulator supplies it when replaying so
 //! that requests themselves stay compact.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a cached object.
 ///
 /// Production traces key objects by block number, URL hash, or key hash; all
@@ -13,9 +11,10 @@ use serde::{Deserialize, Serialize};
 pub type ObjId = u64;
 
 /// The operation a request performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Read the object; a miss triggers insertion (read-through).
+    #[default]
     Get,
     /// Write/overwrite the object (always an insertion or update).
     Set,
@@ -23,18 +22,12 @@ pub enum Op {
     Delete,
 }
 
-impl Default for Op {
-    fn default() -> Self {
-        Op::Get
-    }
-}
-
 /// A single cache request.
 ///
 /// `time` is logical time measured in request count, which is how the paper
 /// measures eviction age and demotion speed ("We use logical time measured in
 /// request count", §6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Object identifier.
     pub id: ObjId,
