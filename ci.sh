@@ -22,4 +22,24 @@ echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --offline -- -D warnings \
     --force-warn clippy::unwrap-used --force-warn clippy::expect-used
 
+echo "== bench smoke: sim_throughput =="
+# Small corpus, one repeat: proves the dense fast path and the legacy
+# emulation still agree bit-for-bit (the binary asserts it) and that the
+# benchmark artifact is produced and well-formed. Numbers from this run are
+# NOT meaningful; the checked-in BENCH_sim.json comes from the full config.
+./target/release/sim_throughput --smoke
+python3 - <<'PY'
+import json, sys
+with open("target/BENCH_sim.json") as f:
+    doc = json.load(f)
+for key in ("mode", "requests", "policies", "serial_aggregate", "aggregate"):
+    assert key in doc, f"BENCH_sim.json missing key: {key}"
+agg = doc["aggregate"]
+assert agg["metric"] == "sweep" and agg["jobs"] > 0, agg
+assert agg["legacy_mreqs"] > 0 and agg["dense_mreqs"] > 0, agg
+assert doc["policies"], "no per-policy results"
+print(f"bench smoke ok: {agg['jobs']} sweep jobs, "
+      f"speedup {agg['speedup']:.2f}x (smoke config)")
+PY
+
 echo "ci: all gates passed"

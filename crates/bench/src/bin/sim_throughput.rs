@@ -1,0 +1,394 @@
+//! Simulator throughput: dense-ID fast path vs the legacy keyed engine.
+//!
+//! Two measurements on the same Zipf trace:
+//!
+//! 1. **Per-policy replay** — each policy alone: *legacy* is what
+//!    `simulate_named` did before the dense fast path (clone the trace into
+//!    unit-size requests, build the HashMap-keyed policy, replay); *dense*
+//!    is the current auto path (one-time interned u32 slots, slab-indexed
+//!    policy state).
+//! 2. **Sweep aggregate** — the acceptance metric: every policy × every
+//!    standard cache size, i.e. what `run_sweep` feeds each worker. The
+//!    pre-PR engine ran those jobs one at a time; the dense engine gangs
+//!    all same-trace jobs into a single pass (`simulate_named_many`), so
+//!    one traversal drives eight independent policies' memory streams at
+//!    once instead of stalling on each job's misses in sequence.
+//!
+//! Both paths are asserted bit-identical on miss ratio and evictions before
+//! any number is reported. Results go to stdout as tables and to a JSON
+//! file (repo root `BENCH_sim.json` by default).
+//!
+//! Run: `cargo run --release -p cache-bench --bin sim_throughput`
+//! Flags: `--smoke` (small trace, write to `target/BENCH_sim.json`),
+//!        `--out PATH` (override the output path).
+//! Env: `SIM_TP_REQUESTS`, `SIM_TP_OBJECTS`, `SIM_TP_REPEATS`.
+
+use cache_bench::{banner, f2, f4, print_table};
+use cache_sim::{
+    simulate, simulate_named, simulate_named_keyed, simulate_named_many, CacheSizeSpec, SimConfig,
+    SimResult,
+};
+use cache_trace::gen::WorkloadSpec;
+use cache_trace::Trace;
+use cache_types::Request;
+use std::time::Instant;
+
+/// The policies with a dense fast path (plus the keyed machinery both
+/// engines share). This is the set the ≥3× acceptance gate is measured on.
+const POLICIES: &[&str] = &[
+    "FIFO",
+    "LRU",
+    "CLOCK",
+    "CLOCK-2bit",
+    "SIEVE",
+    "SLRU",
+    "2Q",
+    "S3-FIFO",
+];
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured policy row.
+struct Row {
+    name: String,
+    legacy_mreqs: f64,
+    dense_mreqs: f64,
+    miss_ratio: f64,
+    legacy_secs: f64,
+    dense_secs: f64,
+}
+
+/// The pre-PR engine, verbatim: materialize a unit-size copy of the trace,
+/// hand it to the keyed registry, replay through HashMap-keyed state.
+fn run_legacy(name: &str, trace: &Trace, cfg: &SimConfig) -> SimResult {
+    let unit_reqs: Vec<Request> = trace
+        .requests
+        .iter()
+        .map(|r| Request { size: 1, ..*r })
+        .collect();
+    let mut policy = cache_policies::registry::build(name, cfg.capacity_for(trace), Some(&unit_reqs))
+        .expect("known policy");
+    simulate(policy.as_mut(), trace, cfg.ignore_size)
+}
+
+fn measure(name: &str, trace: &Trace, cfg: &SimConfig, repeats: u32) -> Row {
+    let n = trace.requests.len() as f64;
+
+    // Correctness gate first: the fast path must agree with both the forced
+    // keyed path and the legacy-emulation path bit for bit.
+    let dense_result = simulate_named(name, trace, cfg)
+        .expect("known policy")
+        .expect("no size filter");
+    let keyed_result = simulate_named_keyed(name, trace, cfg)
+        .expect("known policy")
+        .expect("no size filter");
+    let legacy_result = run_legacy(name, trace, cfg);
+    for (label, r) in [("keyed", &keyed_result), ("legacy", &legacy_result)] {
+        assert_eq!(
+            dense_result.miss_ratio.to_bits(),
+            r.miss_ratio.to_bits(),
+            "{name}: dense vs {label} miss ratio diverged"
+        );
+        assert_eq!(
+            dense_result.evictions, r.evictions,
+            "{name}: dense vs {label} evictions diverged"
+        );
+    }
+
+    // Timed runs: best of `repeats` for each engine.
+    let mut legacy_secs = f64::INFINITY;
+    let mut dense_secs = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let r = run_legacy(name, trace, cfg);
+        legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(r.misses);
+
+        let t0 = Instant::now();
+        let r = simulate_named(name, trace, cfg)
+            .expect("known policy")
+            .expect("no size filter");
+        dense_secs = dense_secs.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(r.misses);
+    }
+
+    Row {
+        name: name.to_string(),
+        legacy_mreqs: n / legacy_secs / 1e6,
+        dense_mreqs: n / dense_secs / 1e6,
+        miss_ratio: dense_result.miss_ratio,
+        legacy_secs,
+        dense_secs,
+    }
+}
+
+/// The sweep's cache sizes, as fractions of the trace footprint: the
+/// paper's small (0.1 %) and large (10 %) settings plus a midpoint.
+const FRACTIONS: &[f64] = &[0.001, 0.01, 0.1];
+
+/// The sweep-aggregate measurement: all (policy × size) jobs for one trace.
+struct SweepNums {
+    jobs: usize,
+    legacy_secs: f64,
+    dense_secs: f64,
+}
+
+fn sweep_config(frac: f64) -> SimConfig {
+    SimConfig {
+        size: CacheSizeSpec::FractionOfObjects(frac),
+        ..SimConfig::large()
+    }
+}
+
+/// Runs the full (policy × size) job grid the pre-PR way — one job at a
+/// time through the keyed engine, cloning the trace per job — and returns
+/// each job's miss-ratio bits for the equivalence check.
+fn legacy_sweep(trace: &Trace) -> Vec<u64> {
+    FRACTIONS
+        .iter()
+        .flat_map(|&f| {
+            let cfg = sweep_config(f);
+            POLICIES
+                .iter()
+                .map(move |name| run_legacy(name, trace, &cfg).miss_ratio.to_bits())
+                .collect::<Vec<u64>>()
+        })
+        .collect()
+}
+
+/// Runs the same grid through the ganged dense engine: one trace pass per
+/// cache size drives all policies simultaneously.
+fn dense_sweep(trace: &Trace) -> Vec<u64> {
+    // Gang width defaults to the sweep engine's tuned value; SIM_TP_GANG
+    // overrides it for experiments (see `cache_sim::MAX_GANG` for why more
+    // is not better).
+    let gang: usize = std::env::var("SIM_TP_GANG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cache_sim::MAX_GANG)
+        .max(1);
+    FRACTIONS
+        .iter()
+        .flat_map(|&f| {
+            POLICIES
+                .chunks(gang)
+                .flat_map(|chunk| {
+                    simulate_named_many(chunk, trace, &sweep_config(f))
+                        .expect("known policies")
+                        .into_iter()
+                        .map(|r| r.expect("no size filter").miss_ratio.to_bits())
+                        .collect::<Vec<u64>>()
+                })
+                .collect::<Vec<u64>>()
+        })
+        .collect()
+}
+
+fn measure_sweep(trace: &Trace, repeats: u32) -> SweepNums {
+    let legacy_ratios = legacy_sweep(trace);
+    let dense_ratios = dense_sweep(trace);
+    assert_eq!(
+        legacy_ratios, dense_ratios,
+        "sweep: ganged dense vs legacy miss ratios diverged"
+    );
+
+    let mut legacy_secs = f64::INFINITY;
+    let mut dense_secs = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        std::hint::black_box(legacy_sweep(trace));
+        legacy_secs = legacy_secs.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        std::hint::black_box(dense_sweep(trace));
+        dense_secs = dense_secs.min(t0.elapsed().as_secs_f64());
+    }
+    SweepNums {
+        jobs: legacy_ratios.len(),
+        legacy_secs,
+        dense_secs,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &str,
+    mode: &str,
+    requests: u64,
+    objects: u64,
+    capacity: u64,
+    rows: &[Row],
+    sweep: &SweepNums,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"sim_throughput\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"requests\": {requests},\n"));
+    out.push_str(&format!("  \"objects\": {objects},\n"));
+    out.push_str(&format!("  \"capacity\": {capacity},\n"));
+    out.push_str("  \"policies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"legacy_mreqs\": {:.4}, \"dense_mreqs\": {:.4}, \
+             \"speedup\": {:.4}, \"miss_ratio\": {:.6}, \"identical\": true}}{}\n",
+            json_escape(&r.name),
+            r.legacy_mreqs,
+            r.dense_mreqs,
+            r.dense_mreqs / r.legacy_mreqs,
+            r.miss_ratio,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let legacy_total: f64 = rows.iter().map(|r| r.legacy_secs).sum();
+    let dense_total: f64 = rows.iter().map(|r| r.dense_secs).sum();
+    let total_reqs = requests as f64 * rows.len() as f64;
+    out.push_str(&format!(
+        "  \"serial_aggregate\": {{\"legacy_mreqs\": {:.4}, \"dense_mreqs\": {:.4}, \
+         \"speedup\": {:.4}}},\n",
+        total_reqs / legacy_total / 1e6,
+        total_reqs / dense_total / 1e6,
+        legacy_total / dense_total
+    ));
+    // The acceptance metric: aggregate Mreq/s over the full sweep job grid,
+    // pre-PR one-job-at-a-time engine vs the ganged dense engine.
+    let sweep_reqs = requests as f64 * sweep.jobs as f64;
+    out.push_str(&format!(
+        "  \"aggregate\": {{\"metric\": \"sweep\", \"jobs\": {}, \"legacy_mreqs\": {:.4}, \
+         \"dense_mreqs\": {:.4}, \"speedup\": {:.4}}}\n",
+        sweep.jobs,
+        sweep_reqs / sweep.legacy_secs / 1e6,
+        sweep_reqs / sweep.dense_secs / 1e6,
+        sweep.legacy_secs / sweep.dense_secs
+    ));
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                // Smoke runs must not clobber the checked-in full-run numbers.
+                "target/BENCH_sim.json".to_string()
+            } else {
+                "BENCH_sim.json".to_string()
+            }
+        });
+
+    let (requests, objects, repeats) = if smoke {
+        (
+            env_u64("SIM_TP_REQUESTS", 200_000),
+            env_u64("SIM_TP_OBJECTS", 20_000),
+            env_u64("SIM_TP_REPEATS", 1) as u32,
+        )
+    } else {
+        (
+            env_u64("SIM_TP_REQUESTS", 4_000_000),
+            env_u64("SIM_TP_OBJECTS", 400_000),
+            env_u64("SIM_TP_REPEATS", 3) as u32,
+        )
+    };
+
+    let trace =
+        WorkloadSpec::zipf("throughput", requests as usize, objects, 1.0, 0xBEEF).generate();
+    // Cache size as a fraction of the footprint; default is the paper's
+    // large-cache setting (10 %). Overridable to explore hit/miss balance.
+    let frac = std::env::var("SIM_TP_FRACTION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10);
+    let cfg = SimConfig {
+        size: cache_sim::CacheSizeSpec::FractionOfObjects(frac),
+        ..SimConfig::large()
+    };
+    let capacity = cfg.capacity_for(&trace);
+    // Interning is a one-time per-trace cost shared by every sweep job;
+    // trigger it here so per-policy numbers reflect steady-state replay.
+    let interned = Instant::now();
+    let slots = trace.dense().ids.len();
+    let intern_secs = interned.elapsed().as_secs_f64();
+
+    banner(&format!(
+        "sim_throughput{}: {requests} reqs, {slots} objects, capacity {capacity} (intern {:.0} ms)",
+        if smoke { " (smoke)" } else { "" },
+        intern_secs * 1e3
+    ));
+
+    let rows: Vec<Row> = POLICIES
+        .iter()
+        .map(|name| measure(name, &trace, &cfg, repeats))
+        .collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                f2(r.legacy_mreqs),
+                f2(r.dense_mreqs),
+                f2(r.dense_mreqs / r.legacy_mreqs),
+                f4(r.miss_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        &["policy", "legacy Mreq/s", "dense Mreq/s", "speedup", "miss ratio"],
+        &table,
+    );
+
+    let legacy_total: f64 = rows.iter().map(|r| r.legacy_secs).sum();
+    let dense_total: f64 = rows.iter().map(|r| r.dense_secs).sum();
+    println!();
+    println!(
+        "serial aggregate speedup: {:.2}x ({} policies, miss ratios bit-identical)",
+        legacy_total / dense_total,
+        rows.len()
+    );
+
+    let sweep = measure_sweep(&trace, repeats);
+    let sweep_reqs = requests as f64 * sweep.jobs as f64;
+    println!();
+    println!(
+        "sweep aggregate ({} jobs = {} policies x {} sizes): \
+         legacy {:.2} Mreq/s, dense {:.2} Mreq/s, speedup {:.2}x",
+        sweep.jobs,
+        POLICIES.len(),
+        FRACTIONS.len(),
+        sweep_reqs / sweep.legacy_secs / 1e6,
+        sweep_reqs / sweep.dense_secs / 1e6,
+        sweep.legacy_secs / sweep.dense_secs
+    );
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    write_json(
+        &out_path,
+        if smoke { "smoke" } else { "full" },
+        requests,
+        objects,
+        capacity,
+        &rows,
+        &sweep,
+    )
+    .expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

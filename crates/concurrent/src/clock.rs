@@ -8,7 +8,7 @@
 use crate::{shard_of, ConcurrentCache, SHARDS};
 use bytes::Bytes;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use cache_ds::IdMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 struct Slot {
@@ -20,7 +20,7 @@ struct Slot {
 /// A CLOCK cache with per-slot locks and an atomic hand.
 pub struct ConcurrentClock {
     slots: Vec<Slot>,
-    index: Vec<RwLock<HashMap<u64, usize>>>,
+    index: Vec<RwLock<IdMap<usize>>>,
     hand: AtomicUsize,
     len: AtomicUsize,
 }
@@ -40,7 +40,7 @@ impl ConcurrentClock {
                     referenced: AtomicBool::new(false),
                 })
                 .collect(),
-            index: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            index: (0..SHARDS).map(|_| RwLock::new(IdMap::default())).collect(),
             hand: AtomicUsize::new(0),
             len: AtomicUsize::new(0),
         }

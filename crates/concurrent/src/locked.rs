@@ -10,12 +10,12 @@ use crate::ConcurrentCache;
 use bytes::Bytes;
 use cache_types::{Eviction, Policy, Request};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use cache_ds::IdMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct Core<P: Policy> {
     policy: P,
-    store: HashMap<u64, Bytes>,
+    store: IdMap<Bytes>,
     scratch: Vec<Eviction>,
 }
 
@@ -35,7 +35,7 @@ impl<P: Policy> GlobalLock<P> {
         GlobalLock {
             core: Mutex::new(Core {
                 policy,
-                store: HashMap::with_capacity(capacity + 1),
+                store: IdMap::with_capacity_and_hasher(capacity + 1, Default::default()),
                 scratch: Vec::new(),
             }),
             name: format!("{name}-locked"),

@@ -16,7 +16,7 @@ use crate::{shard_of, ConcurrentCache, SHARDS};
 use bytes::Bytes;
 use cache_ds::{DList, Handle};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use cache_ds::IdMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -30,12 +30,12 @@ struct Entry {
 /// The LRU list and handle map, guarded by one mutex.
 struct ListCore {
     list: DList<u64>,
-    handles: HashMap<u64, Handle>,
+    handles: IdMap<Handle>,
 }
 
 /// A concurrent LRU cache, strict or Cachelib-style optimized.
 pub struct MutexLru {
-    shards: Vec<RwLock<HashMap<u64, Arc<Entry>>>>,
+    shards: Vec<RwLock<IdMap<Arc<Entry>>>>,
     core: Mutex<ListCore>,
     capacity: usize,
     strict: bool,
@@ -58,10 +58,10 @@ impl MutexLru {
     fn build(capacity: usize, strict: bool, promote_every: u32) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         MutexLru {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(IdMap::default())).collect(),
             core: Mutex::new(ListCore {
                 list: DList::with_capacity(capacity + 1),
-                handles: HashMap::with_capacity(capacity + 1),
+                handles: IdMap::with_capacity_and_hasher(capacity + 1, Default::default()),
             }),
             capacity,
             strict,

@@ -21,7 +21,7 @@ use crate::{shard_of, ConcurrentCache, SHARDS};
 use bytes::Bytes;
 use cache_ds::{GhostTable, MpmcRing};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use cache_ds::IdMap;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -37,7 +37,7 @@ struct Entry {
 
 /// Concurrent S3-FIFO cache.
 pub struct ConcurrentS3Fifo {
-    shards: Vec<RwLock<HashMap<u64, Arc<Entry>>>>,
+    shards: Vec<RwLock<IdMap<Arc<Entry>>>>,
     small: MpmcRing<Arc<Entry>>,
     main: MpmcRing<Arc<Entry>>,
     ghosts: Vec<Mutex<GhostTable>>,
@@ -59,7 +59,7 @@ impl ConcurrentS3Fifo {
         let s_capacity = (capacity / 10).max(1);
         let m_capacity = capacity - s_capacity;
         ConcurrentS3Fifo {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(IdMap::default())).collect(),
             // Either queue can transiently hold the whole cache (S does on
             // pure-scan workloads, exactly as in the single-threaded
             // algorithm), so both rings are sized for it.

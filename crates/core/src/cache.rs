@@ -18,10 +18,10 @@
 //! assert_eq!(cache.get(&"missing"), None);
 //! ```
 
-use cache_ds::{DList, GhostTable, Handle};
+use cache_ds::{DList, FxBuildHasher, GhostTable, Handle};
 use cache_types::CacheError;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::hash::{BuildHasher, Hash};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Loc {
@@ -58,7 +58,7 @@ pub struct CacheMetrics {
 /// bump a two-bit counter, so `get` takes `&mut self` solely for that
 /// counter; there is no list reordering on the hit path (the paper's "lazy
 /// promotion").
-pub struct S3FifoCache<K, V, S = RandomState> {
+pub struct S3FifoCache<K, V, S = FxBuildHasher> {
     capacity: usize,
     s_capacity: usize,
     used: usize,
@@ -104,11 +104,14 @@ impl<K: Hash + Eq + Clone, V> S3FifoCache<K, V> {
             s_capacity,
             used: 0,
             small_used: 0,
-            table: HashMap::with_capacity(capacity.min(1 << 20)),
+            table: HashMap::with_capacity_and_hasher(
+                capacity.min(1 << 20),
+                FxBuildHasher::default(),
+            ),
             small: DList::with_capacity(s_capacity + 1),
             main: DList::with_capacity(m_capacity + 1),
             ghost: GhostTable::new(m_capacity),
-            hasher: RandomState::new(),
+            hasher: FxBuildHasher::default(),
             metrics: CacheMetrics::default(),
         })
     }

@@ -11,25 +11,38 @@
 //! - [`ghost::GhostTable`] — the paper's bucketed fingerprint ghost queue
 //!   (§4.2): fingerprints plus insertion sequence numbers with lazy expiry.
 //! - [`ring::MpmcRing`] — a bounded lock-free MPMC queue (Vyukov sequence
-//!   counters); the only `unsafe` code in the workspace.
+//!   counters).
+//! - [`prefetch::prefetch_read`] — bounds-checked software prefetch hint for
+//!   the dense replay loops. Together with the ring, the only `unsafe` code
+//!   in the workspace.
 //! - [`rng::SplitMix64`] — a tiny deterministic RNG for sampled policies.
 //! - [`hist::Histogram`] — streaming histogram with percentile queries.
+//! - [`fx::FxHasher`] — FxHash-style multiplicative hasher backing the hot
+//!   [`rng::IdMap`]/[`rng::IdSet`] aliases.
+//! - [`dense::DenseIds`] / [`dense::DenseQueue`] — per-trace id interning and
+//!   intrusive array queues for the dense-ID simulation fast path.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bloom;
+pub mod dense;
 pub mod dlist;
+pub mod fx;
 pub mod ghost;
 pub mod hist;
+pub mod prefetch;
 pub mod ring;
 pub mod rng;
 pub mod sketch;
 
 pub use bloom::BloomFilter;
+pub use dense::{DenseIds, DenseLinks, DenseQueue, NIL};
 pub use dlist::{DList, Handle};
+pub use fx::{FxBuildHasher, FxHasher, FxMap, FxSet};
 pub use ghost::GhostTable;
 pub use hist::Histogram;
+pub use prefetch::prefetch_read;
 pub use ring::MpmcRing;
 pub use rng::{IdHashBuilder, IdHasher, IdMap, IdSet, SplitMix64};
 pub use sketch::{CountMinSketch, Doorkeeper};

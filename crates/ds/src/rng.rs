@@ -107,11 +107,14 @@ impl std::hash::Hasher for IdHasher {
 /// `BuildHasher` for [`IdHasher`].
 pub type IdHashBuilder = std::hash::BuildHasherDefault<IdHasher>;
 
-/// A `HashMap` keyed by object ids using the fast [`IdHasher`].
-pub type IdMap<V> = std::collections::HashMap<u64, V, IdHashBuilder>;
+/// A `HashMap` keyed by object ids, using the fast [`crate::fx::FxHasher`]
+/// (one multiply per key vs two for [`IdHasher`]; the aliases moved to Fx in
+/// the dense-ID fast-path PR — simulation results don't depend on hasher
+/// choice, only replay speed does).
+pub type IdMap<V> = std::collections::HashMap<u64, V, crate::fx::FxBuildHasher>;
 
-/// A `HashSet` of object ids using the fast [`IdHasher`].
-pub type IdSet = std::collections::HashSet<u64, IdHashBuilder>;
+/// A `HashSet` of object ids using the fast [`crate::fx::FxHasher`].
+pub type IdSet = std::collections::HashSet<u64, crate::fx::FxBuildHasher>;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,136 @@
+//! Slot-indexed ghost FIFO mirroring [`crate::util::GhostList`] and
+//! `s3fifo`'s `GhostFifo` exactly — including their tombstone quirks.
+//!
+//! Both keyed ghosts share the same semantics: `insert` pushes a FIFO entry
+//! only when the id was not already *marked* present, then trims oldest
+//! entries while over byte capacity; `remove` only clears the mark, leaving
+//! the FIFO entry behind as a tombstone that stays charged against capacity
+//! until it reaches the front. A tombstoned id can be re-inserted (a second
+//! FIFO entry appears), and when the stale entry later pops it clears the
+//! mark of the *newer* entry too. That quirk is deliberate here: dense and
+//! keyed paths must make identical decisions, so the quirk is replicated,
+//! not fixed.
+
+use std::collections::VecDeque;
+
+/// A byte-bounded FIFO ghost over dense slots.
+pub(crate) struct SlotGhost {
+    fifo: VecDeque<(u32, u32)>,
+    /// Per-slot presence mark — the dense counterpart of the keyed `IdSet`.
+    present: Vec<bool>,
+    used: u64,
+    capacity: u64,
+}
+
+impl SlotGhost {
+    pub(crate) fn new(slots: usize, capacity: u64) -> Self {
+        SlotGhost {
+            fifo: VecDeque::new(),
+            present: vec![false; slots],
+            used: 0,
+            capacity,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, slot: u32) -> bool {
+        self.present[slot as usize]
+    }
+
+    /// Warms the presence mark for `slot` ahead of its request — every miss
+    /// consults [`SlotGhost::contains`], and the mark array is large enough
+    /// to fall out of cache between touches. Observable-state-free, like
+    /// [`cache_types::DensePolicy::prefetch`].
+    #[inline]
+    pub(crate) fn warm(&self, slot: u32) {
+        cache_ds::prefetch_read(&self.present, slot as usize);
+    }
+
+    /// Inserts `slot`; evicts oldest entries beyond capacity.
+    pub(crate) fn insert(&mut self, slot: u32, size: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.present[slot as usize] {
+            self.present[slot as usize] = true;
+            self.fifo.push_back((slot, size));
+            self.used += u64::from(size);
+        }
+        while self.used > self.capacity {
+            if let Some((old, sz)) = self.fifo.pop_front() {
+                // `used` charges every FIFO entry, including tombstones left
+                // by `remove`, so the subtraction is unconditional.
+                self.used -= u64::from(sz);
+                self.present[old as usize] = false;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes the mark (ghost hit); the FIFO slot becomes a tombstone.
+    pub(crate) fn remove(&mut self, slot: u32) -> bool {
+        std::mem::replace(&mut self.present[slot as usize], false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_keyed_ghost_semantics() {
+        // Differential check against the keyed GhostList on a random-ish
+        // op stream: contains/remove results must agree at every step.
+        let mut dense = SlotGhost::new(64, 10);
+        let mut keyed = crate::util::GhostList::new(10);
+        let mut state = 0x9E37_79B9u64;
+        for step in 0..5000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let slot = ((state >> 33) % 64) as u32;
+            let id = u64::from(slot) + 1000; // slot↔id bijection
+            match (state >> 20) % 3 {
+                0 => {
+                    dense.insert(slot, 1 + (slot % 3));
+                    keyed.insert(id, 1 + (slot % 3));
+                }
+                1 => {
+                    assert_eq!(dense.remove(slot), keyed.remove(id), "step {step}");
+                }
+                _ => {
+                    assert_eq!(dense.contains(slot), keyed.contains(id), "step {step}");
+                }
+            }
+        }
+        for slot in 0..64u32 {
+            assert_eq!(
+                dense.contains(slot),
+                keyed.contains(u64::from(slot) + 1000),
+                "final state diverged at slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut g = SlotGhost::new(8, 0);
+        g.insert(3, 1);
+        assert!(!g.contains(3));
+    }
+
+    #[test]
+    fn tombstone_stays_charged() {
+        let mut g = SlotGhost::new(8, 3);
+        g.insert(0, 1);
+        g.insert(1, 1);
+        g.insert(2, 1);
+        assert!(g.remove(1));
+        // The tombstone still occupies a byte: inserting one more evicts the
+        // oldest live entry (slot 0) rather than fitting for free.
+        g.insert(3, 1);
+        assert!(!g.contains(0));
+        assert!(g.contains(2) && g.contains(3));
+    }
+}

@@ -1,0 +1,361 @@
+//! Dense mirrors of the multi-queue policies: 2Q and SLRU.
+//!
+//! Slot-state conventions (see [`super::slab::Slot`]): 2Q keeps its queue
+//! tag (`ABSENT`/`A1IN`/`AM`) in `tag`; SLRU stores `segment + 1` in `tag`
+//! so that 0 keeps meaning "absent".
+
+use super::{impl_dense_replay, DenseSlab, PackedQueue, SlotGhost};
+use cache_ds::DenseIds;
+use cache_types::{CacheError, DensePolicy, Eviction, Op, Outcome, PolicyStats, Request};
+use std::sync::Arc;
+
+/// Where a 2Q slot currently lives.
+const ABSENT: u8 = 0;
+const A1IN: u8 = 1;
+const AM: u8 = 2;
+
+/// Dense mirror of [`crate::twoq::TwoQ`] (Kin = 25 %, Kout = 50 %).
+pub struct DenseTwoQ {
+    capacity: u64,
+    a1in_capacity: u64,
+    slab: DenseSlab,
+    a1in: PackedQueue,
+    am: PackedQueue,
+    a1out: SlotGhost,
+    a1in_used: u64,
+    am_used: u64,
+    stats: PolicyStats,
+}
+
+impl DenseTwoQ {
+    /// Creates a 2Q cache with the classic 25 %/50 % parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        let slab = DenseSlab::new(ids);
+        let a1in_capacity = ((capacity as f64 * 0.25).round() as u64).max(1);
+        Ok(DenseTwoQ {
+            capacity,
+            a1in_capacity,
+            a1out: SlotGhost::new(slab.len(), (capacity as f64 * 0.5).round() as u64),
+            slab,
+            a1in: PackedQueue::new(),
+            am: PackedQueue::new(),
+            a1in_used: 0,
+            am_used: 0,
+            stats: PolicyStats::default(),
+        })
+    }
+
+    fn used_total(&self) -> u64 {
+        self.a1in_used + self.am_used
+    }
+
+    /// Warms both queues' next eviction candidates (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        self.slab.warm_tail(&self.a1in);
+        self.slab.warm_tail(&self.am);
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if self.a1in_used >= self.a1in_capacity || self.am.is_empty() {
+            if let Some(s) = self.a1in.pop_back(&mut self.slab.slots) {
+                self.slab.slots[s as usize].tag = ABSENT;
+                let size = self.slab.size(s);
+                self.a1in_used -= u64::from(size);
+                self.a1out.insert(s, size);
+                self.stats.evictions += 1;
+                evicted.push(self.slab.eviction(s, true));
+                return;
+            }
+        }
+        if let Some(s) = self.am.pop_back(&mut self.slab.slots) {
+            self.slab.slots[s as usize].tag = ABSENT;
+            self.am_used -= u64::from(self.slab.size(s));
+            self.stats.evictions += 1;
+            evicted.push(self.slab.eviction(s, false));
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        // Decide A1out membership before evicting: eviction inserts into
+        // A1out and could displace the entry being looked up.
+        let in_a1out = self.a1out.remove(slot);
+        while self.used_total() + u64::from(req.size) > self.capacity
+            && (!self.a1in.is_empty() || !self.am.is_empty())
+        {
+            self.evict_one(evicted);
+        }
+        if in_a1out {
+            // A1out hit: the second chance promotes straight into Am.
+            self.am_used += u64::from(req.size);
+            self.am.push_front(&mut self.slab.slots, slot);
+            self.slab.slots[slot as usize].tag = AM;
+        } else {
+            self.a1in_used += u64::from(req.size);
+            self.a1in.push_front(&mut self.slab.slots, slot);
+            self.slab.slots[slot as usize].tag = A1IN;
+        }
+        self.slab.slots[slot as usize].on_insert(req);
+    }
+
+    fn delete(&mut self, slot: u32) {
+        match std::mem::replace(&mut self.slab.slots[slot as usize].tag, ABSENT) {
+            A1IN => {
+                self.a1in.remove(&mut self.slab.slots, slot);
+                self.a1in_used -= u64::from(self.slab.size(slot));
+            }
+            AM => {
+                self.am.remove(&mut self.slab.slots, slot);
+                self.am_used -= u64::from(self.slab.size(slot));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl DensePolicy for DenseTwoQ {
+    fn name(&self) -> String {
+        "2Q".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_total()
+    }
+
+    fn len(&self) -> usize {
+        (self.a1in.len() + self.am.len()) as usize
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                let tag = self.slab.slots[slot as usize].tag;
+                if tag != ABSENT {
+                    self.slab.slots[slot as usize].touch(req.time);
+                    // A1in hits do nothing (FIFO); Am hits promote.
+                    if tag == AM {
+                        self.am.move_to_front(&mut self.slab.slots, slot);
+                    }
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!(a1out);
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+const SEGMENTS: usize = 4;
+
+/// Dense mirror of [`crate::slru::Slru`] (four equal segments). `tag` holds
+/// `segment + 1`; 0 means absent.
+pub struct DenseSlru {
+    capacity: u64,
+    seg_capacity: u64,
+    seg_used: [u64; SEGMENTS],
+    slab: DenseSlab,
+    /// `segs[0]` is the probationary segment; `segs[3]` the most protected.
+    segs: [PackedQueue; SEGMENTS],
+    stats: PolicyStats,
+}
+
+impl DenseSlru {
+    /// Creates a 4-segment SLRU of `capacity` bytes over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(DenseSlru {
+            capacity,
+            seg_capacity: (capacity / SEGMENTS as u64).max(1),
+            seg_used: [0; SEGMENTS],
+            slab: DenseSlab::new(ids),
+            segs: [PackedQueue::new(); SEGMENTS],
+            stats: PolicyStats::default(),
+        })
+    }
+
+    /// Warms every segment's next eviction candidate (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        for q in &self.segs {
+            self.slab.warm_tail(q);
+        }
+    }
+
+    fn seg_of(&self, slot: u32) -> Option<usize> {
+        let tag = self.slab.slots[slot as usize].tag;
+        if tag == 0 {
+            None
+        } else {
+            Some(tag as usize - 1)
+        }
+    }
+
+    fn used_total(&self) -> u64 {
+        self.seg_used.iter().sum()
+    }
+
+    fn len_total(&self) -> usize {
+        self.segs.iter().map(|q| q.len() as usize).sum()
+    }
+
+    /// Demotes tails of segment `seg` into segment `seg - 1` until the
+    /// segment fits its share; cascades down to segment 0.
+    fn rebalance_from(&mut self, seg: usize) {
+        for s in (1..=seg).rev() {
+            while self.seg_used[s] > self.seg_capacity {
+                let Some(slot) = self.segs[s].pop_back(&mut self.slab.slots) else {
+                    break;
+                };
+                let size = u64::from(self.slab.size(slot));
+                self.seg_used[s] -= size;
+                self.slab.slots[slot as usize].tag = s as u8; // (s - 1) + 1
+                self.segs[s - 1].push_front(&mut self.slab.slots, slot);
+                self.seg_used[s - 1] += size;
+            }
+        }
+    }
+
+    /// Evicts one object from the lowest non-empty segment.
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        for s in 0..SEGMENTS {
+            if let Some(slot) = self.segs[s].pop_back(&mut self.slab.slots) {
+                self.slab.slots[slot as usize].tag = 0;
+                self.seg_used[s] -= u64::from(self.slab.size(slot));
+                self.stats.evictions += 1;
+                evicted.push(self.slab.eviction(slot, s == 0));
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used_total() + u64::from(req.size) > self.capacity && self.len_total() > 0 {
+            self.evict_one(evicted);
+        }
+        self.segs[0].push_front(&mut self.slab.slots, slot);
+        let s = &mut self.slab.slots[slot as usize];
+        s.tag = 1;
+        s.on_insert(req);
+        self.seg_used[0] += u64::from(req.size);
+    }
+
+    fn on_hit(&mut self, slot: u32, now: u64) {
+        self.slab.slots[slot as usize].touch(now);
+        let seg = self.seg_of(slot).expect("hit on resident slot");
+        let size = u64::from(self.slab.size(slot));
+        let target = (seg + 1).min(SEGMENTS - 1);
+        if target == seg {
+            self.segs[seg].move_to_front(&mut self.slab.slots, slot);
+            return;
+        }
+        self.segs[seg].remove(&mut self.slab.slots, slot);
+        self.seg_used[seg] -= size;
+        self.segs[target].push_front(&mut self.slab.slots, slot);
+        self.seg_used[target] += size;
+        self.slab.slots[slot as usize].tag = (target + 1) as u8;
+        self.rebalance_from(target);
+    }
+
+    fn delete(&mut self, slot: u32) {
+        let tag = std::mem::replace(&mut self.slab.slots[slot as usize].tag, 0);
+        if tag != 0 {
+            let seg = tag as usize - 1;
+            self.segs[seg].remove(&mut self.slab.slots, slot);
+            self.seg_used[seg] -= u64::from(self.slab.size(slot));
+        }
+    }
+}
+
+impl DensePolicy for DenseSlru {
+    fn name(&self) -> String {
+        "SLRU".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_total()
+    }
+
+    fn len(&self) -> usize {
+        self.len_total()
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.slab.slots[slot as usize].tag != 0 {
+                    self.on_hit(slot, req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!();
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}

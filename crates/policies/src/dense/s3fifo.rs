@@ -1,0 +1,288 @@
+//! Dense mirror of [`s3fifo::S3Fifo`] (Algorithm 1 of the paper).
+//!
+//! Lives here rather than in the `s3fifo` crate because the dense registry
+//! ([`crate::registry::build_dense`]) and the shared dense plumbing are in
+//! this crate; the algorithm is copied step for step from
+//! `crates/core/src/policy.rs` and the equivalence test holds the two
+//! implementations bit-identical.
+//!
+//! Slot-state conventions (see [`super::slab::Slot`]): `tag` is the queue
+//! tag (`ABSENT`/`SMALL`/`MAIN`), `freq` the two-bit access counter.
+
+use super::{impl_dense_replay, DenseSlab, PackedQueue, SlotGhost};
+use cache_ds::DenseIds;
+use cache_types::{CacheError, DensePolicy, Eviction, Op, Outcome, PolicyStats, Request};
+use s3fifo::S3FifoConfig;
+use std::sync::Arc;
+
+/// Which data queue a slot currently lives in.
+const ABSENT: u8 = 0;
+const SMALL: u8 = 1;
+const MAIN: u8 = 2;
+
+/// Dense mirror of the S3-FIFO eviction policy.
+pub struct DenseS3Fifo {
+    capacity: u64,
+    s_capacity: u64,
+    m_capacity: u64,
+    cfg: S3FifoConfig,
+
+    slab: DenseSlab,
+    /// Small queue; head = most recent insert, tail = next eviction.
+    small: PackedQueue,
+    /// Main queue, same orientation.
+    main: PackedQueue,
+    ghost: SlotGhost,
+
+    s_used: u64,
+    m_used: u64,
+    stats: PolicyStats,
+    ghost_hits: u64,
+}
+
+impl DenseS3Fifo {
+    /// Creates an S3-FIFO cache with default parameters (S = 10 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_config(capacity, S3FifoConfig::default(), ids)
+    }
+
+    /// Creates an S3-FIFO cache with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the capacity is zero or the small-queue
+    /// ratio is outside `(0, 1)`.
+    pub fn with_config(
+        capacity: u64,
+        cfg: S3FifoConfig,
+        ids: &Arc<DenseIds>,
+    ) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        if !(cfg.small_ratio > 0.0 && cfg.small_ratio < 1.0) {
+            return Err(CacheError::InvalidParameter(format!(
+                "small_ratio must be in (0,1), got {}",
+                cfg.small_ratio
+            )));
+        }
+        if cfg.ghost_ratio < 0.0 {
+            return Err(CacheError::InvalidParameter(
+                "ghost_ratio must be >= 0".into(),
+            ));
+        }
+        let s_capacity = ((capacity as f64 * cfg.small_ratio).round() as u64).max(1);
+        let m_capacity = capacity.saturating_sub(s_capacity).max(1);
+        let ghost_cap = (m_capacity as f64 * cfg.ghost_ratio).round() as u64;
+        let slab = DenseSlab::new(ids);
+        Ok(DenseS3Fifo {
+            capacity,
+            s_capacity,
+            m_capacity,
+            cfg,
+            ghost: SlotGhost::new(slab.len(), ghost_cap),
+            slab,
+            small: PackedQueue::new(),
+            main: PackedQueue::new(),
+            s_used: 0,
+            m_used: 0,
+            stats: PolicyStats::default(),
+            ghost_hits: 0,
+        })
+    }
+
+    /// Number of misses that hit in the ghost queue (inserted directly to M).
+    pub fn ghost_hits(&self) -> u64 {
+        self.ghost_hits
+    }
+
+    /// Warms both queues' next eviction candidates (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        self.slab.warm_tail(&self.small);
+        self.slab.warm_tail(&self.main);
+    }
+
+    fn used_total(&self) -> u64 {
+        self.s_used + self.m_used
+    }
+
+    fn len_total(&self) -> usize {
+        (self.small.len() + self.main.len()) as usize
+    }
+
+    /// Evicts one object from `S`: the tail moves to `M` when its capped
+    /// frequency exceeds the promote threshold, otherwise it becomes a ghost
+    /// (Algorithm 1, `EVICTS`).
+    fn evict_small(&mut self, evicted: &mut Vec<Eviction>) {
+        while let Some(tail) = self.small.tail() {
+            let t = tail as usize;
+            let size = self.slab.size(tail);
+            if self.slab.slots[t].freq > self.cfg.promote_threshold {
+                // Move to M; access bits are cleared during the move (§4.1).
+                self.small.remove(&mut self.slab.slots, tail);
+                self.s_used -= u64::from(size);
+                self.main.push_front(&mut self.slab.slots, tail);
+                self.slab.slots[t].tag = MAIN;
+                self.slab.slots[t].freq = 0;
+                self.m_used += u64::from(size);
+                if self.m_used > self.m_capacity {
+                    self.evict_main(evicted);
+                }
+            } else {
+                self.small.remove(&mut self.slab.slots, tail);
+                self.s_used -= u64::from(size);
+                self.slab.slots[t].tag = ABSENT;
+                self.ghost.insert(tail, size);
+                self.stats.evictions += 1;
+                evicted.push(self.slab.eviction(tail, true));
+                return;
+            }
+        }
+        // S drained without evicting anything: fall back to M.
+        if !self.main.is_empty() {
+            self.evict_main(evicted);
+        }
+    }
+
+    /// Evicts one object from `M` with two-bit FIFO-reinsertion
+    /// (Algorithm 1, `EVICTM`).
+    fn evict_main(&mut self, evicted: &mut Vec<Eviction>) {
+        while let Some(tail) = self.main.tail() {
+            let t = tail as usize;
+            if self.slab.slots[t].freq > 0 {
+                // Reinsert at the head with frequency decreased by one.
+                self.main.move_to_front(&mut self.slab.slots, tail);
+                self.slab.slots[t].freq -= 1;
+            } else {
+                self.main.remove(&mut self.slab.slots, tail);
+                self.m_used -= u64::from(self.slab.size(tail));
+                self.slab.slots[t].tag = ABSENT;
+                self.stats.evictions += 1;
+                evicted.push(self.slab.eviction(tail, false));
+                return;
+            }
+        }
+    }
+
+    /// Frees space until `need` more bytes fit (Algorithm 1, `INSERT`'s
+    /// eviction loop): evict from `S` when it is at or over target (or `M` is
+    /// empty), otherwise from `M`.
+    fn make_room(&mut self, need: u32, evicted: &mut Vec<Eviction>) {
+        while self.used_total() + u64::from(need) > self.capacity {
+            if self.s_used >= self.s_capacity || self.main.is_empty() {
+                self.evict_small(evicted);
+            } else {
+                self.evict_main(evicted);
+            }
+            if self.len_total() == 0 {
+                break;
+            }
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        // Ghost membership is decided before making room: the eviction loop
+        // below inserts into the ghost itself and could otherwise displace
+        // exactly the entry being looked up.
+        let in_ghost = self.ghost.contains(slot);
+        self.make_room(req.size, evicted);
+        let queue = if in_ghost {
+            self.ghost.remove(slot);
+            self.ghost_hits += 1;
+            self.m_used += u64::from(req.size);
+            self.main.push_front(&mut self.slab.slots, slot);
+            MAIN
+        } else {
+            self.s_used += u64::from(req.size);
+            self.small.push_front(&mut self.slab.slots, slot);
+            SMALL
+        };
+        let s = &mut self.slab.slots[slot as usize];
+        s.tag = queue;
+        s.freq = 0;
+        s.on_insert(req);
+        // A ghost-hit insert into M can overflow M; trim it now so the
+        // invariant `m_used <= m_capacity` holds between requests (the small
+        // queue is allowed to exceed its *target* transiently by design).
+        if queue == MAIN && self.m_used > self.m_capacity {
+            self.evict_main(evicted);
+        }
+    }
+
+    fn delete(&mut self, slot: u32) {
+        match std::mem::replace(&mut self.slab.slots[slot as usize].tag, ABSENT) {
+            SMALL => {
+                self.small.remove(&mut self.slab.slots, slot);
+                self.s_used -= u64::from(self.slab.size(slot));
+            }
+            MAIN => {
+                self.main.remove(&mut self.slab.slots, slot);
+                self.m_used -= u64::from(self.slab.size(slot));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl DensePolicy for DenseS3Fifo {
+    fn name(&self) -> String {
+        format!("S3-FIFO({:.2})", self.cfg.small_ratio)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_total()
+    }
+
+    fn len(&self) -> usize {
+        self.len_total()
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.slab.slots[slot as usize].tag != ABSENT {
+                    // Cache hit: atomically bump the capped counter (§4.1).
+                    let s = &mut self.slab.slots[slot as usize];
+                    s.freq = (s.freq + 1).min(3);
+                    s.touch(req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                // Overwrite: drop any existing entry, then insert fresh.
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!(ghost);
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}

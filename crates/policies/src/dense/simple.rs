@@ -1,0 +1,546 @@
+//! Dense mirrors of the single-queue policies: FIFO, LRU, CLOCK, SIEVE.
+//!
+//! Slot-state conventions (see [`super::slab::Slot`]): `tag` is the
+//! residency flag (0 = absent, 1 = resident); `freq` holds the CLOCK
+//! reference counter and the SIEVE visited bit.
+
+use super::{impl_dense_replay, DenseSlab, PackedQueue};
+use cache_ds::{DenseIds, NIL};
+use cache_types::{CacheError, DensePolicy, Eviction, Op, Outcome, PolicyStats, Request};
+use std::sync::Arc;
+
+const ABSENT: u8 = 0;
+const RESIDENT: u8 = 1;
+
+/// Dense mirror of [`crate::fifo::Fifo`].
+pub struct DenseFifo {
+    capacity: u64,
+    used: u64,
+    slab: DenseSlab,
+    /// Head = newest insert, tail = next eviction.
+    queue: PackedQueue,
+    stats: PolicyStats,
+}
+
+impl DenseFifo {
+    /// Creates a FIFO cache of `capacity` bytes over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(DenseFifo {
+            capacity,
+            used: 0,
+            slab: DenseSlab::new(ids),
+            queue: PackedQueue::new(),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    /// Warms the next eviction candidate (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        self.slab.warm_tail(&self.queue);
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if let Some(s) = self.queue.pop_back(&mut self.slab.slots) {
+            self.slab.slots[s as usize].tag = ABSENT;
+            self.used -= u64::from(self.slab.size(s));
+            self.stats.evictions += 1;
+            evicted.push(self.slab.eviction(s, false));
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.queue.is_empty() {
+            self.evict_one(evicted);
+        }
+        self.queue.push_front(&mut self.slab.slots, slot);
+        let s = &mut self.slab.slots[slot as usize];
+        s.tag = RESIDENT;
+        s.on_insert(req);
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, slot: u32) {
+        if std::mem::replace(&mut self.slab.slots[slot as usize].tag, ABSENT) == RESIDENT {
+            self.queue.remove(&mut self.slab.slots, slot);
+            self.used -= u64::from(self.slab.size(slot));
+        }
+    }
+}
+
+impl DensePolicy for DenseFifo {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len() as usize
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.slab.slots[slot as usize].tag == RESIDENT {
+                    self.slab.slots[slot as usize].touch(req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!();
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+/// Dense mirror of [`crate::lru::Lru`].
+pub struct DenseLru {
+    capacity: u64,
+    used: u64,
+    slab: DenseSlab,
+    /// Head = most recently used, tail = next eviction.
+    queue: PackedQueue,
+    stats: PolicyStats,
+}
+
+impl DenseLru {
+    /// Creates an LRU cache of `capacity` bytes over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(DenseLru {
+            capacity,
+            used: 0,
+            slab: DenseSlab::new(ids),
+            queue: PackedQueue::new(),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    /// Warms the next eviction candidate (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        self.slab.warm_tail(&self.queue);
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if let Some(s) = self.queue.pop_back(&mut self.slab.slots) {
+            self.slab.slots[s as usize].tag = ABSENT;
+            self.used -= u64::from(self.slab.size(s));
+            self.stats.evictions += 1;
+            evicted.push(self.slab.eviction(s, false));
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.queue.is_empty() {
+            self.evict_one(evicted);
+        }
+        self.queue.push_front(&mut self.slab.slots, slot);
+        let s = &mut self.slab.slots[slot as usize];
+        s.tag = RESIDENT;
+        s.on_insert(req);
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, slot: u32) {
+        if std::mem::replace(&mut self.slab.slots[slot as usize].tag, ABSENT) == RESIDENT {
+            self.queue.remove(&mut self.slab.slots, slot);
+            self.used -= u64::from(self.slab.size(slot));
+        }
+    }
+}
+
+impl DensePolicy for DenseLru {
+    fn name(&self) -> String {
+        "LRU".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len() as usize
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.slab.slots[slot as usize].tag == RESIDENT {
+                    self.slab.slots[slot as usize].touch(req.time);
+                    self.queue.move_to_front(&mut self.slab.slots, slot);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!();
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+/// Dense mirror of [`crate::clock::Clock`].
+pub struct DenseClock {
+    capacity: u64,
+    used: u64,
+    max_freq: u8,
+    slab: DenseSlab,
+    queue: PackedQueue,
+    stats: PolicyStats,
+}
+
+impl DenseClock {
+    /// Creates a CLOCK cache with a reference counter of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when `capacity == 0` or `bits` is 0 or > 7.
+    pub fn new(capacity: u64, bits: u8, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        if bits == 0 || bits > 7 {
+            return Err(CacheError::InvalidParameter(format!(
+                "bits must be in 1..=7, got {bits}"
+            )));
+        }
+        Ok(DenseClock {
+            capacity,
+            used: 0,
+            max_freq: (1u8 << bits) - 1,
+            slab: DenseSlab::new(ids),
+            queue: PackedQueue::new(),
+            stats: PolicyStats::default(),
+        })
+    }
+
+    /// Warms the next eviction candidate (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        self.slab.warm_tail(&self.queue);
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        while let Some(tail) = self.queue.tail() {
+            let t = tail as usize;
+            if self.slab.slots[t].freq > 0 {
+                self.slab.slots[t].freq -= 1;
+                self.queue.move_to_front(&mut self.slab.slots, tail);
+            } else {
+                self.queue.remove(&mut self.slab.slots, tail);
+                self.slab.slots[t].tag = ABSENT;
+                self.used -= u64::from(self.slab.size(tail));
+                self.stats.evictions += 1;
+                evicted.push(self.slab.eviction(tail, false));
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.queue.is_empty() {
+            self.evict_one(evicted);
+        }
+        self.queue.push_front(&mut self.slab.slots, slot);
+        let s = &mut self.slab.slots[slot as usize];
+        s.tag = RESIDENT;
+        s.freq = 0;
+        s.on_insert(req);
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, slot: u32) {
+        if std::mem::replace(&mut self.slab.slots[slot as usize].tag, ABSENT) == RESIDENT {
+            self.queue.remove(&mut self.slab.slots, slot);
+            self.used -= u64::from(self.slab.size(slot));
+        }
+    }
+}
+
+impl DensePolicy for DenseClock {
+    fn name(&self) -> String {
+        if self.max_freq == 1 {
+            "CLOCK".into()
+        } else {
+            format!("CLOCK-{}bit", (self.max_freq + 1).trailing_zeros())
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len() as usize
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.slab.slots[slot as usize].tag == RESIDENT {
+                    let s = &mut self.slab.slots[slot as usize];
+                    s.freq = (s.freq + 1).min(self.max_freq);
+                    s.touch(req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!();
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+/// Dense mirror of [`crate::sieve::Sieve`]. The visited bit lives in the
+/// slot's `freq` field.
+pub struct DenseSieve {
+    capacity: u64,
+    used: u64,
+    slab: DenseSlab,
+    /// Head = newest insert.
+    queue: PackedQueue,
+    /// The hand: next eviction candidate. `NIL` means "start at the tail".
+    /// Invariant: when not `NIL`, points at a slot currently in the queue
+    /// (eviction and delete both step it off a node before removal — the
+    /// dense equivalent of the keyed version's stale-handle filter).
+    hand: u32,
+    stats: PolicyStats,
+}
+
+impl DenseSieve {
+    /// Creates a SIEVE cache of `capacity` bytes over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        if capacity == 0 {
+            return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
+        }
+        Ok(DenseSieve {
+            capacity,
+            used: 0,
+            slab: DenseSlab::new(ids),
+            queue: PackedQueue::new(),
+            hand: NIL,
+            stats: PolicyStats::default(),
+        })
+    }
+
+    /// Warms the next eviction candidate: the hand, or the tail when the
+    /// hand is unset (pure prefetch hint).
+    #[inline]
+    fn prefetch_extra(&self) {
+        if self.hand != NIL {
+            self.slab.warm_slot(self.hand);
+        } else {
+            self.slab.warm_tail(&self.queue);
+        }
+    }
+
+    fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        // Resume from the hand, or from the tail at start / after wrap.
+        let mut cur = if self.hand != NIL {
+            Some(self.hand)
+        } else {
+            self.queue.tail()
+        };
+        while let Some(s) = cur {
+            if self.slab.slots[s as usize].freq != 0 {
+                self.slab.slots[s as usize].freq = 0;
+                // Move toward the head; wrap to the tail at the end.
+                cur = self
+                    .queue
+                    .toward_head(&self.slab.slots, s)
+                    .or_else(|| self.queue.tail());
+            } else {
+                // Evict; the hand moves to the neighbour toward the head.
+                self.hand = self
+                    .queue
+                    .toward_head(&self.slab.slots, s)
+                    .unwrap_or(NIL);
+                self.queue.remove(&mut self.slab.slots, s);
+                self.slab.slots[s as usize].tag = ABSENT;
+                self.used -= u64::from(self.slab.size(s));
+                self.stats.evictions += 1;
+                evicted.push(self.slab.eviction(s, false));
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used + u64::from(req.size) > self.capacity && !self.queue.is_empty() {
+            self.evict_one(evicted);
+        }
+        self.queue.push_front(&mut self.slab.slots, slot);
+        let s = &mut self.slab.slots[slot as usize];
+        s.tag = RESIDENT;
+        s.freq = 0;
+        s.on_insert(req);
+        self.used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, slot: u32) {
+        if std::mem::replace(&mut self.slab.slots[slot as usize].tag, ABSENT) == RESIDENT {
+            if self.hand == slot {
+                self.hand = self
+                    .queue
+                    .toward_head(&self.slab.slots, slot)
+                    .unwrap_or(NIL);
+            }
+            self.queue.remove(&mut self.slab.slots, slot);
+            self.used -= u64::from(self.slab.size(slot));
+        }
+    }
+}
+
+impl DensePolicy for DenseSieve {
+    fn name(&self) -> String {
+        "SIEVE".into()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len() as usize
+    }
+
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.slab.slots[slot as usize].tag == RESIDENT {
+                    let s = &mut self.slab.slots[slot as usize];
+                    s.freq = 1;
+                    s.touch(req.time);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(slot, req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(slot);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(slot, req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(slot);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    impl_dense_replay!();
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}

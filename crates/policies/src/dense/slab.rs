@@ -1,0 +1,359 @@
+//! Packed per-slot storage for the dense policies.
+//!
+//! The first dense layout kept parallel `Vec`s (residency, links, sizes,
+//! access times, counters), so one cache hit touched five or six scattered
+//! cache lines — no better than the keyed `HashMap` node it replaced. Here
+//! everything a request needs lives in a single 40-byte [`Slot`], so the hot
+//! path costs one line for the slot plus one per queue neighbour.
+//!
+//! [`PackedQueue`] is [`cache_ds::DenseQueue`] re-targeted at the intrusive
+//! `prev`/`next` fields inside `[Slot]`, with identical semantics and
+//! orientation (head = newest, tail = next eviction); a differential test
+//! below holds the two in lockstep.
+
+use cache_ds::{DenseIds, NIL};
+use cache_types::{Eviction, Request};
+use std::sync::Arc;
+
+/// All per-object state of a dense policy, one cache line's worth.
+///
+/// `tag` and `freq` are policy-defined: residency flags, queue tags, SLRU
+/// segment indices, CLOCK/S3-FIFO counters, the SIEVE visited bit. The only
+/// shared convention is `tag == 0` ⇒ not resident.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(64))]
+pub(crate) struct Slot {
+    /// Neighbour toward the tail-to-head direction (`NIL` at the tail).
+    pub prev: u32,
+    /// Neighbour toward the head-to-tail direction (`NIL` at the head).
+    pub next: u32,
+    /// Object size at insertion.
+    pub size: u32,
+    /// Accesses after insertion.
+    pub hits: u32,
+    /// Logical insertion time.
+    pub insert_time: u64,
+    /// Logical time of the most recent access.
+    pub last_access: u64,
+    /// Original object id, recorded at insertion so evictions can emit a
+    /// real [`Eviction::id`] without a random read into the interning
+    /// table's slot → id array (a guaranteed cache miss per eviction).
+    pub orig: u64,
+    /// Policy-defined residency / queue / segment tag; 0 = absent.
+    pub tag: u8,
+    /// Policy-defined counter or flag.
+    pub freq: u8,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        prev: NIL,
+        next: NIL,
+        size: 0,
+        hits: 0,
+        insert_time: 0,
+        last_access: 0,
+        orig: 0,
+        tag: 0,
+        freq: 0,
+    };
+
+    /// Resets the bookkeeping fields on (re)insertion, matching
+    /// `crate::util::Meta` / the keyed entries.
+    #[inline]
+    pub fn on_insert(&mut self, req: &Request) {
+        self.orig = req.id;
+        self.size = req.size;
+        self.insert_time = req.time;
+        self.last_access = req.time;
+        self.hits = 0;
+    }
+
+    /// Records a hit at logical time `now`.
+    #[inline]
+    pub fn touch(&mut self, now: u64) {
+        self.hits += 1;
+        self.last_access = now;
+    }
+}
+
+/// The slot array every dense policy stores its per-object state in.
+///
+/// Original ids travel inside each [`Slot`] (written on insertion, when the
+/// id is already in a register), so no slot → id table is consulted on the
+/// replay path.
+pub(crate) struct DenseSlab {
+    /// One [`Slot`] per interned id.
+    pub slots: Vec<Slot>,
+}
+
+impl DenseSlab {
+    pub(crate) fn new(ids: &Arc<DenseIds>) -> Self {
+        DenseSlab {
+            slots: vec![Slot::EMPTY; ids.len()],
+        }
+    }
+
+    /// Number of slots in the dense domain.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Object size recorded at `slot`'s insertion.
+    #[inline]
+    pub(crate) fn size(&self, slot: u32) -> u32 {
+        self.slots[slot as usize].size
+    }
+
+    /// Warms one slot's cache line (pure prefetch hint, no state change).
+    #[inline]
+    pub(crate) fn warm_slot(&self, s: u32) {
+        cache_ds::prefetch_read(&self.slots, s as usize);
+    }
+
+    /// Warms the slot `q` would evict next. Eviction candidates sit at queue
+    /// tails, untouched since insertion and therefore cold; warming them on
+    /// every request keeps the eviction scan off the demand-miss path.
+    #[inline]
+    pub(crate) fn warm_tail(&self, q: &PackedQueue) {
+        if let Some(t) = q.tail() {
+            self.warm_slot(t);
+        }
+    }
+
+    /// Builds the [`Eviction`] record for `slot` (cold path).
+    #[inline]
+    pub(crate) fn eviction(&self, slot: u32, from_probationary: bool) -> Eviction {
+        let s = &self.slots[slot as usize];
+        Eviction {
+            id: s.orig,
+            size: s.size,
+            insert_time: s.insert_time,
+            last_access_time: s.last_access,
+            freq: s.hits,
+            from_probationary,
+        }
+    }
+}
+
+/// Head/tail/len view of one queue threaded through `[Slot]` links.
+///
+/// Same contract as [`cache_ds::DenseQueue`]: all O(1), `push_front` only
+/// detached slots, `remove`/`move_to_front` only members of *this* queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PackedQueue {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for PackedQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PackedQueue {
+    /// An empty queue.
+    pub(crate) const fn new() -> Self {
+        PackedQueue {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of queued slots.
+    #[inline]
+    pub(crate) fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when no slots are queued.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tail (oldest) slot, or `None` when empty.
+    #[inline]
+    pub(crate) fn tail(&self) -> Option<u32> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.tail)
+        }
+    }
+
+    /// The neighbour of `s` toward the head, or `None` when `s` is the head.
+    #[inline]
+    pub(crate) fn toward_head(&self, slots: &[Slot], s: u32) -> Option<u32> {
+        let p = slots[s as usize].prev;
+        if p == NIL {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Inserts detached slot `s` at the head.
+    #[inline]
+    pub(crate) fn push_front(&mut self, slots: &mut [Slot], s: u32) {
+        debug_assert!(slots[s as usize].prev == NIL && slots[s as usize].next == NIL);
+        let old_head = self.head;
+        slots[s as usize].next = old_head;
+        slots[s as usize].prev = NIL;
+        if old_head != NIL {
+            slots[old_head as usize].prev = s;
+        } else {
+            self.tail = s;
+        }
+        self.head = s;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn unlink(&mut self, slots: &mut [Slot], s: u32) {
+        let Slot { prev: p, next: n, .. } = slots[s as usize];
+        if p != NIL {
+            slots[p as usize].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            slots[n as usize].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    /// Removes and returns the tail slot.
+    #[inline]
+    pub(crate) fn pop_back(&mut self, slots: &mut [Slot]) -> Option<u32> {
+        if self.tail == NIL {
+            return None;
+        }
+        let s = self.tail;
+        self.unlink(slots, s);
+        slots[s as usize].prev = NIL;
+        slots[s as usize].next = NIL;
+        self.len -= 1;
+        Some(s)
+    }
+
+    /// Detaches slot `s`, which must be in this queue.
+    #[inline]
+    pub(crate) fn remove(&mut self, slots: &mut [Slot], s: u32) {
+        self.unlink(slots, s);
+        slots[s as usize].prev = NIL;
+        slots[s as usize].next = NIL;
+        self.len -= 1;
+    }
+
+    /// Moves slot `s`, which must be in this queue, to the head.
+    #[inline]
+    pub(crate) fn move_to_front(&mut self, slots: &mut [Slot], s: u32) {
+        if self.head == s {
+            return;
+        }
+        self.unlink(slots, s);
+        let old_head = self.head;
+        slots[s as usize].prev = NIL;
+        slots[s as usize].next = old_head;
+        if old_head != NIL {
+            slots[old_head as usize].prev = s;
+        } else {
+            self.tail = s;
+        }
+        self.head = s;
+    }
+
+    /// Iterates slots head → tail (differential tests only; not a hot path).
+    #[cfg(test)]
+    pub(crate) fn iter<'a>(&'a self, slots: &'a [Slot]) -> impl Iterator<Item = u32> + 'a {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let s = cur;
+            cur = slots[s as usize].next;
+            Some(s)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_ds::{DenseLinks, DenseQueue, SplitMix64};
+
+    #[test]
+    fn slot_is_at_most_one_cache_line() {
+        assert!(std::mem::size_of::<Slot>() <= 64);
+    }
+
+    #[test]
+    fn differential_against_dense_queue() {
+        // Random push/pop/promote/remove interleavings must match the
+        // reference DenseQueue (itself differentially tested against DList).
+        let n = 64usize;
+        let mut rng = SplitMix64::new(0x51AB);
+        let mut slots = vec![Slot::EMPTY; n];
+        let mut pq = PackedQueue::new();
+        let mut links = DenseLinks::new(n);
+        let mut dq = DenseQueue::new();
+        let mut queued = vec![false; n];
+        for _ in 0..10_000 {
+            let s = rng.next_below(n as u64) as u32;
+            match rng.next_below(4) {
+                0 => {
+                    if !queued[s as usize] {
+                        pq.push_front(&mut slots, s);
+                        dq.push_front(&mut links, s);
+                        queued[s as usize] = true;
+                    }
+                }
+                1 => {
+                    let a = pq.pop_back(&mut slots);
+                    let b = dq.pop_back(&mut links);
+                    assert_eq!(a, b);
+                    if let Some(x) = a {
+                        queued[x as usize] = false;
+                    }
+                }
+                2 => {
+                    if queued[s as usize] {
+                        pq.move_to_front(&mut slots, s);
+                        dq.move_to_front(&mut links, s);
+                    }
+                }
+                _ => {
+                    if queued[s as usize] {
+                        pq.remove(&mut slots, s);
+                        dq.remove(&mut links, s);
+                        queued[s as usize] = false;
+                    }
+                }
+            }
+            assert_eq!(pq.len(), dq.len());
+            assert_eq!(pq.tail(), dq.tail());
+        }
+        let got: Vec<u32> = pq.iter(&slots).collect();
+        let want: Vec<u32> = dq.iter(&links).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn toward_head_matches_orientation() {
+        let mut slots = vec![Slot::EMPTY; 4];
+        let mut q = PackedQueue::new();
+        for s in [1u32, 2, 3] {
+            q.push_front(&mut slots, s); // head 3, 2, 1 tail
+        }
+        assert_eq!(q.toward_head(&slots, 1), Some(2));
+        assert_eq!(q.toward_head(&slots, 3), None);
+        assert_eq!(q.tail(), Some(1));
+    }
+}

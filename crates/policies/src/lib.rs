@@ -24,7 +24,10 @@
 //! | [`fifomerge`] | FIFO-Merge | Segcache's eviction |
 //! | [`belady`] | Belady / OPT | offline optimal (Fig. 4) |
 //!
-//! [`registry`] builds policies by name for the sweep engine.
+//! [`registry`] builds policies by name for the sweep engine. [`dense`]
+//! holds slot-indexed mirrors of the core policies (FIFO, LRU, CLOCK, SIEVE,
+//! SLRU, 2Q, S3-FIFO) for the simulator's dense-ID fast path;
+//! [`registry::build_dense`] selects them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod belady;
 pub mod blru;
 pub mod cacheus;
 pub mod clock;
+pub mod dense;
 pub mod fifo;
 pub mod fifomerge;
 pub mod lecar;
@@ -50,6 +54,7 @@ pub(crate) mod util;
 
 pub use arc::Arc;
 pub use belady::Belady;
+pub use dense::{DenseClock, DenseFifo, DenseLru, DenseS3Fifo, DenseSieve, DenseSlru, DenseTwoQ};
 pub use blru::BloomLru;
 pub use cacheus::Cacheus;
 pub use clock::Clock;

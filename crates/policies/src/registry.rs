@@ -149,6 +149,48 @@ pub fn build(
     })
 }
 
+/// Builds the dense-ID fast-path variant of the named policy, or `None`
+/// when the algorithm has no dense implementation (the simulator then falls
+/// back to the keyed path).
+///
+/// Dense variants exist for the core queue policies: FIFO, LRU, CLOCK,
+/// CLOCK-2bit, SIEVE, SLRU, 2Q, S3-FIFO, and `"S3-FIFO(r)"`. Each is
+/// decision-identical to its keyed sibling (enforced by the simulator's
+/// equivalence test).
+///
+/// # Errors
+///
+/// Returns [`CacheError`] for an invalid capacity or embedded parameter.
+/// An *unknown* name is `Ok(None)` here, not an error: the keyed
+/// [`build`] is the authority on name validity.
+pub fn build_dense(
+    name: &str,
+    capacity: u64,
+    ids: &std::sync::Arc<cache_ds::DenseIds>,
+) -> Result<Option<Box<dyn cache_types::DensePolicy>>, CacheError> {
+    use crate::dense::{
+        DenseClock, DenseFifo, DenseLru, DenseS3Fifo, DenseSieve, DenseSlru, DenseTwoQ,
+    };
+    if let Some(ratio) = parse_param(name, "S3-FIFO") {
+        let cfg = S3FifoConfig {
+            small_ratio: ratio?,
+            ..Default::default()
+        };
+        return Ok(Some(Box::new(DenseS3Fifo::with_config(capacity, cfg, ids)?)));
+    }
+    Ok(match name {
+        "FIFO" => Some(Box::new(DenseFifo::new(capacity, ids)?)),
+        "LRU" => Some(Box::new(DenseLru::new(capacity, ids)?)),
+        "CLOCK" => Some(Box::new(DenseClock::new(capacity, 1, ids)?)),
+        "CLOCK-2bit" => Some(Box::new(DenseClock::new(capacity, 2, ids)?)),
+        "SIEVE" => Some(Box::new(DenseSieve::new(capacity, ids)?)),
+        "SLRU" => Some(Box::new(DenseSlru::new(capacity, ids)?)),
+        "2Q" => Some(Box::new(DenseTwoQ::new(capacity, ids)?)),
+        "S3-FIFO" => Some(Box::new(DenseS3Fifo::new(capacity, ids)?)),
+        _ => None,
+    })
+}
+
 /// Parses `"<prefix>(<float>)"`, returning `Some(Ok(float))` on a match,
 /// `Some(Err)` on a malformed parameter, `None` when the name does not have
 /// that parameterized shape.

@@ -3,7 +3,7 @@
 use cache_ds::Histogram;
 use cache_policies::registry;
 use cache_trace::Trace;
-use cache_types::{CacheError, Eviction, Policy, Request};
+use cache_types::{CacheError, DensePolicy, Eviction, Policy, Request};
 
 /// How the cache capacity is derived for a trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,8 +102,14 @@ pub struct SimResult {
 }
 
 /// Replays `trace` through `policy`, collecting eviction-time metrics.
+///
+/// Size override happens here and only here: with `ignore_size` every
+/// request is replayed at size 1 without materializing a unit-size copy of
+/// the trace.
 pub fn simulate(policy: &mut dyn Policy, trace: &Trace, ignore_size: bool) -> SimResult {
-    let mut evs: Vec<Eviction> = Vec::new();
+    // A single eviction batch is small (one insert evicts a handful of
+    // objects at most); preallocate once so the inner loop never grows it.
+    let mut evs: Vec<Eviction> = Vec::with_capacity(64);
     let mut freq_at_eviction = Histogram::new();
     let mut eviction_age = Histogram::new();
     for (i, r) in trace.requests.iter().enumerate() {
@@ -133,6 +139,151 @@ pub fn simulate(policy: &mut dyn Policy, trace: &Trace, ignore_size: bool) -> Si
         freq_at_eviction,
         eviction_age,
     }
+}
+
+/// Replays `trace` through a dense-ID policy using the trace's interned slot
+/// sequence ([`Trace::dense`]). Identical observable results to [`simulate`]
+/// on the matching keyed policy — only faster.
+pub fn simulate_dense(policy: &mut dyn DensePolicy, trace: &Trace, ignore_size: bool) -> SimResult {
+    let dense = trace.dense();
+    let mut freq_at_eviction = Histogram::new();
+    let mut eviction_age = Histogram::new();
+    // `replay` is overridden by every dense policy with a monomorphized
+    // loop, so the per-request path inlines; this closure only runs per
+    // eviction.
+    policy.replay(&dense.slots, &trace.requests, ignore_size, &mut |i, e| {
+        freq_at_eviction.record(u64::from(e.freq));
+        eviction_age.record(e.age(i as u64));
+    });
+    let stats = policy.stats();
+    SimResult {
+        algorithm: policy.name(),
+        trace: trace.name.clone(),
+        capacity: policy.capacity(),
+        requests: stats.gets,
+        misses: stats.misses,
+        miss_ratio: stats.miss_ratio(),
+        byte_miss_ratio: stats.byte_miss_ratio(),
+        evictions: stats.evictions,
+        one_hit_eviction_fraction: freq_at_eviction.zero_fraction(),
+        freq_at_eviction,
+        eviction_age,
+    }
+}
+
+/// How many requests ahead the ganged replay warms each policy's slot state;
+/// matches the lookahead of the single-policy monomorphized loops.
+const GANG_LOOKAHEAD: usize = 12;
+
+/// Replays **one pass** of `trace` through several dense policies at once.
+///
+/// Sweep jobs that share a trace are independent, so a single trace
+/// traversal can drive all of them: while one policy's slot load stalls on
+/// memory, the others issue theirs, converting the per-job serial cache
+/// misses of one-job-at-a-time replay into gang-wide memory-level
+/// parallelism. On a single core this is where sweep throughput comes from;
+/// results are bit-identical to running each policy alone because every
+/// policy sees exactly the same request sequence and keeps private state.
+pub fn simulate_dense_many(
+    policies: &mut [Box<dyn DensePolicy>],
+    trace: &Trace,
+    ignore_size: bool,
+) -> Vec<SimResult> {
+    let dense = trace.dense();
+    let slots = &dense.slots;
+    let mut obs: Vec<(Histogram, Histogram)> = policies
+        .iter()
+        .map(|_| (Histogram::new(), Histogram::new()))
+        .collect();
+    let mut evs: Vec<Eviction> = Vec::with_capacity(64);
+    for (i, (&slot, r)) in slots.iter().zip(trace.requests.iter()).enumerate() {
+        if let Some(&ahead) = slots.get(i + GANG_LOOKAHEAD) {
+            for p in policies.iter() {
+                p.prefetch(ahead);
+            }
+        }
+        let req = if ignore_size {
+            Request { size: 1, ..(*r) }
+        } else {
+            *r
+        };
+        for (p, (freq_hist, age_hist)) in policies.iter_mut().zip(obs.iter_mut()) {
+            evs.clear();
+            p.request_dense(slot, &req, &mut evs);
+            for e in &evs {
+                freq_hist.record(u64::from(e.freq));
+                age_hist.record(e.age(i as u64));
+            }
+        }
+    }
+    policies
+        .iter()
+        .zip(obs)
+        .map(|(p, (freq_at_eviction, eviction_age))| {
+            let stats = p.stats();
+            SimResult {
+                algorithm: p.name(),
+                trace: trace.name.clone(),
+                capacity: p.capacity(),
+                requests: stats.gets,
+                misses: stats.misses,
+                miss_ratio: stats.miss_ratio(),
+                byte_miss_ratio: stats.byte_miss_ratio(),
+                evictions: stats.evictions,
+                one_hit_eviction_fraction: freq_at_eviction.zero_fraction(),
+                freq_at_eviction,
+                eviction_age,
+            }
+        })
+        .collect()
+}
+
+/// Simulates several named algorithms against the same trace and config,
+/// ganging all dense-capable ones into a single trace pass
+/// ([`simulate_dense_many`]) and running the rest through the keyed engine
+/// individually. Results come back in input order; each entry is exactly
+/// what [`simulate_named`] would have produced for that name.
+///
+/// # Errors
+///
+/// Propagates the first [`CacheError`] from the registry (unknown name, bad
+/// parameter).
+pub fn simulate_named_many(
+    names: &[&str],
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> Result<Vec<Option<SimResult>>, CacheError> {
+    let capacity = cfg.capacity_for(trace);
+    if cfg.min_objects > 0 && capacity < cfg.min_objects {
+        return Ok(names.iter().map(|_| None).collect());
+    }
+    let mut results: Vec<Option<SimResult>> = names.iter().map(|_| None).collect();
+    let mut gang: Vec<Box<dyn DensePolicy>> = Vec::new();
+    let mut gang_idx: Vec<usize> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        match registry::build_dense(name, capacity, &trace.dense().ids)? {
+            Some(p) => {
+                gang.push(p);
+                gang_idx.push(i);
+            }
+            None => {
+                let mut policy = registry::build(name, capacity, Some(&trace.requests))?;
+                results[i] = Some(simulate(policy.as_mut(), trace, cfg.ignore_size));
+            }
+        }
+    }
+    if gang.len() == 1 {
+        // A gang of one gains nothing over the monomorphized single loop.
+        results[gang_idx[0]] = Some(simulate_dense(gang[0].as_mut(), trace, cfg.ignore_size));
+    } else if !gang.is_empty() {
+        for (i, r) in gang_idx
+            .into_iter()
+            .zip(simulate_dense_many(&mut gang, trace, cfg.ignore_size))
+        {
+            results[i] = Some(r);
+        }
+    }
+    Ok(results)
 }
 
 /// Builds the named algorithm for `trace` under `cfg` and simulates it.
@@ -169,18 +320,32 @@ pub fn simulate_named(
     if cfg.min_objects > 0 && capacity < cfg.min_objects {
         return Ok(None);
     }
-    let unit_reqs;
-    let reqs: &[Request] = if cfg.ignore_size {
-        unit_reqs = trace
-            .requests
-            .iter()
-            .map(|r| Request { size: 1, ..*r })
-            .collect::<Vec<_>>();
-        &unit_reqs
-    } else {
-        &trace.requests
-    };
-    let mut policy = registry::build(name, capacity, Some(reqs))?;
+    if let Some(mut dense) = registry::build_dense(name, capacity, &trace.dense().ids)? {
+        return Ok(Some(simulate_dense(dense.as_mut(), trace, cfg.ignore_size)));
+    }
+    let mut policy = registry::build(name, capacity, Some(&trace.requests))?;
+    Ok(Some(simulate(policy.as_mut(), trace, cfg.ignore_size)))
+}
+
+/// [`simulate_named`] forced onto the keyed (HashMap) policy path, never the
+/// dense one. The equivalence tests and the throughput benchmark use this as
+/// the reference implementation; everything else should call
+/// [`simulate_named`].
+///
+/// # Errors
+///
+/// Propagates [`CacheError`] from the registry (unknown name, bad
+/// parameter).
+pub fn simulate_named_keyed(
+    name: &str,
+    trace: &Trace,
+    cfg: &SimConfig,
+) -> Result<Option<SimResult>, CacheError> {
+    let capacity = cfg.capacity_for(trace);
+    if cfg.min_objects > 0 && capacity < cfg.min_objects {
+        return Ok(None);
+    }
+    let mut policy = registry::build(name, capacity, Some(&trace.requests))?;
     Ok(Some(simulate(policy.as_mut(), trace, cfg.ignore_size)))
 }
 
@@ -279,6 +444,47 @@ mod tests {
                 r.miss_ratio
             );
         }
+    }
+
+    #[test]
+    fn ganged_replay_matches_individual_runs() {
+        let trace = small_trace();
+        let cfg = SimConfig::large();
+        // A mixed batch: dense-capable names ganged into one pass, keyed-only
+        // names (ARC) simulated individually, all in input order.
+        let names = ["S3-FIFO", "FIFO", "ARC", "LRU", "SIEVE"];
+        let many = simulate_named_many(&names, &trace, &cfg).unwrap();
+        assert_eq!(many.len(), names.len());
+        for (name, got) in names.iter().zip(many) {
+            let got = got.unwrap();
+            let solo = simulate_named(name, &trace, &cfg).unwrap().unwrap();
+            assert_eq!(got.algorithm, solo.algorithm);
+            assert_eq!(got.misses, solo.misses, "{name}");
+            assert_eq!(got.evictions, solo.evictions, "{name}");
+            assert_eq!(
+                got.miss_ratio.to_bits(),
+                solo.miss_ratio.to_bits(),
+                "{name}"
+            );
+            assert_eq!(
+                got.one_hit_eviction_fraction.to_bits(),
+                solo.one_hit_eviction_fraction.to_bits(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn ganged_replay_respects_min_objects() {
+        let trace = WorkloadSpec::zipf("t", 2000, 100, 1.0, 9).generate();
+        let cfg = SimConfig {
+            size: CacheSizeSpec::FractionOfObjects(0.001),
+            ignore_size: true,
+            min_objects: 1000,
+            floor_objects: 0,
+        };
+        let many = simulate_named_many(&["LRU", "FIFO"], &trace, &cfg).unwrap();
+        assert!(many.iter().all(Option::is_none));
     }
 
     #[test]

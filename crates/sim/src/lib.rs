@@ -20,10 +20,14 @@ pub mod oracle;
 pub mod sweep;
 
 pub use demotion::{demotion_metrics, DemotionMetrics};
-pub use engine::{simulate, simulate_named, CacheSizeSpec, SimConfig, SimResult};
+pub use engine::{
+    simulate, simulate_dense, simulate_dense_many, simulate_named, simulate_named_keyed,
+    simulate_named_many, CacheSizeSpec, SimConfig,
+    SimResult,
+};
 pub use mrc::{miss_ratio_curve, MissRatioCurve, MrcPoint};
 pub use oracle::NextAccessOracle;
 pub use sweep::{
     miss_ratio_reduction, per_dataset_means, run_sweep, summarize_reductions, SweepRecord,
-    SweepSpec,
+    SweepSpec, MAX_GANG,
 };

@@ -5,7 +5,7 @@
 //! algorithm relative to FIFO, `(MR_fifo − MR_algo) / MR_fifo`, with the
 //! negated inverse when the algorithm is worse so values stay in `[-1, 1]`.
 
-use crate::engine::{simulate_named, SimConfig};
+use crate::engine::{simulate_named_many, SimConfig};
 use cache_ds::hist::{summarize, Summary};
 use cache_trace::Trace;
 use cache_types::CacheError;
@@ -27,6 +27,10 @@ pub struct SweepRecord {
     pub byte_miss_ratio: f64,
     /// Fraction of evicted objects that were one-hit wonders.
     pub one_hit_eviction_fraction: f64,
+    /// Wall-clock time this job's simulation took, in microseconds. Jobs
+    /// replayed inside a shared gang ([`simulate_named_many`]) report the
+    /// gang's wall time divided evenly across its records.
+    pub sim_micros: u64,
 }
 
 /// A sweep: every algorithm against every (dataset, trace) pair.
@@ -42,16 +46,38 @@ pub struct SweepSpec<'a> {
     pub threads: usize,
 }
 
+/// How many same-trace jobs one worker replays in a single ganged trace pass
+/// (see [`simulate_named_many`]). Ganging amortizes trace streaming and
+/// decode across policies, but each ganged policy adds an independent random
+/// stream into its own multi-MB slot slab plus its share of prefetch
+/// traffic; measured on the dev box (one core, small L3), throughput peaks
+/// at a gang of 2 and *degrades* past 4 as the line-fill buffers and TLB
+/// saturate. Keep this small.
+pub const MAX_GANG: usize = 2;
+
 /// Runs the sweep on a scoped worker pool. Records for configurations
 /// skipped by the `min_objects` rule are silently omitted, mirroring the
 /// paper's exclusions.
+///
+/// Work units are chunks of up to [`MAX_GANG`] algorithms against one trace;
+/// each chunk replays the trace once, driving every dense-capable algorithm
+/// in the chunk simultaneously ([`simulate_named_many`]).
+///
+/// The first failing job raises a shared abort flag; every worker checks it
+/// before claiming the next job, so one bad algorithm name cancels the whole
+/// sweep instead of letting the remaining workers grind through their queues.
 ///
 /// # Errors
 ///
 /// Returns the first simulation error (unknown algorithm, bad parameter).
 pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
-    let jobs: Vec<(usize, usize)> = (0..spec.traces.len())
-        .flat_map(|t| (0..spec.algorithms.len()).map(move |a| (t, a)))
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let jobs: Vec<(usize, std::ops::Range<usize>)> = (0..spec.traces.len())
+        .flat_map(|t| {
+            (0..spec.algorithms.len())
+                .step_by(MAX_GANG.max(1))
+                .map(move |s| (t, s..(s + MAX_GANG).min(spec.algorithms.len())))
+        })
         .collect();
     let threads = if spec.threads == 0 {
         std::thread::available_parallelism()
@@ -60,36 +86,56 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
     } else {
         spec.threads
     };
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
     let results: std::sync::Mutex<Vec<SweepRecord>> = std::sync::Mutex::new(Vec::new());
     let first_error: std::sync::Mutex<Option<CacheError>> = std::sync::Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(t, a)) = jobs.get(i) else { break };
-                let (dataset, trace) = &spec.traces[t];
-                let algo = &spec.algorithms[a];
-                match simulate_named(algo, trace, &spec.config) {
-                    Ok(Some(r)) => {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((t, algos)) = jobs.get(i) else { break };
+                let (dataset, trace) = &spec.traces[*t];
+                let names: Vec<&str> = spec.algorithms[algos.clone()]
+                    .iter()
+                    .map(String::as_str)
+                    .collect();
+                let start = std::time::Instant::now();
+                match simulate_named_many(&names, trace, &spec.config) {
+                    Ok(batch) => {
+                        // Records carry the registry name they were requested
+                        // under, not the policy's display name.
+                        let produced: Vec<(usize, crate::engine::SimResult)> = batch
+                            .into_iter()
+                            .enumerate()
+                            .filter_map(|(j, r)| r.map(|r| (j, r)))
+                            .collect();
+                        let sim_micros = start.elapsed().as_micros() as u64
+                            / produced.len().max(1) as u64;
                         let mut guard = results.lock().unwrap_or_else(|e| e.into_inner());
-                        guard.push(SweepRecord {
-                            dataset: dataset.clone(),
-                            trace: trace.name.clone(),
-                            algorithm: algo.clone(),
-                            capacity: r.capacity,
-                            miss_ratio: r.miss_ratio,
-                            byte_miss_ratio: r.byte_miss_ratio,
-                            one_hit_eviction_fraction: r.one_hit_eviction_fraction,
-                        });
+                        for (j, r) in produced {
+                            guard.push(SweepRecord {
+                                dataset: dataset.clone(),
+                                trace: trace.name.clone(),
+                                algorithm: names[j].to_string(),
+                                capacity: r.capacity,
+                                miss_ratio: r.miss_ratio,
+                                byte_miss_ratio: r.byte_miss_ratio,
+                                one_hit_eviction_fraction: r.one_hit_eviction_fraction,
+                                sim_micros,
+                            });
+                        }
                     }
-                    Ok(None) => {}
                     Err(e) => {
                         first_error
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
                             .get_or_insert(e);
+                        abort.store(true, Ordering::Relaxed);
                         break;
                     }
                 }
@@ -260,6 +306,35 @@ mod tests {
         );
         // Reductions vs FIFO must be positive for S3-FIFO here.
         assert!(sums[pos("S3-FIFO")].1.mean > 0.0);
+    }
+
+    #[test]
+    fn sweep_records_timing() {
+        let t1 = WorkloadSpec::zipf("t1", 5000, 500, 1.0, 1).generate();
+        let spec = SweepSpec {
+            traces: vec![("d1".into(), &t1)],
+            algorithms: vec!["FIFO".into()],
+            config: SimConfig::large(),
+            threads: 1,
+        };
+        let records = run_sweep(&spec).unwrap();
+        // 5000 requests take at least a microsecond; the field must be real.
+        assert!(records[0].sim_micros > 0);
+    }
+
+    #[test]
+    fn sweep_aborts_on_first_error() {
+        let t1 = WorkloadSpec::zipf("t1", 1000, 100, 1.0, 1).generate();
+        let spec = SweepSpec {
+            traces: vec![("d1".into(), &t1)],
+            algorithms: vec!["NOT-AN-ALGORITHM".into(), "FIFO".into(), "LRU".into()],
+            config: SimConfig::large(),
+            threads: 1,
+        };
+        // One worker hits the bad name first, raises the abort flag, and the
+        // remaining jobs are never claimed.
+        let err = run_sweep(&spec).unwrap_err();
+        assert!(format!("{err}").contains("NOT-AN-ALGORITHM"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Dense fast path ⇔ keyed reference equivalence.
+//!
+//! The dense-ID policies (`cache_policies::dense`) must be *decision
+//! identical* to their keyed siblings: same misses, same evictions, same
+//! miss ratios, bit for bit. Every registry algorithm is replayed through
+//! both `simulate_named` (auto-dense with keyed fallback) and
+//! `simulate_named_keyed` (forced keyed) across three workload shapes.
+
+use cache_policies::registry::ALL_ALGORITHMS;
+use cache_sim::{simulate_named, simulate_named_keyed, CacheSizeSpec, SimConfig};
+use cache_trace::gen::{SizeModel, WorkloadSpec};
+use cache_trace::Trace;
+
+/// The three workload shapes: pure Zipfian, scan-heavy (scan resistance is
+/// where 2Q/S3-FIFO ghost logic earns its keep), and variable object sizes
+/// replayed with sizes honored.
+fn workloads() -> Vec<(Trace, SimConfig)> {
+    let zipf = WorkloadSpec::zipf("zipf", 30_000, 3_000, 1.0, 42).generate();
+
+    let mut scan_spec = WorkloadSpec::zipf("scan-heavy", 30_000, 2_000, 0.9, 7);
+    scan_spec.scan_fraction = 0.4;
+    scan_spec.scan_len = 100;
+    scan_spec.scan_space = 4_000;
+    let scan = scan_spec.generate();
+
+    let mut sized_spec = WorkloadSpec::zipf("sized", 20_000, 2_000, 1.0, 11);
+    sized_spec.size_model = SizeModel::Uniform { min: 10, max: 1000 };
+    let sized = sized_spec.generate();
+    let sized_cfg = SimConfig {
+        size: CacheSizeSpec::FractionOfBytes(0.1),
+        ignore_size: false,
+        min_objects: 0,
+        floor_objects: 0,
+    };
+
+    vec![
+        (zipf, SimConfig::large()),
+        (scan, SimConfig::large()),
+        (sized, sized_cfg),
+    ]
+}
+
+#[test]
+fn dense_and_keyed_paths_are_bit_identical() {
+    for (trace, cfg) in workloads() {
+        for name in ALL_ALGORITHMS {
+            let fast = simulate_named(name, &trace, &cfg)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", trace.name))
+                .expect("no min_objects filter configured");
+            let reference = simulate_named_keyed(name, &trace, &cfg)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", trace.name))
+                .expect("no min_objects filter configured");
+
+            let ctx = format!("{name} on {}", trace.name);
+            assert_eq!(fast.algorithm, reference.algorithm, "{ctx}: name");
+            assert_eq!(fast.capacity, reference.capacity, "{ctx}: capacity");
+            assert_eq!(fast.requests, reference.requests, "{ctx}: requests");
+            assert_eq!(fast.misses, reference.misses, "{ctx}: misses");
+            assert_eq!(fast.evictions, reference.evictions, "{ctx}: evictions");
+            assert_eq!(
+                fast.miss_ratio.to_bits(),
+                reference.miss_ratio.to_bits(),
+                "{ctx}: miss_ratio {} vs {}",
+                fast.miss_ratio,
+                reference.miss_ratio
+            );
+            assert_eq!(
+                fast.byte_miss_ratio.to_bits(),
+                reference.byte_miss_ratio.to_bits(),
+                "{ctx}: byte_miss_ratio"
+            );
+            assert_eq!(
+                fast.one_hit_eviction_fraction.to_bits(),
+                reference.one_hit_eviction_fraction.to_bits(),
+                "{ctx}: one-hit fraction"
+            );
+            assert_eq!(
+                fast.freq_at_eviction.count(),
+                reference.freq_at_eviction.count(),
+                "{ctx}: eviction histogram count"
+            );
+        }
+    }
+}
+
+/// The auto path must actually *take* the dense route for the core policies
+/// (a fallback-everywhere bug would make the equivalence test vacuous).
+#[test]
+fn dense_variants_exist_for_core_policies() {
+    let trace = WorkloadSpec::zipf("probe", 100, 50, 1.0, 1).generate();
+    let ids = trace.dense().ids.clone();
+    for name in [
+        "FIFO",
+        "LRU",
+        "CLOCK",
+        "CLOCK-2bit",
+        "SIEVE",
+        "SLRU",
+        "2Q",
+        "S3-FIFO",
+        "S3-FIFO(0.25)",
+    ] {
+        assert!(
+            cache_policies::registry::build_dense(name, 16, &ids)
+                .unwrap()
+                .is_some(),
+            "{name} must have a dense fast path"
+        );
+    }
+    assert!(cache_policies::registry::build_dense("LIRS", 16, &ids)
+        .unwrap()
+        .is_none());
+}

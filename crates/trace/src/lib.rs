@@ -26,7 +26,22 @@ pub mod io;
 pub mod sampling;
 pub mod zipf;
 
+use cache_ds::DenseIds;
 use cache_types::Request;
+use std::sync::{Arc, OnceLock};
+
+/// The dense-ID view of a trace: every 64-bit object id interned to a
+/// contiguous `u32` slot (first-appearance order), plus the per-request slot
+/// sequence. Computed once per trace and shared read-only across all
+/// simulation jobs replaying it — this is the input to the simulator's dense
+/// fast path.
+#[derive(Debug)]
+pub struct DenseTrace {
+    /// The interning table (slot → original id and back).
+    pub ids: Arc<DenseIds>,
+    /// Per-request dense slot, parallel to `Trace::requests`.
+    pub slots: Vec<u32>,
+}
 
 /// A named, in-memory request trace.
 #[derive(Debug, Clone)]
@@ -35,6 +50,10 @@ pub struct Trace {
     pub name: String,
     /// The request sequence. `requests[i].time == i` by construction.
     pub requests: Vec<Request>,
+    /// Lazily computed dense-ID view; see [`Trace::dense`]. Cloning a trace
+    /// shares the already-computed view (it only depends on the id sequence,
+    /// which clones identically).
+    dense: OnceLock<Arc<DenseTrace>>,
 }
 
 impl Trace {
@@ -46,7 +65,23 @@ impl Trace {
         Trace {
             name: name.into(),
             requests,
+            dense: OnceLock::new(),
         }
+    }
+
+    /// The dense-ID view of this trace, interned on first call and cached.
+    ///
+    /// Thread-safe: concurrent sweep workers hitting a cold trace race to
+    /// intern but exactly one result is kept. Callers must not mutate
+    /// `requests` after calling this — the view snapshots the id sequence.
+    pub fn dense(&self) -> Arc<DenseTrace> {
+        Arc::clone(self.dense.get_or_init(|| {
+            let (ids, slots) = DenseIds::intern(self.requests.iter().map(|r| r.id));
+            Arc::new(DenseTrace {
+                ids: Arc::new(ids),
+                slots,
+            })
+        }))
     }
 
     /// Number of requests.
@@ -106,6 +141,27 @@ mod tests {
         );
         assert_eq!(t.footprint(), 2);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn dense_view_interns_once_and_matches_footprint() {
+        let t = Trace::new(
+            "t",
+            vec![
+                Request::get(10, 1),
+                Request::get(20, 1),
+                Request::get(10, 1),
+            ],
+        );
+        let d1 = t.dense();
+        let d2 = t.dense();
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(d1.slots, vec![0, 1, 0]);
+        assert_eq!(d1.ids.len(), t.footprint());
+        assert_eq!(d1.ids.orig(1), 20);
+        // A clone shares the computed view.
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&c.dense(), &d1));
     }
 
     #[test]

@@ -156,6 +156,89 @@ pub trait Policy {
     fn stats(&self) -> PolicyStats;
 }
 
+/// A cache eviction policy driven by the dense-ID simulation fast path.
+///
+/// Dense policies receive each request together with its pre-interned dense
+/// *slot* — a contiguous `u32` index assigned per trace (first-appearance
+/// order) — and store all per-object state in `Vec`s indexed by slot instead
+/// of per-key hash-map nodes. The request still carries the original
+/// [`ObjId`], so [`Eviction`] records are identical to the keyed path and
+/// miss ratios are bit-for-bit comparable.
+///
+/// Implementations must make *exactly* the same caching decisions as their
+/// keyed [`Policy`] counterpart; the simulator's equivalence test enforces
+/// this for every registry policy with a dense variant.
+pub trait DensePolicy {
+    /// Human-readable algorithm name — must match the keyed variant exactly.
+    fn name(&self) -> String;
+
+    /// Total capacity in bytes (or objects, when sizes are all 1).
+    fn capacity(&self) -> u64;
+
+    /// Bytes currently used by cached objects.
+    fn used(&self) -> u64;
+
+    /// Number of objects currently cached.
+    fn len(&self) -> usize;
+
+    /// True when no objects are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Processes one request whose object was interned at `slot`, appending
+    /// an [`Eviction`] record for every object removed to make room.
+    fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome;
+
+    /// Warms the per-slot state for a request that will arrive shortly.
+    ///
+    /// The replay loop knows the whole slot sequence up front, so it calls
+    /// this a few requests ahead; implementations issue a non-retiring
+    /// prefetch hint for the slot's state (`cache_ds::prefetch_read`) to
+    /// pull the cache line in while earlier requests execute, turning the
+    /// cold-tail misses of a skewed trace from serial into overlapped. Must
+    /// not change any observable state. Default: no-op.
+    fn prefetch(&self, _slot: u32) {}
+
+    /// Replays a whole interned request stream, invoking `on_eviction` with
+    /// the request index for every eviction.
+    ///
+    /// This default loops through [`DensePolicy::request_dense`] behind
+    /// dynamic dispatch; concrete policies override it with a monomorphized
+    /// copy of the same loop (see `cache_policies::dense::replay_loop`) so
+    /// the per-request path inlines. With `ignore_size`, requests are
+    /// replayed at size 1 without materializing a copy of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` and `requests` have different lengths.
+    fn replay(
+        &mut self,
+        slots: &[u32],
+        requests: &[Request],
+        ignore_size: bool,
+        on_eviction: &mut dyn FnMut(usize, &Eviction),
+    ) {
+        assert_eq!(slots.len(), requests.len(), "slot/request length mismatch");
+        let mut evs: Vec<Eviction> = Vec::with_capacity(16);
+        for (i, (&slot, r)) in slots.iter().zip(requests.iter()).enumerate() {
+            let req = if ignore_size {
+                Request { size: 1, ..(*r) }
+            } else {
+                *r
+            };
+            evs.clear();
+            self.request_dense(slot, &req, &mut evs);
+            for e in &evs {
+                on_eviction(i, e);
+            }
+        }
+    }
+
+    /// Returns accumulated statistics.
+    fn stats(&self) -> PolicyStats;
+}
+
 /// Convenience: run a full trace through a policy, discarding eviction
 /// records, and return the final statistics.
 pub fn run_trace<P: Policy + ?Sized>(policy: &mut P, reqs: &[Request]) -> PolicyStats {
