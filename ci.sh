@@ -22,6 +22,14 @@ echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --offline -- -D warnings \
     --force-warn clippy::unwrap-used --force-warn clippy::expect-used
 
+echo "== check: differential fuzz + invariant observers + linearizability-lite =="
+# Fixed-seed correctness battery (crates/check): >= 10k generated requests
+# per policy/mode pair through reference vs keyed vs dense, an invariant
+# observer sweep over every registry algorithm, and a logged concurrent
+# torture run per cache checked for stale/forged reads. ~0.5 s in release;
+# failures print a shrunk reproduction (see TESTING.md).
+./target/release/check_gate
+
 echo "== bench smoke: sim_throughput =="
 # Small corpus, one repeat: proves the dense fast path and the legacy
 # emulation still agree bit-for-bit (the binary asserts it) and that the

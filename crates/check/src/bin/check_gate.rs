@@ -1,0 +1,140 @@
+//! CI gate: the full correctness battery on fixed seeds.
+//!
+//! Three phases, each fatal on failure (exit code 1 with a reproduction):
+//!
+//! 1. **Differential fuzz** — every reference-covered algorithm ×
+//!    capacities {1, 2, 3, 7, 50} × {unit-size, sized}, ≥ 10 000 generated
+//!    requests per algorithm/mode pair, reference vs keyed vs dense
+//!    compared after every request. Divergences are shrunk before printing.
+//! 2. **Invariant observer sweep** — every registry algorithm replayed over
+//!    a skewed 25 000-request trace under [`cache_check::InvariantObserver`].
+//! 3. **Linearizability-lite** — a logged multi-threaded torture run per
+//!    concurrent cache, history checked for stale/forged/time-travelling
+//!    reads.
+//!
+//! Budget: a couple of seconds in release mode. Everything is seeded; a
+//! failing run reproduces bit-for-bit (see TESTING.md).
+
+use cache_check::{check_history, fuzz_policy, FuzzConfig, InvariantObserver, FUZZED_ALGORITHMS};
+use cache_concurrent::oplog::{run_logged_torture, LoggedTortureConfig};
+use cache_concurrent::ConcurrentCache;
+use cache_policies::registry;
+use cache_sim::simulate_observed;
+use cache_trace::Trace;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn phase_differential() -> Result<(), String> {
+    let mut total = 0usize;
+    for name in FUZZED_ALGORITHMS {
+        let mut per_pair = [0usize; 2];
+        for capacity in [1u64, 2, 3, 7, 50] {
+            for (mode, max_size) in [(0usize, 1u32), (1, 6)] {
+                let cfg = FuzzConfig {
+                    seed: 0xC1_6A7E ^ (capacity << 8) ^ u64::from(max_size),
+                    requests: 2_500,
+                    max_size,
+                    ..FuzzConfig::default()
+                };
+                match fuzz_policy(name, capacity, &cfg) {
+                    Ok(n) => per_pair[mode] += n,
+                    Err(d) => return Err(format!("{d}")),
+                }
+            }
+        }
+        println!(
+            "  {name}: {} unit-size + {} sized requests, zero divergences",
+            per_pair[0], per_pair[1]
+        );
+        assert!(
+            per_pair.iter().all(|&n| n >= 10_000),
+            "fuzz budget regressed below 10k requests per pair"
+        );
+        total += per_pair[0] + per_pair[1];
+    }
+    println!("  total: {total} differential requests");
+    Ok(())
+}
+
+fn phase_observer() -> Result<(), String> {
+    let requests = cache_check::fuzz::generate_trace(&FuzzConfig {
+        seed: 0x0B5E_11E4,
+        requests: 25_000,
+        universe: 400,
+        max_size: 8,
+        write_percent: 8,
+    });
+    let trace = Trace::new("check-gate", requests);
+    let mut cells = 0usize;
+    for name in registry::ALL_ALGORITHMS {
+        for ignore_size in [true, false] {
+            let mut policy = registry::build(name, 64, Some(&trace.requests))
+                .map_err(|e| format!("build {name}: {e}"))?;
+            let mut obs = InvariantObserver::new();
+            simulate_observed(policy.as_mut(), &trace, ignore_size, &mut obs);
+            if let Some((i, msg)) = obs.violation() {
+                return Err(format!(
+                    "{name} (ignore_size={ignore_size}) violated an invariant at request {i}: {msg}"
+                ));
+            }
+            cells += 1;
+        }
+    }
+    println!(
+        "  {} algorithms x 2 size modes over {} requests: all invariants held ({cells} cells)",
+        registry::ALL_ALGORITHMS.len(),
+        trace.requests.len()
+    );
+    Ok(())
+}
+
+fn phase_linearizability() -> Result<(), String> {
+    let capacity = 96;
+    let caches: Vec<Arc<dyn ConcurrentCache>> = vec![
+        Arc::new(cache_concurrent::s3fifo::ConcurrentS3Fifo::new(capacity)),
+        Arc::new(cache_concurrent::lru::MutexLru::strict(capacity)),
+        Arc::new(cache_concurrent::lru::MutexLru::optimized(capacity)),
+        Arc::new(cache_concurrent::clock::ConcurrentClock::new(capacity)),
+        Arc::new(cache_concurrent::locked::locked_tinylfu(capacity)),
+        Arc::new(cache_concurrent::locked::locked_twoq(capacity)),
+        Arc::new(cache_concurrent::segcache::SegcacheLike::new(capacity)),
+    ];
+    let cfg = LoggedTortureConfig {
+        threads: 4,
+        ops_per_thread: 1_500,
+        ..LoggedTortureConfig::default()
+    };
+    for cache in caches {
+        let name = cache.name();
+        let log = run_logged_torture(cache, &cfg);
+        let violations = check_history(&log);
+        if let Some(v) = violations.first() {
+            return Err(format!(
+                "{name}: {} consistency violations in a {}-op history; first: {v}",
+                violations.len(),
+                log.len()
+            ));
+        }
+        println!("  {name}: {}-op logged history linearizable-lite", log.len());
+    }
+    Ok(())
+}
+
+type Phase = fn() -> Result<(), String>;
+
+fn main() -> ExitCode {
+    let phases: [(&str, Phase); 3] = [
+        ("differential fuzz (reference vs keyed vs dense)", phase_differential),
+        ("invariant observer sweep", phase_observer),
+        ("linearizability-lite on logged torture histories", phase_linearizability),
+    ];
+    for (title, run) in phases {
+        println!("check_gate: {title}");
+        if let Err(msg) = run() {
+            eprintln!("check_gate FAILED in {title}:\n{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("check_gate: all phases passed");
+    ExitCode::SUCCESS
+}

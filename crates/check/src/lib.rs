@@ -1,0 +1,40 @@
+//! Differential correctness harness for the cache-eviction workspace.
+//!
+//! Production policies here exist in up to three shapes — a keyed
+//! implementation (`HashMap` + intrusive lists), a dense slot-slab fast
+//! path, and sometimes a concurrent variant — all required to make
+//! *identical decisions*. This crate holds the machinery that enforces
+//! that:
+//!
+//! - [`reference`] — tiny, obviously-correct `Vec`-based interpreters for
+//!   FIFO, LRU, CLOCK, SIEVE, 2Q, SLRU, and S3-FIFO, written for
+//!   readability, not speed: the ground truth the fast implementations are
+//!   diffed against;
+//! - [`fuzz`] — a seeded differential fuzzer replaying generated traces
+//!   through reference vs keyed vs dense simultaneously, comparing
+//!   outcomes, eviction records, accounting, and self-validation after
+//!   every request, and shrinking any divergence to a minimal reproduction;
+//! - [`observer`] — an invariant observer pluggable into
+//!   [`cache_sim::simulate_observed`] that shadow-checks residency,
+//!   accounting, and structural invariants after every request of any
+//!   simulation;
+//! - [`linear`] — a linearizability-lite checker over the timed operation
+//!   logs produced by [`cache_concurrent::oplog`], plus a brute-force
+//!   sequential-witness search used to validate the checker itself.
+//!
+//! The `check_gate` binary runs the whole battery on a fixed seed as a CI
+//! step; `TESTING.md` at the workspace root explains how to reproduce and
+//! shrink failures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod linear;
+pub mod observer;
+pub mod reference;
+
+pub use fuzz::{diff_run, fuzz_policy, Divergence, FuzzConfig, FUZZED_ALGORITHMS};
+pub use linear::{check_history, witness_exists, LinearViolation};
+pub use observer::InvariantObserver;
+pub use reference::{reference_for, ReferencePolicy};

@@ -1,0 +1,348 @@
+//! Linearizability-lite checking of logged concurrent histories.
+//!
+//! Input histories come from [`cache_concurrent::oplog::run_logged_torture`]:
+//! every operation carries a real-time interval `[start, end]` drawn from one
+//! global SeqCst counter, and every insert writes a globally-unique value.
+//!
+//! A cache is a weak data structure — it may *evict* (forget) any key at any
+//! moment — so most operations are unconstrained: a `Get` returning `None`
+//! is always legal, and `Remove`'s return cannot be pinned down. What a
+//! linearizable cache can never do is return a **stale or fabricated value**.
+//! Exploiting unique insert values, [`check_history`] flags exactly those:
+//!
+//! - **torn/forged read**: a `Get` observed a payload no insert ever wrote
+//!   (wrong key bytes, torn write — the harness encodes these as
+//!   `u64::MAX`), or a value with no matching insert on that key;
+//! - **read before write**: a `Get` completed before the insert of the value
+//!   it returned began;
+//! - **stale read**: some other write to the key (a later insert, or a
+//!   remove) *definitely* intervened — it started after the matching insert
+//!   ended and ended before the get started — yet the old value came back.
+//!   Eviction cannot excuse this: eviction only makes values disappear,
+//!   never reappear.
+//!
+//! This is sound but deliberately incomplete ("lite"): a history can be
+//! non-linearizable in ways these per-key interval rules miss. The
+//! [`witness_exists`] brute-force search — feasible only on tiny histories —
+//! checks full linearizability and is used in tests to confirm soundness:
+//! whenever `check_history` flags a history, no sequential witness exists.
+
+use cache_concurrent::oplog::{OpKind, OpRecord};
+use std::collections::HashMap;
+
+/// One detected consistency violation.
+#[derive(Debug, Clone)]
+pub struct LinearViolation {
+    /// Key the violating get operated on.
+    pub key: u64,
+    /// The get that observed the impossible value.
+    pub get: OpRecord,
+    /// What rule it broke.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LinearViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "key {}: {} (get by thread {} over [{}, {}])",
+            self.key, self.detail, self.get.thread, self.get.start, self.get.end
+        )
+    }
+}
+
+/// Checks a logged history for stale, forged, or time-travelling reads.
+/// Returns every violation found (empty means the history passed).
+pub fn check_history(log: &[OpRecord]) -> Vec<LinearViolation> {
+    let mut by_key: HashMap<u64, Vec<&OpRecord>> = HashMap::new();
+    for r in log {
+        by_key.entry(r.key).or_default().push(r);
+    }
+    let mut violations = Vec::new();
+    for (&key, ops) in &by_key {
+        let inserts: HashMap<u64, &OpRecord> = ops
+            .iter()
+            .filter_map(|r| match r.kind {
+                OpKind::Insert(v) => Some((v, *r)),
+                _ => None,
+            })
+            .collect();
+        for g in ops {
+            let OpKind::Get(Some(v)) = g.kind else {
+                continue;
+            };
+            if v == u64::MAX {
+                violations.push(LinearViolation {
+                    key,
+                    get: **g,
+                    detail: "returned a torn or wrong-key payload".to_string(),
+                });
+                continue;
+            }
+            let Some(ins) = inserts.get(&v) else {
+                violations.push(LinearViolation {
+                    key,
+                    get: **g,
+                    detail: format!("returned value {v:#x} that no insert on this key wrote"),
+                });
+                continue;
+            };
+            if g.end < ins.start {
+                violations.push(LinearViolation {
+                    key,
+                    get: **g,
+                    detail: format!(
+                        "returned value {v:#x} before its insert began (get ended {}, insert started {})",
+                        g.end, ins.start
+                    ),
+                });
+                continue;
+            }
+            // Stale read: a different write provably sits between the insert
+            // completing and the get starting.
+            let overwrite = ops.iter().find(|w| {
+                let is_other_write = match w.kind {
+                    OpKind::Insert(wv) => wv != v,
+                    OpKind::Remove(_) => true,
+                    OpKind::Get(_) => false,
+                };
+                is_other_write && ins.end < w.start && w.end < g.start
+            });
+            if let Some(w) = overwrite {
+                violations.push(LinearViolation {
+                    key,
+                    get: **g,
+                    detail: format!(
+                        "stale read of value {v:#x}: {:?} over [{}, {}] definitely intervened",
+                        w.kind, w.start, w.end
+                    ),
+                });
+            }
+        }
+    }
+    violations.sort_by_key(|v| v.get.start);
+    violations
+}
+
+/// Brute-force sequential-witness search: does some linear order of `log`,
+/// consistent with real-time precedence (`a` before `b` whenever
+/// `a.end < b.start`), explain every observed get?
+///
+/// The sequential model is a per-key register with spontaneous eviction:
+/// `Insert(v)` sets the key to `v`, `Remove` clears it, eviction may clear
+/// any key at any point. Under that model `Get(None)` and every
+/// `Remove`/`Insert` return are always legal, and eviction never *helps* a
+/// `Get(Some(v))` — so the search only needs to track the last write per
+/// key and check value gets against it.
+///
+/// Exponential in the worst case; use only on tiny histories (≲ 12 ops).
+/// Test-support code for validating [`check_history`]'s soundness.
+pub fn witness_exists(log: &[OpRecord]) -> bool {
+    let n = log.len();
+    if n == 0 {
+        return true;
+    }
+    assert!(n <= 16, "witness search is exponential; history too long ({n} ops)");
+    let mut scheduled = vec![false; n];
+    let mut state: HashMap<u64, Option<u64>> = HashMap::new();
+    dfs(log, &mut scheduled, &mut state, 0)
+}
+
+fn dfs(
+    log: &[OpRecord],
+    scheduled: &mut [bool],
+    state: &mut HashMap<u64, Option<u64>>,
+    done: usize,
+) -> bool {
+    if done == log.len() {
+        return true;
+    }
+    for i in 0..log.len() {
+        if scheduled[i] {
+            continue;
+        }
+        // Real-time order: i may only run next if no unscheduled op finished
+        // strictly before i started.
+        let blocked = (0..log.len())
+            .any(|j| !scheduled[j] && j != i && log[j].end < log[i].start);
+        if blocked {
+            continue;
+        }
+        let r = &log[i];
+        let prev = state.get(&r.key).copied().flatten();
+        let (ok, next) = match r.kind {
+            OpKind::Get(Some(v)) => (prev == Some(v), prev),
+            OpKind::Get(None) => (true, prev), // eviction may hide anything
+            OpKind::Insert(v) => (true, Some(v)),
+            OpKind::Remove(_) => (true, None),
+        };
+        if !ok {
+            continue;
+        }
+        scheduled[i] = true;
+        let saved = state.insert(r.key, next);
+        if dfs(log, scheduled, state, done + 1) {
+            return true;
+        }
+        scheduled[i] = false;
+        match saved {
+            Some(s) => state.insert(r.key, s),
+            None => state.remove(&r.key),
+        };
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_ds::SplitMix64;
+
+    fn op(key: u64, kind: OpKind, start: u64, end: u64) -> OpRecord {
+        OpRecord {
+            thread: 0,
+            key,
+            kind,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let log = vec![
+            op(1, OpKind::Insert(10), 0, 1),
+            op(1, OpKind::Get(Some(10)), 2, 3),
+            op(1, OpKind::Remove(true), 4, 5),
+            op(1, OpKind::Get(None), 6, 7),
+        ];
+        assert!(check_history(&log).is_empty());
+        assert!(witness_exists(&log));
+    }
+
+    #[test]
+    fn concurrent_overlap_is_not_flagged() {
+        // Insert and get overlap: the get may linearize after the insert.
+        let log = vec![
+            op(1, OpKind::Insert(10), 0, 5),
+            op(1, OpKind::Get(Some(10)), 2, 3),
+        ];
+        assert!(check_history(&log).is_empty());
+        assert!(witness_exists(&log));
+    }
+
+    #[test]
+    fn read_before_write_is_flagged() {
+        let log = vec![
+            op(1, OpKind::Get(Some(10)), 0, 1),
+            op(1, OpKind::Insert(10), 2, 3),
+        ];
+        let v = check_history(&log);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("before its insert began"), "{}", v[0]);
+        assert!(!witness_exists(&log), "checker flagged a linearizable history");
+    }
+
+    #[test]
+    fn stale_read_is_flagged() {
+        let log = vec![
+            op(1, OpKind::Insert(10), 0, 1),
+            op(1, OpKind::Insert(11), 2, 3),
+            op(1, OpKind::Get(Some(10)), 4, 5),
+        ];
+        let v = check_history(&log);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("stale read"), "{}", v[0]);
+        assert!(!witness_exists(&log));
+    }
+
+    #[test]
+    fn remove_then_old_value_is_flagged() {
+        let log = vec![
+            op(1, OpKind::Insert(10), 0, 1),
+            op(1, OpKind::Remove(true), 2, 3),
+            op(1, OpKind::Get(Some(10)), 4, 5),
+        ];
+        let v = check_history(&log);
+        assert_eq!(v.len(), 1);
+        assert!(!witness_exists(&log));
+    }
+
+    #[test]
+    fn forged_value_is_flagged() {
+        let log = vec![
+            op(1, OpKind::Insert(10), 0, 1),
+            op(1, OpKind::Get(Some(99)), 2, 3),
+            op(2, OpKind::Get(Some(u64::MAX)), 4, 5),
+        ];
+        let v = check_history(&log);
+        assert_eq!(v.len(), 2);
+        assert!(!witness_exists(&log));
+    }
+
+    #[test]
+    fn eviction_explains_get_none() {
+        // Insert completed, then Get(None): legal — the cache may evict.
+        let log = vec![
+            op(1, OpKind::Insert(10), 0, 1),
+            op(1, OpKind::Get(None), 2, 3),
+            op(1, OpKind::Get(Some(10)), 4, 5),
+        ];
+        // Get(None) is explained by eviction, but then value 10 reappearing
+        // is NOT flagged by the lite checker (Get(None) is not a write) —
+        // this is a documented incompleteness, and the witness search agrees
+        // a witness exists when the Get(None) linearizes before the insert.
+        assert!(check_history(&log).is_empty());
+        assert!(witness_exists(&log));
+    }
+
+    /// Soundness cross-validation: on random tiny histories, whenever the
+    /// lite checker flags a violation, the exhaustive witness search must
+    /// also fail to find a legal ordering.
+    #[test]
+    fn checker_is_sound_on_random_histories() {
+        let mut rng = SplitMix64::new(0x5071_AB1E);
+        let mut flagged = 0usize;
+        for _ in 0..400 {
+            let n = 3 + rng.next_below(5) as usize; // 3..=7 ops
+            let mut clock = 0u64;
+            // Insert values are unique within a history (a checker
+            // precondition the real harness guarantees); gets draw from the
+            // same range so they sometimes match and sometimes forge.
+            let mut next_value = 0u64;
+            let log: Vec<OpRecord> = (0..n)
+                .map(|_| {
+                    let key = rng.next_below(2);
+                    let kind = match rng.next_below(6) {
+                        0 | 1 => {
+                            next_value += 1;
+                            OpKind::Insert(next_value)
+                        }
+                        2 => OpKind::Remove(rng.next_below(2) == 0),
+                        3 => OpKind::Get(None),
+                        _ => OpKind::Get(Some(1 + rng.next_below(4))),
+                    };
+                    // Mix sequential and overlapping intervals.
+                    let start = clock;
+                    let len = 1 + rng.next_below(4);
+                    clock += 1 + rng.next_below(2);
+                    OpRecord {
+                        thread: 0,
+                        key,
+                        kind,
+                        start,
+                        end: start + len,
+                    }
+                })
+                .collect();
+            if !check_history(&log).is_empty() {
+                flagged += 1;
+                assert!(
+                    !witness_exists(&log),
+                    "lite checker flagged a linearizable history: {log:?}"
+                );
+            }
+        }
+        assert!(flagged > 20, "generator too tame: only {flagged} flagged histories");
+    }
+}

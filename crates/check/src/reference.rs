@@ -1,0 +1,738 @@
+//! Tiny, obviously-correct reference interpreters for the queue policies.
+//!
+//! Each interpreter is a naive `Vec`-based executable specification of one
+//! eviction algorithm: no handles, no intrusive links, no incremental byte
+//! accounting — every quantity is recomputed by scanning. They exist to be
+//! *read and believed*, then used as the ground truth the differential
+//! fuzzer ([`crate::fuzz`]) compares the optimized keyed and dense
+//! implementations against, decision for decision.
+//!
+//! Conventions shared with the production policies:
+//!
+//! - `Vec` index 0 is the queue **tail** (oldest, next eviction candidate);
+//!   `push` appends at the **head** (newest). This mirrors the `DList`
+//!   orientation where `push_front` inserts the newest entry.
+//! - A `Get` of a resident object touches metadata only; a `Get` of an
+//!   absent object larger than the whole cache is `Uncacheable`, otherwise
+//!   it is a read-through `Miss` that inserts after making room. A `Set`
+//!   deletes any existing entry and re-inserts when the object fits; a
+//!   `Delete` removes. Hits never update the stored size.
+//! - Ghost queues charge every FIFO slot — including tombstones left by
+//!   `remove` — until the slot ages out, exactly like the production
+//!   `GhostList`/`GhostFifo`/`SlotGhost` trio.
+
+use cache_types::{Eviction, ObjId, Op, Outcome, Policy, PolicyStats, Request};
+use std::collections::{HashSet, VecDeque};
+
+/// Per-object bookkeeping every reference keeps, mirroring the fields the
+/// production policies report in [`Eviction`] records.
+#[derive(Debug, Clone, Copy)]
+struct RefMeta {
+    size: u32,
+    insert_time: u64,
+    last_access: u64,
+    hits: u32,
+}
+
+impl RefMeta {
+    fn new(size: u32, now: u64) -> Self {
+        RefMeta {
+            size,
+            insert_time: now,
+            last_access: now,
+            hits: 0,
+        }
+    }
+
+    fn touch(&mut self, now: u64) {
+        self.hits += 1;
+        self.last_access = now;
+    }
+
+    fn eviction(&self, id: ObjId, from_probationary: bool) -> Eviction {
+        Eviction {
+            id,
+            size: self.size,
+            insert_time: self.insert_time,
+            last_access_time: self.last_access,
+            freq: self.hits,
+            from_probationary,
+        }
+    }
+}
+
+/// Byte-bounded FIFO ghost with tombstone semantics: `remove` clears only
+/// the membership mark, the FIFO slot stays charged until it ages out.
+#[derive(Debug, Default)]
+struct RefGhost {
+    fifo: VecDeque<(ObjId, u32)>,
+    set: HashSet<ObjId>,
+    capacity: u64,
+}
+
+impl RefGhost {
+    fn new(capacity: u64) -> Self {
+        RefGhost {
+            capacity,
+            ..RefGhost::default()
+        }
+    }
+
+    fn used(&self) -> u64 {
+        self.fifo.iter().map(|&(_, s)| u64::from(s)).sum()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.set.contains(&id)
+    }
+
+    fn insert(&mut self, id: ObjId, size: u32) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.set.insert(id) {
+            self.fifo.push_back((id, size));
+        }
+        while self.used() > self.capacity {
+            match self.fifo.pop_front() {
+                Some((old, _)) => {
+                    self.set.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn remove(&mut self, id: ObjId) -> bool {
+        self.set.remove(&id)
+    }
+}
+
+/// One entry of a reference queue: id, per-policy counter/flag, metadata.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    id: ObjId,
+    /// CLOCK/S3-FIFO capped frequency, SIEVE visited bit (0/1). Unused by
+    /// FIFO/LRU/SLRU/2Q.
+    freq: u8,
+    meta: RefMeta,
+}
+
+fn bytes_of(q: &[Node]) -> u64 {
+    q.iter().map(|n| u64::from(n.meta.size)).sum()
+}
+
+fn find(q: &[Node], id: ObjId) -> Option<usize> {
+    q.iter().position(|n| n.id == id)
+}
+
+/// Which of the seven reference algorithms an interpreter runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Algo {
+    Fifo,
+    Lru,
+    /// CLOCK with the given saturation cap (`2^bits - 1`).
+    Clock(u8),
+    Sieve,
+    Slru,
+    TwoQ,
+    /// S3-FIFO with the given small-queue ratio.
+    S3Fifo(f64),
+}
+
+/// A naive executable specification of one queue policy.
+///
+/// All seven algorithms share this struct; unused queues stay empty. The
+/// per-request logic lives in small per-algorithm methods written to follow
+/// the production implementations statement for statement, but over plain
+/// `Vec`s so each step is obviously what the algorithm prescribes.
+#[derive(Debug)]
+pub struct ReferencePolicy {
+    algo: Algo,
+    capacity: u64,
+    /// FIFO/LRU/CLOCK/SIEVE: the only queue. S3-FIFO: the small queue.
+    /// 2Q: A1in.
+    q0: Vec<Node>,
+    /// S3-FIFO: the main queue. 2Q: Am.
+    q1: Vec<Node>,
+    /// SLRU's four segments (index 0 probationary).
+    segs: [Vec<Node>; 4],
+    ghost: RefGhost,
+    /// SIEVE's hand, stored as the id it points at (`None` = start at tail).
+    hand: Option<ObjId>,
+    stats: PolicyStats,
+}
+
+impl ReferencePolicy {
+    fn new(algo: Algo, capacity: u64) -> Self {
+        let ghost = match algo {
+            Algo::TwoQ => RefGhost::new((capacity as f64 * 0.5).round() as u64),
+            Algo::S3Fifo(ratio) => {
+                let s_cap = ((capacity as f64 * ratio).round() as u64).max(1);
+                let m_cap = capacity.saturating_sub(s_cap).max(1);
+                RefGhost::new(m_cap) // ghost_ratio 1.0 of main capacity
+            }
+            _ => RefGhost::new(0),
+        };
+        ReferencePolicy {
+            algo,
+            capacity,
+            q0: Vec::new(),
+            q1: Vec::new(),
+            segs: std::array::from_fn(|_| Vec::new()),
+            ghost,
+            hand: None,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    // ---- shared residency helpers -------------------------------------
+
+    fn all_queues(&self) -> impl Iterator<Item = &Node> {
+        self.q0
+            .iter()
+            .chain(self.q1.iter())
+            .chain(self.segs.iter().flatten())
+    }
+
+    fn resident(&self, id: ObjId) -> bool {
+        self.all_queues().any(|n| n.id == id)
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.all_queues().map(|n| u64::from(n.meta.size)).sum()
+    }
+
+    fn count(&self) -> usize {
+        self.all_queues().count()
+    }
+
+    // ---- S3-FIFO (mirrors s3fifo::S3Fifo / Algorithm 1) ----------------
+
+    fn s3_small_capacity(&self) -> u64 {
+        let Algo::S3Fifo(ratio) = self.algo else {
+            unreachable!("s3 helper on non-S3 reference");
+        };
+        ((self.capacity as f64 * ratio).round() as u64).max(1)
+    }
+
+    fn s3_main_capacity(&self) -> u64 {
+        self.capacity.saturating_sub(self.s3_small_capacity()).max(1)
+    }
+
+    /// `EVICTS`: promote small-tail entries with freq above the threshold
+    /// (clearing the counter), ghost the first one at or below it.
+    fn s3_evict_small(&mut self, evicted: &mut Vec<Eviction>) {
+        while !self.q0.is_empty() {
+            let tail = self.q0[0];
+            if tail.freq > 1 {
+                self.q0.remove(0);
+                self.q1.push(Node { freq: 0, ..tail });
+                if bytes_of(&self.q1) > self.s3_main_capacity() {
+                    self.s3_evict_main(evicted);
+                }
+            } else {
+                self.q0.remove(0);
+                self.ghost.insert(tail.id, tail.meta.size);
+                self.stats.evictions += 1;
+                evicted.push(tail.meta.eviction(tail.id, true));
+                return;
+            }
+        }
+        if !self.q1.is_empty() {
+            self.s3_evict_main(evicted);
+        }
+    }
+
+    /// `EVICTM`: two-bit FIFO-reinsertion.
+    fn s3_evict_main(&mut self, evicted: &mut Vec<Eviction>) {
+        while !self.q1.is_empty() {
+            if self.q1[0].freq > 0 {
+                let mut n = self.q1.remove(0);
+                n.freq -= 1;
+                self.q1.push(n);
+            } else {
+                let n = self.q1.remove(0);
+                self.stats.evictions += 1;
+                evicted.push(n.meta.eviction(n.id, false));
+                return;
+            }
+        }
+    }
+
+    fn s3_insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        // Ghost membership is decided before making room, because the
+        // eviction loop inserts into the ghost itself.
+        let in_ghost = self.ghost.contains(req.id);
+        while self.used_bytes() + u64::from(req.size) > self.capacity {
+            if bytes_of(&self.q0) >= self.s3_small_capacity() || self.q1.is_empty() {
+                self.s3_evict_small(evicted);
+            } else {
+                self.s3_evict_main(evicted);
+            }
+            if self.q0.is_empty() && self.q1.is_empty() {
+                break;
+            }
+        }
+        let node = Node {
+            id: req.id,
+            freq: 0,
+            meta: RefMeta::new(req.size, req.time),
+        };
+        if in_ghost {
+            self.ghost.remove(req.id);
+            self.q1.push(node);
+            if bytes_of(&self.q1) > self.s3_main_capacity() {
+                self.s3_evict_main(evicted);
+            }
+        } else {
+            self.q0.push(node);
+        }
+    }
+
+    // ---- 2Q (mirrors cache_policies::TwoQ) -----------------------------
+
+    fn twoq_a1in_capacity(&self) -> u64 {
+        ((self.capacity as f64 * 0.25).round() as u64).max(1)
+    }
+
+    /// RECLAIM: drop the A1in tail into A1out when A1in is at or over its
+    /// share (or Am is empty); otherwise evict the Am LRU tail.
+    fn twoq_evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        let reclaim_a1in = bytes_of(&self.q0) >= self.twoq_a1in_capacity() || self.q1.is_empty();
+        if reclaim_a1in && !self.q0.is_empty() {
+            let n = self.q0.remove(0);
+            self.ghost.insert(n.id, n.meta.size);
+            self.stats.evictions += 1;
+            evicted.push(n.meta.eviction(n.id, true));
+            return;
+        }
+        if !self.q1.is_empty() {
+            let n = self.q1.remove(0);
+            self.stats.evictions += 1;
+            evicted.push(n.meta.eviction(n.id, false));
+        }
+    }
+
+    fn twoq_insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        let in_a1out = self.ghost.remove(req.id);
+        while self.used_bytes() + u64::from(req.size) > self.capacity && self.count() > 0 {
+            self.twoq_evict_one(evicted);
+        }
+        let node = Node {
+            id: req.id,
+            freq: 0,
+            meta: RefMeta::new(req.size, req.time),
+        };
+        if in_a1out {
+            self.q1.push(node);
+        } else {
+            self.q0.push(node);
+        }
+    }
+
+    // ---- SLRU (mirrors cache_policies::Slru) ---------------------------
+
+    fn slru_seg_capacity(&self) -> u64 {
+        (self.capacity / 4).max(1)
+    }
+
+    /// Demote tails of over-share segments into the segment below, down to
+    /// the probationary segment (which absorbs the cascade).
+    fn slru_rebalance_from(&mut self, seg: usize) {
+        for s in (1..=seg).rev() {
+            while bytes_of(&self.segs[s]) > self.slru_seg_capacity() {
+                if self.segs[s].is_empty() {
+                    break;
+                }
+                let n = self.segs[s].remove(0);
+                self.segs[s - 1].push(n);
+            }
+        }
+    }
+
+    fn slru_evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        for s in 0..4 {
+            if !self.segs[s].is_empty() {
+                let n = self.segs[s].remove(0);
+                self.stats.evictions += 1;
+                evicted.push(n.meta.eviction(n.id, s == 0));
+                return;
+            }
+        }
+    }
+
+    fn slru_insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used_bytes() + u64::from(req.size) > self.capacity && self.count() > 0 {
+            self.slru_evict_one(evicted);
+        }
+        self.segs[0].push(Node {
+            id: req.id,
+            freq: 0,
+            meta: RefMeta::new(req.size, req.time),
+        });
+    }
+
+    fn slru_on_hit(&mut self, id: ObjId, now: u64) {
+        let seg = (0..4)
+            .find(|&s| find(&self.segs[s], id).is_some())
+            .expect("hit id in some segment");
+        let pos = find(&self.segs[seg], id).expect("position exists");
+        let target = (seg + 1).min(3);
+        let mut n = self.segs[seg].remove(pos);
+        n.meta.touch(now);
+        self.segs[target].push(n);
+        if target != seg {
+            self.slru_rebalance_from(target);
+        }
+    }
+
+    // ---- SIEVE (mirrors cache_policies::Sieve) -------------------------
+
+    fn sieve_evict_one(&mut self, evicted: &mut Vec<Eviction>) {
+        if self.q0.is_empty() {
+            return;
+        }
+        // Resume from the hand when it still points at a live node,
+        // otherwise from the tail.
+        let mut i = self
+            .hand
+            .and_then(|h| find(&self.q0, h))
+            .unwrap_or(0);
+        loop {
+            if self.q0[i].freq != 0 {
+                self.q0[i].freq = 0;
+                // Toward the head; wrap to the tail past the newest entry.
+                i = if i + 1 < self.q0.len() { i + 1 } else { 0 };
+            } else {
+                let n = self.q0.remove(i);
+                // The hand moves to the neighbour toward the head (which
+                // now sits at index `i`), or clears when the head was
+                // evicted.
+                self.hand = self.q0.get(i).map(|m| m.id);
+                self.stats.evictions += 1;
+                evicted.push(n.meta.eviction(n.id, false));
+                return;
+            }
+        }
+    }
+
+    // ---- single-queue shared insert/delete -----------------------------
+
+    fn single_insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        while self.used_bytes() + u64::from(req.size) > self.capacity && !self.q0.is_empty() {
+            match self.algo {
+                Algo::Fifo | Algo::Lru => {
+                    let n = self.q0.remove(0);
+                    self.stats.evictions += 1;
+                    evicted.push(n.meta.eviction(n.id, false));
+                }
+                Algo::Clock(_) => loop {
+                    if self.q0[0].freq > 0 {
+                        let mut n = self.q0.remove(0);
+                        n.freq -= 1;
+                        self.q0.push(n);
+                    } else {
+                        let n = self.q0.remove(0);
+                        self.stats.evictions += 1;
+                        evicted.push(n.meta.eviction(n.id, false));
+                        break;
+                    }
+                },
+                Algo::Sieve => self.sieve_evict_one(evicted),
+                _ => unreachable!("single-queue insert on multi-queue algo"),
+            }
+        }
+        self.q0.push(Node {
+            id: req.id,
+            freq: 0,
+            meta: RefMeta::new(req.size, req.time),
+        });
+    }
+
+    fn delete(&mut self, id: ObjId) {
+        if self.algo == Algo::Sieve && self.hand == Some(id) {
+            // The hand steps to the neighbour toward the head, like the
+            // production policy re-pointing `prev_handle`.
+            let p = find(&self.q0, id).expect("hand id resident");
+            self.hand = self.q0.get(p + 1).map(|n| n.id);
+        }
+        if let Some(p) = find(&self.q0, id) {
+            self.q0.remove(p);
+        } else if let Some(p) = find(&self.q1, id) {
+            self.q1.remove(p);
+        } else {
+            for s in 0..4 {
+                if let Some(p) = find(&self.segs[s], id) {
+                    self.segs[s].remove(p);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_hit(&mut self, req: &Request) {
+        match self.algo {
+            Algo::Fifo => {
+                let p = find(&self.q0, req.id).expect("hit id resident");
+                self.q0[p].meta.touch(req.time);
+            }
+            Algo::Lru => {
+                let p = find(&self.q0, req.id).expect("hit id resident");
+                let mut n = self.q0.remove(p);
+                n.meta.touch(req.time);
+                self.q0.push(n); // move to head (MRU)
+            }
+            Algo::Clock(max_freq) => {
+                let p = find(&self.q0, req.id).expect("hit id resident");
+                self.q0[p].freq = (self.q0[p].freq + 1).min(max_freq);
+                self.q0[p].meta.touch(req.time);
+            }
+            Algo::Sieve => {
+                let p = find(&self.q0, req.id).expect("hit id resident");
+                self.q0[p].freq = 1; // visited bit
+                self.q0[p].meta.touch(req.time);
+            }
+            Algo::Slru => self.slru_on_hit(req.id, req.time),
+            Algo::TwoQ => {
+                // A1in hits touch only (FIFO); Am hits promote to MRU.
+                if let Some(p) = find(&self.q0, req.id) {
+                    self.q0[p].meta.touch(req.time);
+                } else {
+                    let p = find(&self.q1, req.id).expect("hit id resident");
+                    let mut n = self.q1.remove(p);
+                    n.meta.touch(req.time);
+                    self.q1.push(n);
+                }
+            }
+            Algo::S3Fifo(_) => {
+                let q = if find(&self.q0, req.id).is_some() {
+                    &mut self.q0
+                } else {
+                    &mut self.q1
+                };
+                let p = find(q, req.id).expect("hit id resident");
+                q[p].freq = (q[p].freq + 1).min(3);
+                q[p].meta.touch(req.time);
+            }
+        }
+    }
+
+    fn insert(&mut self, req: &Request, evicted: &mut Vec<Eviction>) {
+        match self.algo {
+            Algo::Fifo | Algo::Lru | Algo::Clock(_) | Algo::Sieve => {
+                self.single_insert(req, evicted);
+            }
+            Algo::Slru => self.slru_insert(req, evicted),
+            Algo::TwoQ => self.twoq_insert(req, evicted),
+            Algo::S3Fifo(_) => self.s3_insert(req, evicted),
+        }
+    }
+}
+
+impl Policy for ReferencePolicy {
+    fn name(&self) -> String {
+        match self.algo {
+            Algo::Fifo => "Ref<FIFO>".into(),
+            Algo::Lru => "Ref<LRU>".into(),
+            Algo::Clock(m) => format!("Ref<CLOCK max={m}>"),
+            Algo::Sieve => "Ref<SIEVE>".into(),
+            Algo::Slru => "Ref<SLRU>".into(),
+            Algo::TwoQ => "Ref<2Q>".into(),
+            Algo::S3Fifo(r) => format!("Ref<S3-FIFO({r:.2})>"),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn used(&self) -> u64 {
+        self.used_bytes()
+    }
+
+    fn len(&self) -> usize {
+        self.count()
+    }
+
+    fn contains(&self, id: ObjId) -> bool {
+        self.resident(id)
+    }
+
+    fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome {
+        match req.op {
+            Op::Get => {
+                if self.resident(req.id) {
+                    self.on_hit(req);
+                    self.stats.record_get(req.size, false);
+                    Outcome::Hit
+                } else if u64::from(req.size) > self.capacity {
+                    self.stats.record_get(req.size, true);
+                    Outcome::Uncacheable
+                } else {
+                    self.stats.record_get(req.size, true);
+                    self.insert(req, evicted);
+                    Outcome::Miss
+                }
+            }
+            Op::Set => {
+                self.delete(req.id);
+                if u64::from(req.size) <= self.capacity {
+                    self.insert(req, evicted);
+                }
+                Outcome::NotRead
+            }
+            Op::Delete => {
+                self.delete(req.id);
+                Outcome::NotRead
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.used_bytes() > self.capacity {
+            return Err(format!(
+                "{}: used {} > capacity {}",
+                self.name(),
+                self.used_bytes(),
+                self.capacity
+            ));
+        }
+        let mut seen = HashSet::new();
+        for n in self.all_queues() {
+            if !seen.insert(n.id) {
+                return Err(format!("{}: id {} resident twice", self.name(), n.id));
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+/// Builds the reference interpreter for a registry algorithm name, or
+/// `None` when the algorithm has no reference model (the fuzzer then skips
+/// the name). Accepts the same `"S3-FIFO(r)"` parameterized form as the
+/// registry.
+pub fn reference_for(name: &str, capacity: u64) -> Option<ReferencePolicy> {
+    if let Some(inner) = name
+        .strip_prefix("S3-FIFO(")
+        .and_then(|rest| rest.strip_suffix(')'))
+    {
+        let ratio: f64 = inner.parse().ok()?;
+        return Some(ReferencePolicy::new(Algo::S3Fifo(ratio), capacity));
+    }
+    let algo = match name {
+        "FIFO" => Algo::Fifo,
+        "LRU" => Algo::Lru,
+        "CLOCK" => Algo::Clock(1),
+        "CLOCK-2bit" => Algo::Clock(3),
+        "SIEVE" => Algo::Sieve,
+        "SLRU" => Algo::Slru,
+        "2Q" => Algo::TwoQ,
+        "S3-FIFO" => Algo::S3Fifo(0.1),
+        _ => return None,
+    };
+    Some(ReferencePolicy::new(algo, capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(p: &mut ReferencePolicy, id: ObjId, t: u64) -> Outcome {
+        let mut evs = Vec::new();
+        p.request(&Request::get(id, t), &mut evs)
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut p = reference_for("FIFO", 2).unwrap();
+        get(&mut p, 1, 0);
+        get(&mut p, 2, 1);
+        get(&mut p, 1, 2); // hit, no reorder
+        let mut evs = Vec::new();
+        p.request(&Request::get(3, 3), &mut evs);
+        assert_eq!(evs[0].id, 1);
+        assert_eq!(evs[0].freq, 1);
+    }
+
+    #[test]
+    fn lru_keeps_recent() {
+        let mut p = reference_for("LRU", 2).unwrap();
+        get(&mut p, 1, 0);
+        get(&mut p, 2, 1);
+        get(&mut p, 1, 2);
+        let mut evs = Vec::new();
+        p.request(&Request::get(3, 3), &mut evs);
+        assert_eq!(evs[0].id, 2);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut p = reference_for("CLOCK", 2).unwrap();
+        get(&mut p, 1, 0);
+        get(&mut p, 2, 1);
+        get(&mut p, 1, 2);
+        let mut evs = Vec::new();
+        p.request(&Request::get(3, 3), &mut evs);
+        assert_eq!(evs[0].id, 2);
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn sieve_keeps_visited_in_place() {
+        let mut p = reference_for("SIEVE", 3).unwrap();
+        for id in 1..=3 {
+            get(&mut p, id, id);
+        }
+        get(&mut p, 1, 10); // visit tail
+        let mut evs = Vec::new();
+        p.request(&Request::get(4, 11), &mut evs);
+        assert_eq!(evs[0].id, 2, "hand clears 1's bit then evicts 2");
+        assert!(p.contains(1));
+    }
+
+    #[test]
+    fn s3fifo_one_hit_wonders_ghost() {
+        let mut p = reference_for("S3-FIFO", 100).unwrap();
+        for i in 0..150 {
+            get(&mut p, i, i);
+        }
+        assert!(p.q1.is_empty(), "a pure scan never populates M");
+        assert!(!p.ghost.set.is_empty());
+        // Ghost hit resurrects into main.
+        let ghosted = (0..150).find(|&i| p.ghost.contains(i)).unwrap();
+        assert_eq!(get(&mut p, ghosted, 1000), Outcome::Miss);
+        assert!(find(&p.q1, ghosted).is_some());
+    }
+
+    #[test]
+    fn twoq_ghost_hit_promotes() {
+        let mut p = reference_for("2Q", 20).unwrap();
+        for id in 0..40 {
+            get(&mut p, id, id);
+        }
+        assert!(p.q1.is_empty(), "a scan never populates Am");
+        let ghosted = (0..40).find(|&i| p.ghost.contains(i)).unwrap();
+        get(&mut p, ghosted, 100);
+        assert!(find(&p.q1, ghosted).is_some());
+    }
+
+    #[test]
+    fn slru_hits_climb_segments() {
+        let mut p = reference_for("SLRU", 40).unwrap();
+        for t in 0..5 {
+            get(&mut p, 1, t);
+        }
+        assert!(find(&p.segs[3], 1).is_some(), "caps at the top segment");
+    }
+
+    #[test]
+    fn unknown_name_has_no_reference() {
+        assert!(reference_for("LIRS", 10).is_none());
+        assert!(reference_for("Belady", 10).is_none());
+    }
+}

@@ -17,7 +17,9 @@
 //!   lines of Fig. 8;
 //! - [`segcache::SegcacheLike`] — log-structured segments with FIFO-merge
 //!   eviction and an atomic-only hit path;
-//! - [`harness`] — the closed-loop multi-threaded replay harness.
+//! - [`harness`] — the closed-loop multi-threaded replay harness;
+//! - [`oplog`] — a logged variant of the torture harness whose timed
+//!   histories feed `cache-check`'s linearizability-lite checker.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod clock;
 pub mod harness;
 pub mod locked;
 pub mod lru;
+pub mod oplog;
 pub mod s3fifo;
 pub mod segcache;
 

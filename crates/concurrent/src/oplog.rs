@@ -1,0 +1,220 @@
+//! Operation-log recording for the linearizability-lite checker.
+//!
+//! [`crate::harness::run_torture`] verifies *heuristic* invariants on line
+//! (version monotonicity on exclusively-owned keys). This module records a
+//! complete timed history instead — every get/insert/remove with a global
+//! logical interval `[start, end]` and globally-unique insert values — so
+//! `cache-check`'s sequential-witness search can verify after the fact that
+//! the observed history admits a legal ordering, shared keys included.
+//!
+//! Timestamps come from one global atomic counter: `start` is drawn
+//! immediately before the cache call and `end` immediately after, so if
+//! `a.end < b.start` then operation `a` really completed before `b` began
+//! (single-process real-time order). Insert values are unique across the
+//! whole run (thread index in the high bits), which is what lets the checker
+//! match a get to the exact insert that produced its payload.
+
+use crate::ConcurrentCache;
+use bytes::Bytes;
+use cache_ds::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What one logged operation did and what it observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A lookup; `Some(v)` is the decoded unique value of the payload it
+    /// returned, `None` a miss. A hit whose payload decoded to the wrong key
+    /// (or did not decode) is recorded as `Some(u64::MAX)`, a value no insert
+    /// ever writes, so the checker flags it unconditionally.
+    Get(Option<u64>),
+    /// An insert of the globally-unique value.
+    Insert(u64),
+    /// A remove; the flag is the cache's "was present" return.
+    Remove(bool),
+}
+
+/// One operation in the recorded history.
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// Worker thread that issued the operation.
+    pub thread: u32,
+    /// Key operated on.
+    pub key: u64,
+    /// Operation and observed result.
+    pub kind: OpKind,
+    /// Global logical time drawn immediately before the cache call.
+    pub start: u64,
+    /// Global logical time drawn immediately after the cache call returned.
+    pub end: u64,
+}
+
+/// Parameters of a logged torture run. Smaller than
+/// [`crate::harness::TortureConfig`] by design: the witness search is
+/// super-linear in per-key history length.
+#[derive(Debug, Clone, Copy)]
+pub struct LoggedTortureConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Distinct keys, all shared by all threads.
+    pub keys: u64,
+    /// Payload size in bytes (min 16; payloads encode key + unique value).
+    pub value_size: usize,
+    /// Seed for the per-thread op streams.
+    pub seed: u64,
+}
+
+impl Default for LoggedTortureConfig {
+    fn default() -> Self {
+        LoggedTortureConfig {
+            threads: 4,
+            ops_per_thread: 2_000,
+            keys: 64,
+            value_size: 32,
+            seed: 0x10C4_10C4,
+        }
+    }
+}
+
+/// Payloads encode `(key, unique value)` exactly like the torture harness
+/// encodes `(key, version)`.
+fn encode(key: u64, value: u64, size: usize) -> Bytes {
+    let size = size.max(16);
+    let mut v = vec![0u8; size];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..16].copy_from_slice(&value.to_le_bytes());
+    Bytes::from(v)
+}
+
+fn decode(b: &Bytes) -> Option<(u64, u64)> {
+    if b.len() < 16 {
+        return None;
+    }
+    let key = u64::from_le_bytes(b[..8].try_into().ok()?);
+    let value = u64::from_le_bytes(b[8..16].try_into().ok()?);
+    Some((key, value))
+}
+
+/// Runs a logged torture interleaving and returns the merged history,
+/// sorted by `start` time.
+///
+/// Operation mix: 50 % gets, 40 % inserts, 10 % removes, all on keys shared
+/// by every thread. Each thread's op stream is a pure function of
+/// `(cfg.seed, thread index)`; the interleaving — and therefore the recorded
+/// intervals — is whatever the scheduler produces.
+pub fn run_logged_torture(
+    cache: Arc<dyn ConcurrentCache>,
+    cfg: &LoggedTortureConfig,
+) -> Vec<OpRecord> {
+    let clock = AtomicU64::new(0);
+    let mut logs: Vec<Vec<OpRecord>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let cache = Arc::clone(&cache);
+            let clock = &clock;
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                let mut rng =
+                    SplitMix64::new(cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut log = Vec::with_capacity(cfg.ops_per_thread);
+                // Globally-unique values: thread index in the high bits. The
+                // torture harness's per-thread versions collide across
+                // threads; a witness search needs to know exactly which
+                // insert produced a payload.
+                let mut next_value = (t as u64) << 48;
+                for _ in 0..cfg.ops_per_thread {
+                    let key = rng.next_below(cfg.keys.max(1));
+                    let roll = rng.next_below(10);
+                    let start = clock.fetch_add(1, Ordering::SeqCst);
+                    let kind = match roll {
+                        0..=4 => {
+                            let observed = cache.get(key).map(|payload| match decode(&payload) {
+                                Some((k, v)) if k == key => v,
+                                // Wrong-key or torn payload: a value no
+                                // insert ever wrote, flagged unconditionally.
+                                _ => u64::MAX,
+                            });
+                            OpKind::Get(observed)
+                        }
+                        5..=8 => {
+                            next_value += 1;
+                            let value = next_value;
+                            cache.insert(key, encode(key, value, cfg.value_size));
+                            OpKind::Insert(value)
+                        }
+                        _ => OpKind::Remove(cache.remove(key)),
+                    };
+                    let end = clock.fetch_add(1, Ordering::SeqCst);
+                    log.push(OpRecord {
+                        thread: t as u32,
+                        key,
+                        kind,
+                        start,
+                        end,
+                    });
+                }
+                log
+            }));
+        }
+        for h in handles {
+            logs.push(h.join().expect("logged torture worker panicked"));
+        }
+    });
+    let mut merged: Vec<OpRecord> = logs.into_iter().flatten().collect();
+    merged.sort_by_key(|r| r.start);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s3fifo::ConcurrentS3Fifo;
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = encode(7, (3u64 << 48) | 9, 32);
+        assert_eq!(decode(&p), Some((7, (3 << 48) | 9)));
+        assert_eq!(decode(&Bytes::from_static(b"tiny")), None);
+    }
+
+    #[test]
+    fn history_is_complete_and_interval_ordered() {
+        let cfg = LoggedTortureConfig {
+            threads: 3,
+            ops_per_thread: 500,
+            ..LoggedTortureConfig::default()
+        };
+        let cache: Arc<dyn ConcurrentCache> = Arc::new(ConcurrentS3Fifo::new(128));
+        let log = run_logged_torture(cache, &cfg);
+        assert_eq!(log.len(), 3 * 500);
+        // Timestamps are unique and every interval is well-formed.
+        let mut seen = std::collections::HashSet::new();
+        for r in &log {
+            assert!(r.start < r.end, "inverted interval {r:?}");
+            assert!(seen.insert(r.start) && seen.insert(r.end));
+        }
+        // Merged log is sorted by start.
+        assert!(log.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    #[test]
+    fn insert_values_are_globally_unique() {
+        let cfg = LoggedTortureConfig {
+            threads: 4,
+            ops_per_thread: 1000,
+            ..LoggedTortureConfig::default()
+        };
+        let cache: Arc<dyn ConcurrentCache> = Arc::new(ConcurrentS3Fifo::new(128));
+        let log = run_logged_torture(cache, &cfg);
+        let mut values = std::collections::HashSet::new();
+        for r in &log {
+            if let OpKind::Insert(v) = r.kind {
+                assert!(values.insert(v), "duplicate insert value {v}");
+            }
+        }
+        assert!(!values.is_empty());
+    }
+}

@@ -117,6 +117,16 @@ impl GhostFifo {
         self.set.len()
     }
 
+    /// Bytes currently charged to the FIFO window (tombstones included).
+    pub(crate) fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Byte capacity of the window.
+    pub(crate) fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
     /// Adjusts the window size; existing entries expire against the new
     /// capacity on the next insertion.
     pub(crate) fn set_capacity(&mut self, capacity: u64) {
@@ -220,9 +230,11 @@ impl S3Fifo {
     /// queue (used by the adaptive variant, §6.2.2). The ghost window tracks
     /// the new main capacity. Queues shrink lazily through future evictions.
     pub(crate) fn set_small_capacity(&mut self, s_capacity: u64) {
-        let s = s_capacity.clamp(1, self.capacity.saturating_sub(1));
+        // Both queues keep a one-byte floor even at capacity 1, exactly like
+        // the constructor (`clamp(1, capacity - 1)` would panic there).
+        let s = s_capacity.clamp(1, self.capacity.saturating_sub(1).max(1));
         self.s_capacity = s;
-        self.m_capacity = (self.capacity - s).max(1);
+        self.m_capacity = self.capacity.saturating_sub(s).max(1);
         self.ghost
             .set_capacity((self.m_capacity as f64 * self.cfg.ghost_ratio).round() as u64);
     }
@@ -354,9 +366,11 @@ impl S3Fifo {
                 last_access: req.time,
             },
         );
-        // A ghost-hit insert into M can overflow M; trim it now so the
-        // invariant `m_used <= m_capacity` holds between requests (the small
-        // queue is allowed to exceed its *target* transiently by design).
+        // A ghost-hit insert into M can overflow M; trim one object now.
+        // With unit sizes this restores `m_used <= m_capacity` exactly; with
+        // sized objects a single-object trim can leave M transiently over
+        // budget (still bounded by `used() <= capacity`). The small queue is
+        // allowed to exceed its *target* transiently by design.
         if queue == Queue::Main && self.m_used > self.m_capacity {
             self.evict_main(req.time, evicted);
         }
@@ -382,25 +396,8 @@ impl S3Fifo {
 
     #[cfg(test)]
     pub(crate) fn check_invariants(&self) {
-        assert!(self.used_total() <= self.capacity + u64::from(u32::MAX));
-        assert_eq!(self.small.len() + self.main.len(), self.table.len());
-        let s_bytes: u64 = self
-            .small
-            .iter()
-            .map(|id| u64::from(self.table[id].size))
-            .sum();
-        let m_bytes: u64 = self
-            .main
-            .iter()
-            .map(|id| u64::from(self.table[id].size))
-            .sum();
-        assert_eq!(s_bytes, self.s_used);
-        assert_eq!(m_bytes, self.m_used);
-        for id in self.small.iter() {
-            assert_eq!(self.table[id].queue, Queue::Small);
-        }
-        for id in self.main.iter() {
-            assert_eq!(self.table[id].queue, Queue::Main);
+        if let Err(e) = Policy::validate(self) {
+            panic!("S3-FIFO invariant violated: {e}");
         }
     }
 }
@@ -458,6 +455,72 @@ impl Policy for S3Fifo {
                 Outcome::NotRead
             }
         }
+    }
+
+    /// Structural invariants of Algorithm 1, checked between requests:
+    /// resident bytes within capacity, queue/table agreement (which also
+    /// rules out duplicate residency), capped frequencies, and the ghost
+    /// window bound with ghost/resident disjointness.
+    fn validate(&self) -> Result<(), String> {
+        if self.used_total() > self.capacity {
+            return Err(format!(
+                "resident bytes {} exceed capacity {}",
+                self.used_total(),
+                self.capacity
+            ));
+        }
+        if self.small.len() + self.main.len() != self.table.len() {
+            return Err(format!(
+                "queue lengths {}+{} disagree with table len {} (duplicate or orphaned residency)",
+                self.small.len(),
+                self.main.len(),
+                self.table.len()
+            ));
+        }
+        let mut s_bytes = 0u64;
+        for id in self.small.iter() {
+            let e = self
+                .table
+                .get(id)
+                .ok_or_else(|| format!("small-queue id {id} missing from table"))?;
+            if e.queue != Queue::Small {
+                return Err(format!("id {id} on S but tagged {:?}", e.queue));
+            }
+            s_bytes += u64::from(e.size);
+        }
+        let mut m_bytes = 0u64;
+        for id in self.main.iter() {
+            let e = self
+                .table
+                .get(id)
+                .ok_or_else(|| format!("main-queue id {id} missing from table"))?;
+            if e.queue != Queue::Main {
+                return Err(format!("id {id} on M but tagged {:?}", e.queue));
+            }
+            m_bytes += u64::from(e.size);
+        }
+        if s_bytes != self.s_used {
+            return Err(format!("s_used {} != S queue bytes {s_bytes}", self.s_used));
+        }
+        if m_bytes != self.m_used {
+            return Err(format!("m_used {} != M queue bytes {m_bytes}", self.m_used));
+        }
+        for (id, e) in self.table.iter() {
+            if e.freq > 3 {
+                return Err(format!("id {id} freq {} above the 2-bit cap", e.freq));
+            }
+            if self.ghost.contains(*id) {
+                return Err(format!("id {id} is both resident and a ghost"));
+            }
+        }
+        if self.ghost.used() > self.ghost.capacity() {
+            return Err(format!(
+                "ghost window charged {} bytes over its {} capacity",
+                self.ghost.used(),
+                self.ghost.capacity()
+            ));
+        }
+        Ok(())
     }
 
     fn stats(&self) -> PolicyStats {

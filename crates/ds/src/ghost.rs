@@ -81,7 +81,10 @@ impl GhostTable {
 
     #[inline]
     fn alive(&self, e: &Entry) -> bool {
-        e.seq != 0 && self.insertions - e.seq < self.capacity
+        // Wrapping distance: `insertions` is monotonic modulo 2^64 (0 is
+        // skipped as the never-used sentinel), so the subtraction stays
+        // meaningful across a counter wrap instead of underflowing.
+        e.seq != 0 && self.insertions.wrapping_sub(e.seq) < self.capacity
     }
 
     /// Records that `id` was evicted (inserted into the ghost queue).
@@ -90,7 +93,14 @@ impl GhostTable {
     /// FIFO ghost where the entry is re-enqueued.
     pub fn insert(&mut self, id: u64) {
         let (bucket, fp) = self.locate(id);
-        self.insertions += 1;
+        // Monotonic modulo 2^64; 0 stays reserved for "never used", so the
+        // counter skips it when it wraps. (Within one wrap the distance in
+        // `alive` is exact; across a wrap it is off by the skipped 0 — one
+        // count per 2^64 insertions, which no workload will notice.)
+        self.insertions = self.insertions.wrapping_add(1);
+        if self.insertions == 0 {
+            self.insertions = 1;
+        }
         let now = self.insertions;
         let bucket = &mut self.buckets[bucket];
         // Prefer an existing entry for the same fingerprint, then any dead
@@ -125,8 +135,12 @@ impl GhostTable {
     /// resurrected into the main queue). Returns true when it was present.
     pub fn remove(&mut self, id: u64) -> bool {
         let (bucket, fp) = self.locate(id);
+        let (insertions, capacity) = (self.insertions, self.capacity);
+        // Same liveness rule as `alive` (inlined: that helper borrows
+        // `self`, which is mutably borrowed here).
+        let alive = |e: &Entry| e.seq != 0 && insertions.wrapping_sub(e.seq) < capacity;
         for e in &mut self.buckets[bucket] {
-            if e.fingerprint == fp && e.seq != 0 && self.insertions - e.seq < self.capacity {
+            if e.fingerprint == fp && alive(e) {
                 *e = Entry::default();
                 return true;
             }
@@ -282,5 +296,70 @@ mod tests {
         g.insert(2);
         assert!(!g.contains(1));
         assert!(g.contains(2));
+    }
+
+    /// The exact window boundary for several capacities: an entry survives
+    /// `capacity - 1` subsequent insertions and dies on the `capacity`-th.
+    #[test]
+    fn boundary_at_exact_capacity() {
+        for cap in [1usize, 2, 3, 8, 17] {
+            let mut g = GhostTable::new(cap);
+            g.insert(1);
+            for i in 0..cap as u64 - 1 {
+                g.insert(1000 + i);
+                assert!(
+                    g.contains(1),
+                    "cap {cap}: id 1 expired after only {} subsequent inserts",
+                    i + 1
+                );
+            }
+            g.insert(2000);
+            assert!(!g.contains(1), "cap {cap}: id 1 outlived the window");
+        }
+    }
+
+    #[test]
+    fn reinsert_after_remove_is_fresh() {
+        let mut g = GhostTable::new(10);
+        g.insert(5);
+        assert!(g.remove(5));
+        assert!(!g.contains(5));
+        // Re-inserting after a remove must behave like a brand-new entry.
+        g.insert(5);
+        assert!(g.contains(5));
+        for i in 100..109 {
+            g.insert(i);
+        }
+        assert!(g.contains(5), "re-inserted entry expired early");
+        g.insert(109);
+        assert!(!g.contains(5));
+        assert!(g.remove(5) == false, "expired entry reported removable");
+    }
+
+    /// Counter wraparound: the insertion counter is monotonic modulo 2^64
+    /// with 0 reserved. Crossing the wrap must not panic (the old code's
+    /// `insertions - seq` underflowed in debug builds) and must keep the
+    /// window behaving.
+    #[test]
+    fn insertion_counter_wraparound() {
+        let mut g = GhostTable::new(8);
+        g.insertions = u64::MAX - 3;
+        for id in 0..12u64 {
+            g.insert(id);
+            assert!(g.contains(id), "freshly inserted {id} missing near wrap");
+        }
+        // The counter skipped 0 and kept going.
+        assert!(g.insertions() < 16, "counter did not wrap: {}", g.insertions());
+        assert_ne!(g.insertions(), 0);
+        // Entries inserted 8+ insertions ago (pre-wrap) are expired; the
+        // freshest 8 are within the window.
+        assert!(!g.contains(0));
+        assert!(!g.contains(1));
+        for id in 5..12u64 {
+            assert!(g.contains(id), "id {id} should be inside the window");
+        }
+        // contains/remove on pre-wrap survivors and expired ids never panic.
+        assert!(!g.remove(0));
+        assert!(g.remove(11));
     }
 }

@@ -1,0 +1,149 @@
+//! Property tests for the fault-handling building blocks: backoff jitter
+//! stays inside the policy's bounds, and the error-budget window counts
+//! every error exactly once against a naive reference model.
+
+use cache_faults::{Backoff, DegradationState, ErrorBudget, ErrorBudgetConfig, RetryPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every delay the backoff yields is capped at `max_delay` and never
+    /// falls below `min(base_delay.max(1), max_delay)`, for arbitrary
+    /// policies including degenerate ones (`max_delay < base_delay`,
+    /// zero base).
+    #[test]
+    fn backoff_delays_stay_inside_policy_bounds(
+        max_retries in 0u32..20,
+        base_delay in 0u64..1_000,
+        max_delay in 0u64..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let policy = RetryPolicy { max_retries, base_delay, max_delay };
+        let mut b = Backoff::new(policy, seed);
+        let floor = base_delay.max(1).min(max_delay);
+        let mut yielded = 0u32;
+        while let Some(d) = b.next_delay() {
+            yielded += 1;
+            prop_assert!(d <= max_delay, "delay {d} exceeds max_delay {max_delay}");
+            prop_assert!(d >= floor, "delay {d} below floor {floor}");
+            prop_assert!(yielded <= max_retries, "more delays than retries");
+        }
+        prop_assert_eq!(yielded, max_retries, "must yield exactly max_retries delays");
+        prop_assert!(b.next_delay().is_none(), "stays exhausted");
+    }
+
+    /// The schedule is a pure function of (policy, seed), and `reset`
+    /// restarts the attempt budget without disturbing boundedness.
+    #[test]
+    fn backoff_is_deterministic_and_resettable(
+        max_retries in 1u32..10,
+        base_delay in 1u64..100,
+        max_delay in 1u64..500,
+        seed in 0u64..1_000,
+    ) {
+        let policy = RetryPolicy { max_retries, base_delay, max_delay };
+        let collect = |b: &mut Backoff| -> Vec<u64> {
+            std::iter::from_fn(|| b.next_delay()).collect()
+        };
+        let a = collect(&mut Backoff::new(policy, seed));
+        let b2 = collect(&mut Backoff::new(policy, seed));
+        prop_assert_eq!(&a, &b2, "same seed must reproduce the schedule");
+        let mut r = Backoff::new(policy, seed);
+        let _ = collect(&mut r);
+        r.reset();
+        prop_assert_eq!(r.attempts(), 0);
+        let again = collect(&mut r);
+        prop_assert_eq!(again.len(), max_retries as usize);
+        for d in again {
+            prop_assert!(d <= max_delay);
+        }
+    }
+
+    /// The sliding window agrees with a naive reference: after recording an
+    /// error at time `now`, exactly the errors with `now - t < window_ops`
+    /// are counted — each one once, none twice, none resurrected. Trips
+    /// happen exactly when a Healthy budget exceeds `max_errors`.
+    #[test]
+    fn error_window_counts_each_error_exactly_once(
+        deltas in proptest::collection::vec(0u64..60, 1..120),
+        window_ops in 1u64..80,
+        max_errors in 0u32..12,
+    ) {
+        let cfg = ErrorBudgetConfig {
+            window_ops,
+            max_errors,
+            probe_interval: 10,
+            recovery_probes: 2,
+        };
+        let mut budget = ErrorBudget::new(cfg);
+        let mut reference: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        let mut reference_trips = 0u64;
+        let mut healthy = true;
+        for &d in &deltas {
+            now += d; // logical clock is non-decreasing
+            let tripped = budget.record_error(now);
+            reference.retain(|&t| now - t < window_ops);
+            reference.push(now);
+            prop_assert_eq!(
+                budget.errors_in_window(),
+                reference.len(),
+                "window disagrees with reference at t={}", now
+            );
+            let expect_trip = healthy && reference.len() > max_errors as usize;
+            prop_assert_eq!(tripped, expect_trip, "trip decision at t={}", now);
+            if expect_trip {
+                healthy = false;
+                reference_trips += 1;
+            }
+        }
+        prop_assert_eq!(budget.trips(), reference_trips);
+        prop_assert_eq!(
+            budget.state() == DegradationState::Healthy,
+            healthy
+        );
+    }
+
+    /// Recovery requires exactly `recovery_probes` *consecutive* successful
+    /// probes; any failure restarts the streak, and recovery clears the
+    /// error window so old errors cannot double-trip the fresh budget.
+    #[test]
+    fn recovery_needs_a_consecutive_probe_streak(
+        outcomes in proptest::collection::vec(0u64..2, 1..40),
+        recovery_probes in 1u32..6,
+    ) {
+        let cfg = ErrorBudgetConfig {
+            window_ops: 1_000,
+            max_errors: 0,
+            probe_interval: 1,
+            recovery_probes,
+        };
+        let mut budget = ErrorBudget::new(cfg);
+        prop_assert!(budget.record_error(1), "max_errors=0 trips on the first error");
+        let mut streak = 0u32;
+        let mut recovered = false;
+        let mut now = 10u64;
+        for &o in &outcomes {
+            let ok = o == 1;
+            if recovered {
+                break;
+            }
+            now += cfg.probe_interval;
+            let done = budget.record_probe(now, ok);
+            streak = if ok { streak + 1 } else { 0 };
+            let expect_done = streak >= recovery_probes;
+            prop_assert_eq!(done, expect_done, "recovery decision at probe t={}", now);
+            if done {
+                recovered = true;
+            }
+        }
+        if recovered {
+            prop_assert_eq!(budget.state(), DegradationState::Healthy);
+            prop_assert_eq!(budget.errors_in_window(), 0, "recovery must clear the window");
+            prop_assert_eq!(budget.recoveries(), 1);
+        } else {
+            prop_assert_eq!(budget.state(), DegradationState::Degraded);
+        }
+    }
+}

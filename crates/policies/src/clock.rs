@@ -152,6 +152,26 @@ impl Policy for Clock {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        crate::util::validate_single_queue(
+            &self.name(),
+            self.capacity,
+            self.used,
+            self.table.len(),
+            self.queue.iter(),
+            |id| self.table.get(&id).map(|e| e.meta.size),
+        )?;
+        for (id, e) in self.table.iter() {
+            if e.freq > self.max_freq {
+                return Err(format!(
+                    "CLOCK: freq {} of {id} exceeds counter cap {}",
+                    e.freq, self.max_freq
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }

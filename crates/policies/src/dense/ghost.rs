@@ -72,6 +72,34 @@ impl SlotGhost {
     pub(crate) fn remove(&mut self, slot: u32) -> bool {
         std::mem::replace(&mut self.present[slot as usize], false)
     }
+
+    /// Structural self-check mirroring `GhostList::validate`: the byte
+    /// charge matches the FIFO slots (tombstones included), the window bound
+    /// holds, and every marked slot owns a FIFO entry.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.used > self.capacity {
+            return Err(format!(
+                "ghost used {} > capacity {}",
+                self.used, self.capacity
+            ));
+        }
+        let bytes: u64 = self.fifo.iter().map(|&(_, s)| u64::from(s)).sum();
+        if bytes != self.used {
+            return Err(format!("ghost slot bytes {bytes} != accounted {}", self.used));
+        }
+        let marked = self.present.iter().filter(|&&p| p).count();
+        let live = self
+            .fifo
+            .iter()
+            .filter(|&&(s, _)| self.present[s as usize])
+            .count();
+        if live < marked {
+            return Err(format!(
+                "ghost marks {marked} slots but only {live} own FIFO entries"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

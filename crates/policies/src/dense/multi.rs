@@ -174,6 +174,55 @@ impl DensePolicy for DenseTwoQ {
 
     impl_dense_replay!(a1out);
 
+    fn validate(&self) -> Result<(), String> {
+        if self.used_total() > self.capacity {
+            return Err(format!(
+                "2Q: used {} > capacity {}",
+                self.used_total(),
+                self.capacity
+            ));
+        }
+        let mut queued = 0usize;
+        for (queue, tag, used, name) in [
+            (&self.a1in, A1IN, self.a1in_used, "A1in"),
+            (&self.am, AM, self.am_used, "Am"),
+        ] {
+            let mut bytes = 0u64;
+            let mut count = 0u32;
+            for slot in queue.iter(&self.slab.slots) {
+                let s = &self.slab.slots[slot as usize];
+                if s.tag != tag {
+                    return Err(format!(
+                        "2Q: slot {slot} sits in {name} but is tagged {}",
+                        s.tag
+                    ));
+                }
+                if self.a1out.contains(slot) {
+                    return Err(format!("2Q: slot {slot} is both resident and in A1out"));
+                }
+                bytes += u64::from(s.size);
+                count += 1;
+                queued += 1;
+            }
+            if count != queue.len() {
+                return Err(format!(
+                    "2Q: {name} links walk {count} slots but len says {}",
+                    queue.len()
+                ));
+            }
+            if bytes != used {
+                return Err(format!("2Q: {name} bytes {bytes} != accounted {used}"));
+            }
+        }
+        let tagged = self.slab.slots.iter().filter(|s| s.tag != ABSENT).count();
+        if tagged != queued {
+            return Err(format!(
+                "2Q: {tagged} slots carry a residency tag but {queued} are queued"
+            ));
+        }
+        self.a1out.validate().map_err(|e| format!("2Q A1out: {e}"))
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }
@@ -354,6 +403,58 @@ impl DensePolicy for DenseSlru {
     }
 
     impl_dense_replay!();
+
+    fn validate(&self) -> Result<(), String> {
+        if self.used_total() > self.capacity {
+            return Err(format!(
+                "SLRU: used {} > capacity {}",
+                self.used_total(),
+                self.capacity
+            ));
+        }
+        let mut queued = 0usize;
+        for (seg, queue) in self.segs.iter().enumerate() {
+            let mut bytes = 0u64;
+            let mut count = 0u32;
+            for slot in queue.iter(&self.slab.slots) {
+                let s = &self.slab.slots[slot as usize];
+                if s.tag != (seg + 1) as u8 {
+                    return Err(format!(
+                        "SLRU: slot {slot} sits in segment {seg} but is tagged {}",
+                        s.tag
+                    ));
+                }
+                bytes += u64::from(s.size);
+                count += 1;
+                queued += 1;
+            }
+            if count != queue.len() {
+                return Err(format!(
+                    "SLRU: segment {seg} links walk {count} slots but len says {}",
+                    queue.len()
+                ));
+            }
+            if bytes != self.seg_used[seg] {
+                return Err(format!(
+                    "SLRU: segment {seg} bytes {bytes} != accounted {}",
+                    self.seg_used[seg]
+                ));
+            }
+            if seg > 0 && self.seg_used[seg] > self.seg_capacity {
+                return Err(format!(
+                    "SLRU: segment {seg} holds {} > share {}",
+                    self.seg_used[seg], self.seg_capacity
+                ));
+            }
+        }
+        let tagged = self.slab.slots.iter().filter(|s| s.tag != 0).count();
+        if tagged != queued {
+            return Err(format!(
+                "SLRU: {tagged} slots carry a residency tag but {queued} are queued"
+            ));
+        }
+        Ok(())
+    }
 
     fn stats(&self) -> PolicyStats {
         self.stats

@@ -206,9 +206,11 @@ impl DenseS3Fifo {
         s.tag = queue;
         s.freq = 0;
         s.on_insert(req);
-        // A ghost-hit insert into M can overflow M; trim it now so the
-        // invariant `m_used <= m_capacity` holds between requests (the small
-        // queue is allowed to exceed its *target* transiently by design).
+        // A ghost-hit insert into M can overflow M; trim one object now.
+        // With unit sizes this restores `m_used <= m_capacity` exactly; with
+        // sized objects a single-object trim can leave M transiently over
+        // budget (still bounded by `used() <= capacity`), matching the keyed
+        // implementation step for step.
         if queue == MAIN && self.m_used > self.m_capacity {
             self.evict_main(evicted);
         }
@@ -281,6 +283,67 @@ impl DensePolicy for DenseS3Fifo {
     }
 
     impl_dense_replay!(ghost);
+
+    fn validate(&self) -> Result<(), String> {
+        if self.used_total() > self.capacity {
+            return Err(format!(
+                "used {} > capacity {}",
+                self.used_total(),
+                self.capacity
+            ));
+        }
+        // No `m_used <= m_capacity` assertion: promotions and ghost-hit
+        // inserts trim M by one object, which with sized objects can leave M
+        // over budget until the next trim (found by cache-check's
+        // differential fuzzer; the keyed implementation behaves identically).
+        let mut queued = 0usize;
+        for (queue, tag, used, name) in [
+            (&self.small, SMALL, self.s_used, "small"),
+            (&self.main, MAIN, self.m_used, "main"),
+        ] {
+            let mut bytes = 0u64;
+            let mut count = 0u32;
+            for slot in queue.iter(&self.slab.slots) {
+                let s = &self.slab.slots[slot as usize];
+                if s.tag != tag {
+                    return Err(format!(
+                        "slot {slot} sits in {name} but is tagged {}",
+                        s.tag
+                    ));
+                }
+                if s.freq > 3 {
+                    return Err(format!("slot {slot} freq {} exceeds 2-bit cap", s.freq));
+                }
+                if self.ghost.contains(slot) {
+                    return Err(format!("slot {slot} is both resident and in the ghost"));
+                }
+                bytes += u64::from(s.size);
+                count += 1;
+                queued += 1;
+            }
+            if count != queue.len() {
+                return Err(format!(
+                    "{name} links walk {count} slots but len says {}",
+                    queue.len()
+                ));
+            }
+            if bytes != used {
+                return Err(format!("{name} bytes {bytes} != accounted {used}"));
+            }
+        }
+        let tagged = self
+            .slab
+            .slots
+            .iter()
+            .filter(|s| s.tag != ABSENT)
+            .count();
+        if tagged != queued {
+            return Err(format!(
+                "{tagged} slots carry a residency tag but {queued} are queued"
+            ));
+        }
+        self.ghost.validate().map_err(|e| format!("ghost: {e}"))
+    }
 
     fn stats(&self) -> PolicyStats {
         self.stats

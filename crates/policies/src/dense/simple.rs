@@ -122,6 +122,18 @@ impl DensePolicy for DenseFifo {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        super::slab::validate_packed_queue(
+            "FIFO",
+            self.capacity,
+            self.used,
+            &self.slab,
+            &self.queue,
+            RESIDENT,
+            None,
+        )
+    }
+
     impl_dense_replay!();
 
     fn stats(&self) -> PolicyStats {
@@ -238,6 +250,18 @@ impl DensePolicy for DenseLru {
                 Outcome::NotRead
             }
         }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        super::slab::validate_packed_queue(
+            "LRU",
+            self.capacity,
+            self.used,
+            &self.slab,
+            &self.queue,
+            RESIDENT,
+            None,
+        )
     }
 
     impl_dense_replay!();
@@ -376,6 +400,18 @@ impl DensePolicy for DenseClock {
                 Outcome::NotRead
             }
         }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        super::slab::validate_packed_queue(
+            &DensePolicy::name(self),
+            self.capacity,
+            self.used,
+            &self.slab,
+            &self.queue,
+            RESIDENT,
+            Some(self.max_freq),
+        )
     }
 
     impl_dense_replay!();
@@ -536,6 +572,22 @@ impl DensePolicy for DenseSieve {
                 Outcome::NotRead
             }
         }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        super::slab::validate_packed_queue(
+            "SIEVE",
+            self.capacity,
+            self.used,
+            &self.slab,
+            &self.queue,
+            RESIDENT,
+            Some(1),
+        )?;
+        if self.hand != NIL && self.slab.slots[self.hand as usize].tag != RESIDENT {
+            return Err(format!("SIEVE: hand points at non-resident slot {}", self.hand));
+        }
+        Ok(())
     }
 
     impl_dense_replay!();

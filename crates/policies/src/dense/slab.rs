@@ -269,8 +269,8 @@ impl PackedQueue {
         self.head = s;
     }
 
-    /// Iterates slots head → tail (differential tests only; not a hot path).
-    #[cfg(test)]
+    /// Iterates slots head → tail (validation and differential tests only;
+    /// not a hot path).
     pub(crate) fn iter<'a>(&'a self, slots: &'a [Slot]) -> impl Iterator<Item = u32> + 'a {
         let mut cur = self.head;
         std::iter::from_fn(move || {
@@ -282,6 +282,62 @@ impl PackedQueue {
             Some(s)
         })
     }
+}
+
+/// Structural validation shared by the single-queue dense policies: the
+/// intrusive links walk exactly `queue.len()` slots, every walked slot
+/// carries `resident_tag` (and respects `max_freq` when given), byte
+/// accounting matches, no slot outside the queue is tagged resident, and the
+/// capacity bound holds. Mirrors `crate::util::validate_single_queue`.
+pub(crate) fn validate_packed_queue(
+    name: &str,
+    capacity: u64,
+    used: u64,
+    slab: &DenseSlab,
+    queue: &PackedQueue,
+    resident_tag: u8,
+    max_freq: Option<u8>,
+) -> Result<(), String> {
+    if used > capacity {
+        return Err(format!("{name}: used {used} > capacity {capacity}"));
+    }
+    let mut bytes = 0u64;
+    let mut count = 0u32;
+    for slot in queue.iter(&slab.slots) {
+        let s = &slab.slots[slot as usize];
+        if s.tag != resident_tag {
+            return Err(format!(
+                "{name}: queued slot {slot} tagged {} instead of {resident_tag}",
+                s.tag
+            ));
+        }
+        if let Some(cap) = max_freq {
+            if s.freq > cap {
+                return Err(format!(
+                    "{name}: slot {slot} freq {} exceeds cap {cap}",
+                    s.freq
+                ));
+            }
+        }
+        bytes += u64::from(s.size);
+        count += 1;
+    }
+    if count != queue.len() {
+        return Err(format!(
+            "{name}: links walk {count} slots but len says {}",
+            queue.len()
+        ));
+    }
+    let tagged = slab.slots.iter().filter(|s| s.tag != 0).count();
+    if tagged != count as usize {
+        return Err(format!(
+            "{name}: {tagged} slots carry a residency tag but {count} are queued"
+        ));
+    }
+    if bytes != used {
+        return Err(format!("{name}: queued bytes {bytes} != accounted {used}"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

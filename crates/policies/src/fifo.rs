@@ -125,6 +125,17 @@ impl Policy for Fifo {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        crate::util::validate_single_queue(
+            "FIFO",
+            self.capacity,
+            self.used,
+            self.table.len(),
+            self.queue.iter(),
+            |id| self.table.get(&id).map(|e| e.meta.size),
+        )
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }

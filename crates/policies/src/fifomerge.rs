@@ -88,12 +88,18 @@ impl FifoMerge {
             return;
         }
         let mut candidates: Vec<(ObjId, u32)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         let mut merged_bytes = 0u64;
         for _ in 0..take {
             let seg = self.segments.pop_front().expect("segment available");
             for id in seg.ids {
+                // A segment's id list may hold duplicates: Delete leaves the
+                // slot in place (append-only log), and re-inserting the same
+                // object into the same active segment appends it again. Count
+                // each live object once or the retain loop double-processes
+                // it (double-counted bytes, then a panic on the second pass).
                 if let Some(e) = self.table.get(&id) {
-                    if e.seg == seg.id {
+                    if e.seg == seg.id && seen.insert(id) {
                         candidates.push((id, e.freq));
                         merged_bytes += u64::from(e.meta.size);
                     }

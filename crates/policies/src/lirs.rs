@@ -385,6 +385,118 @@ impl Policy for Lirs {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        let mut lir_bytes = 0u64;
+        let mut resident_bytes = 0u64;
+        let mut n_hir_res = 0usize;
+        let mut s_handles = 0usize;
+        let mut q_handles = 0usize;
+        for (id, n) in self.table.iter() {
+            if n.s_handle.is_some() {
+                s_handles += 1;
+            }
+            if n.q_handle.is_some() {
+                q_handles += 1;
+            }
+            match n.state {
+                State::Lir => {
+                    lir_bytes += u64::from(n.meta.size);
+                    resident_bytes += u64::from(n.meta.size);
+                    if n.s_handle.is_none() {
+                        return Err(format!("LIR block {id} is not on stack S"));
+                    }
+                    if n.q_handle.is_some() {
+                        return Err(format!("LIR block {id} holds a Q handle"));
+                    }
+                }
+                State::HirResident => {
+                    n_hir_res += 1;
+                    resident_bytes += u64::from(n.meta.size);
+                    if n.q_handle.is_none() {
+                        return Err(format!("resident HIR block {id} is not in Q"));
+                    }
+                }
+                State::HirGhost => {
+                    if n.s_handle.is_none() {
+                        return Err(format!("ghost {id} survived off-stack (pruning failed)"));
+                    }
+                    if n.q_handle.is_some() {
+                        return Err(format!("ghost {id} holds a Q handle"));
+                    }
+                }
+            }
+        }
+        if resident_bytes != self.resident_used {
+            return Err(format!(
+                "resident bytes {} != accounted {}",
+                resident_bytes, self.resident_used
+            ));
+        }
+        if lir_bytes != self.lir_used {
+            return Err(format!(
+                "LIR bytes {} != accounted {}",
+                lir_bytes, self.lir_used
+            ));
+        }
+        if self.resident_used > self.capacity {
+            return Err(format!(
+                "resident {} > capacity {}",
+                self.resident_used, self.capacity
+            ));
+        }
+        if self.lir_used > self.lir_capacity {
+            return Err(format!(
+                "LIR bytes {} > LIR budget {}",
+                self.lir_used, self.lir_capacity
+            ));
+        }
+        if self.s.len() != s_handles {
+            return Err(format!(
+                "stack holds {} entries but {} nodes hold stack handles",
+                self.s.len(),
+                s_handles
+            ));
+        }
+        if self.q.len() != q_handles {
+            return Err(format!(
+                "Q holds {} entries but {} nodes hold Q handles",
+                self.q.len(),
+                q_handles
+            ));
+        }
+        if self.q.len() != n_hir_res {
+            return Err(format!(
+                "Q holds {} entries but {} resident HIR nodes exist",
+                self.q.len(),
+                n_hir_res
+            ));
+        }
+        // `bound_stack` runs on misses; hits on off-stack resident HIR blocks
+        // (all of which sit in Q) may each add one stack entry in between.
+        if self.s.len() > self.max_stack_entries + self.q.len() {
+            return Err(format!(
+                "stack grew to {} (bound {} + {} queued)",
+                self.s.len(),
+                self.max_stack_entries,
+                self.q.len()
+            ));
+        }
+        for id in self.s.iter() {
+            if !self.table.contains_key(id) {
+                return Err(format!("stack id {id} missing from table"));
+            }
+        }
+        for id in self.q.iter() {
+            match self.table.get(id).map(|n| n.state) {
+                Some(State::HirResident) => {}
+                other => {
+                    return Err(format!("Q id {id} is {other:?}, expected resident HIR"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }

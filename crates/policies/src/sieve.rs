@@ -162,6 +162,27 @@ impl Policy for Sieve {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        crate::util::validate_single_queue(
+            "SIEVE",
+            self.capacity,
+            self.used,
+            self.table.len(),
+            self.queue.iter(),
+            |id| self.table.get(&id).map(|e| e.meta.size),
+        )?;
+        if let Some(h) = self.hand {
+            if let Some(&id) = self.queue.get(h) {
+                if !self.table.contains_key(&id) {
+                    return Err(format!("SIEVE: hand points at {id} missing from table"));
+                }
+            }
+            // A hand handle whose node was evicted/deleted is tolerated:
+            // evict_one re-validates it and falls back to the tail.
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }

@@ -179,6 +179,54 @@ impl Policy for Slru {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        if self.used_total() > self.capacity {
+            return Err(format!(
+                "SLRU: used {} > capacity {}",
+                self.used_total(),
+                self.capacity
+            ));
+        }
+        let mut seg_counts = 0usize;
+        for (s, seg) in self.segs.iter().enumerate() {
+            let mut bytes = 0u64;
+            for &id in seg.iter() {
+                let Some(e) = self.table.get(&id) else {
+                    return Err(format!("SLRU: segment {s} id {id} missing from table"));
+                };
+                if e.seg != s {
+                    return Err(format!(
+                        "SLRU: id {id} sits in segment {s} but is tagged {}",
+                        e.seg
+                    ));
+                }
+                bytes += u64::from(e.meta.size);
+                seg_counts += 1;
+            }
+            if bytes != self.seg_used[s] {
+                return Err(format!(
+                    "SLRU: segment {s} bytes {bytes} != accounted {}",
+                    self.seg_used[s]
+                ));
+            }
+            // Segment 0 absorbs cascaded demotions; the others must respect
+            // their share after every rebalance.
+            if s > 0 && self.seg_used[s] > self.seg_capacity {
+                return Err(format!(
+                    "SLRU: segment {s} holds {} > share {}",
+                    self.seg_used[s], self.seg_capacity
+                ));
+            }
+        }
+        if seg_counts != self.table.len() {
+            return Err(format!(
+                "SLRU: segments hold {seg_counts} ids but table holds {}",
+                self.table.len()
+            ));
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }

@@ -199,6 +199,46 @@ impl Policy for TwoQ {
         }
     }
 
+    fn validate(&self) -> Result<(), String> {
+        if self.used_total() > self.capacity {
+            return Err(format!(
+                "2Q: used {} > capacity {}",
+                self.used_total(),
+                self.capacity
+            ));
+        }
+        let mut count = 0usize;
+        for (queue, loc, used) in [
+            (&self.a1in, Loc::A1In, self.a1in_used),
+            (&self.am, Loc::Am, self.am_used),
+        ] {
+            let mut bytes = 0u64;
+            for &id in queue.iter() {
+                let Some(e) = self.table.get(&id) else {
+                    return Err(format!("2Q: {loc:?} id {id} missing from table"));
+                };
+                if e.loc != loc {
+                    return Err(format!("2Q: id {id} sits in {loc:?} but is tagged {:?}", e.loc));
+                }
+                if self.a1out.contains(id) {
+                    return Err(format!("2Q: id {id} is both resident and in A1out"));
+                }
+                bytes += u64::from(e.meta.size);
+                count += 1;
+            }
+            if bytes != used {
+                return Err(format!("2Q: {loc:?} bytes {bytes} != accounted {used}"));
+            }
+        }
+        if count != self.table.len() {
+            return Err(format!(
+                "2Q: queues hold {count} ids but table holds {}",
+                self.table.len()
+            ));
+        }
+        self.a1out.validate().map_err(|e| format!("2Q A1out: {e}"))
+    }
+
     fn stats(&self) -> PolicyStats {
         self.stats
     }

@@ -3,7 +3,7 @@
 use cache_ds::Histogram;
 use cache_policies::registry;
 use cache_trace::Trace;
-use cache_types::{CacheError, DensePolicy, Eviction, Policy, Request};
+use cache_types::{CacheError, DensePolicy, Eviction, Outcome, Policy, Request};
 
 /// How the cache capacity is derived for a trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +124,72 @@ pub fn simulate(policy: &mut dyn Policy, trace: &Trace, ignore_size: bool) -> Si
             freq_at_eviction.record(u64::from(e.freq));
             eviction_age.record(e.age(i as u64));
         }
+    }
+    let stats = policy.stats();
+    SimResult {
+        algorithm: policy.name(),
+        trace: trace.name.clone(),
+        capacity: policy.capacity(),
+        requests: stats.gets,
+        misses: stats.misses,
+        miss_ratio: stats.miss_ratio(),
+        byte_miss_ratio: stats.byte_miss_ratio(),
+        evictions: stats.evictions,
+        one_hit_eviction_fraction: freq_at_eviction.zero_fraction(),
+        freq_at_eviction,
+        eviction_age,
+    }
+}
+
+/// Per-request hook into the replay loop.
+///
+/// `cache-check`'s invariant observer plugs in here to verify structural
+/// invariants (capacity bounds, duplicate residency, counter caps, ghost
+/// bounds) after every single request; debugging probes and custom metric
+/// collectors fit the same shape. Observation must not mutate the policy —
+/// the hook only gets a shared reference.
+pub trait RequestObserver {
+    /// Called once per request, after the policy processed it. `req` is the
+    /// request as replayed (size already overridden in ignore-size mode),
+    /// `evicted` the evictions it caused, and `policy` the post-request
+    /// state for structural inspection.
+    fn after_request(
+        &mut self,
+        index: usize,
+        req: &Request,
+        outcome: Outcome,
+        evicted: &[Eviction],
+        policy: &dyn Policy,
+    );
+}
+
+/// [`simulate`] with a [`RequestObserver`] attached to every request.
+///
+/// Kept separate from [`simulate`] so the unobserved replay loop stays free
+/// of the extra dispatch; results are identical because observers cannot
+/// mutate the policy.
+pub fn simulate_observed(
+    policy: &mut dyn Policy,
+    trace: &Trace,
+    ignore_size: bool,
+    observer: &mut dyn RequestObserver,
+) -> SimResult {
+    let mut evs: Vec<Eviction> = Vec::with_capacity(64);
+    let mut freq_at_eviction = Histogram::new();
+    let mut eviction_age = Histogram::new();
+    for (i, r) in trace.requests.iter().enumerate() {
+        let req = if ignore_size {
+            Request { size: 1, ..(*r) }
+        } else {
+            *r
+        };
+        evs.clear();
+        let outcome = policy.request(&req, &mut evs);
+        for e in &evs {
+            freq_at_eviction.record(u64::from(e.freq));
+            eviction_age.record(e.age(i as u64));
+        }
+        observer.after_request(i, &req, outcome, &evs, policy);
     }
     let stats = policy.stats();
     SimResult {

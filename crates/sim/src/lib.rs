@@ -22,7 +22,7 @@ pub mod sweep;
 pub use demotion::{demotion_metrics, DemotionMetrics};
 pub use engine::{
     simulate, simulate_dense, simulate_dense_many, simulate_named, simulate_named_keyed,
-    simulate_named_many, CacheSizeSpec, SimConfig,
+    simulate_named_many, simulate_observed, CacheSizeSpec, RequestObserver, SimConfig,
     SimResult,
 };
 pub use mrc::{miss_ratio_curve, MissRatioCurve, MrcPoint};

@@ -40,45 +40,80 @@ fn workloads() -> Vec<(Trace, SimConfig)> {
     ]
 }
 
+/// Replays `trace` under `cfg` through the auto (dense-preferred) and forced
+/// keyed paths and asserts the results are bit-identical.
+fn assert_equivalent(name: &str, trace: &Trace, cfg: &SimConfig) {
+    let fast = simulate_named(name, trace, cfg)
+        .unwrap_or_else(|e| panic!("{name} on {}: {e}", trace.name))
+        .expect("no min_objects filter configured");
+    let reference = simulate_named_keyed(name, trace, cfg)
+        .unwrap_or_else(|e| panic!("{name} on {}: {e}", trace.name))
+        .expect("no min_objects filter configured");
+
+    let ctx = format!(
+        "{name} on {} (capacity {:?}, ignore_size={})",
+        trace.name, cfg.size, cfg.ignore_size
+    );
+    assert_eq!(fast.algorithm, reference.algorithm, "{ctx}: name");
+    assert_eq!(fast.capacity, reference.capacity, "{ctx}: capacity");
+    assert_eq!(fast.requests, reference.requests, "{ctx}: requests");
+    assert_eq!(fast.misses, reference.misses, "{ctx}: misses");
+    assert_eq!(fast.evictions, reference.evictions, "{ctx}: evictions");
+    assert_eq!(
+        fast.miss_ratio.to_bits(),
+        reference.miss_ratio.to_bits(),
+        "{ctx}: miss_ratio {} vs {}",
+        fast.miss_ratio,
+        reference.miss_ratio
+    );
+    assert_eq!(
+        fast.byte_miss_ratio.to_bits(),
+        reference.byte_miss_ratio.to_bits(),
+        "{ctx}: byte_miss_ratio"
+    );
+    assert_eq!(
+        fast.one_hit_eviction_fraction.to_bits(),
+        reference.one_hit_eviction_fraction.to_bits(),
+        "{ctx}: one-hit fraction"
+    );
+    assert_eq!(
+        fast.freq_at_eviction.count(),
+        reference.freq_at_eviction.count(),
+        "{ctx}: eviction histogram count"
+    );
+}
+
 #[test]
 fn dense_and_keyed_paths_are_bit_identical() {
     for (trace, cfg) in workloads() {
         for name in ALL_ALGORITHMS {
-            let fast = simulate_named(name, &trace, &cfg)
-                .unwrap_or_else(|e| panic!("{name} on {}: {e}", trace.name))
-                .expect("no min_objects filter configured");
-            let reference = simulate_named_keyed(name, &trace, &cfg)
-                .unwrap_or_else(|e| panic!("{name} on {}: {e}", trace.name))
-                .expect("no min_objects filter configured");
+            assert_equivalent(name, &trace, &cfg);
+        }
+    }
+}
 
-            let ctx = format!("{name} on {}", trace.name);
-            assert_eq!(fast.algorithm, reference.algorithm, "{ctx}: name");
-            assert_eq!(fast.capacity, reference.capacity, "{ctx}: capacity");
-            assert_eq!(fast.requests, reference.requests, "{ctx}: requests");
-            assert_eq!(fast.misses, reference.misses, "{ctx}: misses");
-            assert_eq!(fast.evictions, reference.evictions, "{ctx}: evictions");
-            assert_eq!(
-                fast.miss_ratio.to_bits(),
-                reference.miss_ratio.to_bits(),
-                "{ctx}: miss_ratio {} vs {}",
-                fast.miss_ratio,
-                reference.miss_ratio
-            );
-            assert_eq!(
-                fast.byte_miss_ratio.to_bits(),
-                reference.byte_miss_ratio.to_bits(),
-                "{ctx}: byte_miss_ratio"
-            );
-            assert_eq!(
-                fast.one_hit_eviction_fraction.to_bits(),
-                reference.one_hit_eviction_fraction.to_bits(),
-                "{ctx}: one-hit fraction"
-            );
-            assert_eq!(
-                fast.freq_at_eviction.count(),
-                reference.freq_at_eviction.count(),
-                "{ctx}: eviction histogram count"
-            );
+/// Degenerate capacities: the full registry × {unit-size, sized} ×
+/// capacity {1, 2}. A one- or two-byte cache forces an eviction on nearly
+/// every insert and exercises the `max(1)` segment-sizing floors (small
+/// queues, windows, protected segments) that normal capacities never hit.
+#[test]
+fn dense_and_keyed_agree_at_degenerate_capacities() {
+    let mut spec = WorkloadSpec::zipf("tiny-cap", 5_000, 200, 1.0, 23);
+    // Sizes 1..=3: at capacity 2 some objects fit and some are uncacheable,
+    // covering both sides of the size guard.
+    spec.size_model = SizeModel::Uniform { min: 1, max: 3 };
+    let trace = spec.generate();
+    for capacity in [1u64, 2] {
+        for ignore_size in [true, false] {
+            let cfg = SimConfig {
+                size: CacheSizeSpec::Bytes(capacity),
+                ignore_size,
+                min_objects: 0,
+                floor_objects: 0,
+            };
+            for name in ALL_ALGORITHMS {
+                assert_equivalent(name, &trace, &cfg);
+            }
         }
     }
 }

@@ -152,6 +152,23 @@ pub trait Policy {
     /// [`Eviction`] record for every object removed to make room.
     fn request(&mut self, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome;
 
+    /// Checks the policy's internal structural invariants (byte accounting
+    /// matches the queues, no duplicate residency, counters within their
+    /// caps, ghost bounds, …), returning a description of the first
+    /// violation found.
+    ///
+    /// Called between requests by the invariant observer
+    /// (`cache-check`) and the differential fuzzer; implementations may be
+    /// O(n) in the number of cached objects — this is a verification hook,
+    /// not a production path. The default performs no checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Returns accumulated statistics.
     fn stats(&self) -> PolicyStats;
 }
@@ -189,6 +206,18 @@ pub trait DensePolicy {
     /// Processes one request whose object was interned at `slot`, appending
     /// an [`Eviction`] record for every object removed to make room.
     fn request_dense(&mut self, slot: u32, req: &Request, evicted: &mut Vec<Eviction>) -> Outcome;
+
+    /// Checks structural invariants, mirroring [`Policy::validate`]; used by
+    /// the differential fuzzer to catch dense-path corruption even when the
+    /// observable decisions still happen to agree. The default performs no
+    /// checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
 
     /// Warms the per-slot state for a request that will arrive shortly.
     ///
