@@ -50,4 +50,33 @@ print(f"bench smoke ok: {agg['jobs']} sweep jobs, "
       f"speedup {agg['speedup']:.2f}x (smoke config)")
 PY
 
+echo "== obs smoke: obs_dump =="
+# Exercises the full observability pipeline (windowed simulation, flash
+# degradation ladder, concurrent per-shard export, lossy CSV ingest) and
+# validates the JSON-lines dump: every line parses standalone, the expected
+# metric families are present, and no empty-histogram sentinel leaks.
+./target/release/obs_dump --out target/OBS_dump.jsonl
+python3 - <<'PY'
+import json
+lines = [l for l in open("target/OBS_dump.jsonl") if l.strip()]
+assert lines, "empty obs dump"
+objs = [json.loads(l) for l in lines]   # every line must parse standalone
+names = {o.get("name", "") for o in objs}
+for expected in (
+    "sim.requests", "sim.misses", "sim.eviction_age",
+    "flash.ladder.budget_trips", "flash.ladder.budget_recoveries",
+    "flash.ladder.device_errors", "flash.ladder.degraded_requests",
+    "cc.hits", "cc.misses",
+    "trace.io.csv_skipped_lines", "trace.io.csv_parsed_lines",
+):
+    assert expected in names, f"obs dump missing metric: {expected}"
+kinds = {o["type"] for o in objs}
+assert {"counter", "gauge", "histogram", "event", "window"} <= kinds, kinds
+for o in objs:
+    if o["type"] == "histogram" and o["count"] == 0:
+        assert o["min"] is None and o["max"] is None, f"sentinel leak: {o}"
+print(f"obs smoke ok: {len(objs)} lines, {len(names - {''})} metrics, "
+      f"kinds {sorted(kinds)}")
+PY
+
 echo "ci: all gates passed"

@@ -1,0 +1,232 @@
+//! End-to-end exercise of the observability layer, producing the dumps the
+//! CI smoke step validates.
+//!
+//! Four stages, all feeding one [`MetricsRegistry`] and one [`EventTracer`]:
+//!
+//! 1. **Windowed simulation** — `simulate_named_windowed` over a Zipf trace
+//!    (dense fast path) producing a per-window miss-ratio timeseries whose
+//!    sums are asserted against the run totals, plus a profiled replay.
+//! 2. **Flash degradation ladder** — a faulty device bursts write errors,
+//!    trips the error budget, then heals; retries, trips, recoveries and
+//!    per-retry latency land in `flash.ladder.*` and the tracer.
+//! 3. **Concurrent per-shard stats** — a multi-threaded
+//!    [`ConcurrentS3Fifo`] run exported as `cc.*` totals and
+//!    `cc.shard-NN.*` gauges.
+//! 4. **Lossy trace ingest** — a deliberately corrupt CSV read through
+//!    `read_csv_lossy_observed`, skip/parse counts in `trace.io.*`.
+//!
+//! Output: JSON-lines (metrics + events + series) to `--out` (default
+//! `target/OBS_dump.jsonl`) and Prometheus text next to it (`.prom`).
+//! Every line of the JSON file must parse as a standalone JSON object —
+//! that is what `ci.sh`'s obs smoke step checks.
+//!
+//! Run: `cargo run --release -p cache-bench --bin obs_dump`
+//! `--overhead` instead measures the windowed dense replay against the
+//! plain dense replay (the <3 % acceptance number in EXPERIMENTS.md) and
+//! skips the dump.
+
+use cache_concurrent::{s3fifo::ConcurrentS3Fifo, ConcurrentCache};
+use cache_faults::{
+    Backoff, ErrorBudgetConfig, FaultKind, FaultPlan, RetryPolicy, Schedule,
+};
+use cache_obs::{
+    events_to_json_lines, registry_to_json_lines, registry_to_prometheus, series_to_json_lines,
+    EventTracer, MetricsRegistry,
+};
+use cache_sim::{simulate_named_windowed, SimConfig};
+use cache_trace::gen::WorkloadSpec;
+use std::io::Write as _;
+
+fn out_path() -> std::path::PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p.into();
+            }
+        }
+    }
+    std::path::PathBuf::from("target/OBS_dump.jsonl")
+}
+
+/// Windowed-vs-plain dense replay overhead: best-of-N wall time for the
+/// same policy on the same trace, with a bit-identity assertion first.
+fn measure_overhead() {
+    use cache_sim::simulate_named;
+    let requests = std::env::var("OBS_OVH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000usize);
+    let repeats = std::env::var("OBS_OVH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5u32);
+    let trace = WorkloadSpec::zipf("ovh", requests, requests as u64 / 10, 1.0, 3).generate();
+    let cfg = SimConfig::large();
+    let window = 100_000u64;
+    println!(
+        "windowed dense replay overhead ({requests} reqs, window {window}, best of {repeats}):"
+    );
+    for name in ["FIFO", "LRU", "SIEVE", "S3-FIFO"] {
+        let plain = simulate_named(name, &trace, &cfg)
+            .expect("known policy")
+            .expect("no size filter");
+        let (windowed, series) = simulate_named_windowed(name, &trace, &cfg, window)
+            .expect("known policy")
+            .expect("no size filter");
+        assert_eq!(plain.miss_ratio.to_bits(), windowed.miss_ratio.to_bits());
+        assert_eq!(series.total_misses(), plain.misses);
+
+        let mut plain_secs = f64::INFINITY;
+        let mut windowed_secs = f64::INFINITY;
+        for _ in 0..repeats {
+            let t0 = std::time::Instant::now();
+            let r = simulate_named(name, &trace, &cfg).unwrap().unwrap();
+            plain_secs = plain_secs.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box(r.misses);
+
+            let t0 = std::time::Instant::now();
+            let (r, s) = simulate_named_windowed(name, &trace, &cfg, window)
+                .unwrap()
+                .unwrap();
+            windowed_secs = windowed_secs.min(t0.elapsed().as_secs_f64());
+            std::hint::black_box((r.misses, s.total_misses()));
+        }
+        let overhead = (windowed_secs / plain_secs - 1.0) * 100.0;
+        println!(
+            "  {name:<9} plain {:>7.1} ms  windowed {:>7.1} ms  overhead {overhead:+.2}%",
+            plain_secs * 1e3,
+            windowed_secs * 1e3,
+        );
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--overhead") {
+        measure_overhead();
+        return;
+    }
+    let registry = MetricsRegistry::new();
+    let tracer = EventTracer::new(1 << 14);
+
+    // 1. Windowed dense simulation + miss-ratio timeseries.
+    let trace = WorkloadSpec::zipf("obs-zipf", 60_000, 8_000, 1.0, 42).generate();
+    let cfg = SimConfig::large();
+    let (result, series) = simulate_named_windowed("S3-FIFO", &trace, &cfg, 5_000)
+        .expect("known policy")
+        .expect("no size filter");
+    assert_eq!(
+        series.total_misses(),
+        result.misses,
+        "windowed sums must equal run totals"
+    );
+    let sim = registry.scope("sim");
+    sim.gauge("requests").set(result.requests as i64);
+    sim.gauge("misses").set(result.misses as i64);
+    sim.gauge("evictions").set(result.evictions as i64);
+    sim.gauge("windows").set(series.points().len() as i64);
+    let age = sim.histogram("eviction_age");
+    age.merge_from(&result.eviction_age);
+
+    // 2. Flash degradation ladder under a deterministic fault burst.
+    let plan = FaultPlan::new(13).with(
+        FaultKind::TransientWrite,
+        Schedule::Burst {
+            period: u64::MAX,
+            burst_len: 60,
+            inside: 1.0,
+            outside: 0.0,
+        },
+    );
+    let resilience = cache_flash::ResilienceConfig {
+        retry: RetryPolicy::no_retries(),
+        budget: ErrorBudgetConfig {
+            window_ops: 500,
+            max_errors: 5,
+            probe_interval: 200,
+            recovery_probes: 2,
+        },
+    };
+    let mut fspec = WorkloadSpec::zipf("obs-flash", 60_000, 6_000, 0.8, 7);
+    fspec.one_hit_fraction = 0.3;
+    fspec.size_model = cache_trace::gen::SizeModel::Uniform { min: 100, max: 2000 };
+    let ftrace = fspec.generate();
+    let fcfg = cache_flash::FlashCacheConfig {
+        total_bytes: ftrace.footprint_bytes() / 10,
+        dram_fraction: 0.01,
+        admission: cache_flash::AdmissionKind::SmallFifoTwoAccess,
+    };
+    let mut flash = cache_flash::FlashCache::faulty(fcfg, plan, resilience).expect("flash config");
+    flash.attach_obs(&registry.scope("flash.ladder"), tracer.clone());
+    let fstats = flash.run(&ftrace.requests);
+    assert!(
+        fstats.budget_trips >= 1 && fstats.budget_recoveries >= 1,
+        "fault plan must exercise the full ladder (trips={}, recoveries={})",
+        fstats.budget_trips,
+        fstats.budget_recoveries
+    );
+
+    // 3. Concurrent per-shard aggregation under real parallelism.
+    let cc = std::sync::Arc::new(ConcurrentS3Fifo::new(4_096));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let cc = std::sync::Arc::clone(&cc);
+            s.spawn(move || {
+                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t + 1);
+                for _ in 0..50_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = (state >> 33) % 16_384;
+                    if cc.get(key).is_none() {
+                        cc.insert(key, bytes::Bytes::from_static(b"v"));
+                    }
+                }
+            });
+        }
+    });
+    cc.export_obs(&registry.scope("cc"));
+
+    // 4. Lossy CSV ingest with skip accounting.
+    let csv = b"ts,key,op,size\n1,10,get,1\nnot,a,line\n2,11,get,1\n\xff\xfe,3,get\n";
+    let (ctrace, report) = cache_trace::io::read_csv_lossy_observed(
+        "obs-corrupt",
+        &csv[..],
+        &registry.scope("trace.io"),
+    )
+    .expect("lossy read never fails on content");
+    assert_eq!(ctrace.len() as u64, report.parsed_lines);
+    assert!(report.skipped_lines > 0, "the corrupt lines must be counted");
+
+    // Render. One JSON object per line: metrics, then events, then series.
+    let mut dump = registry_to_json_lines(&registry);
+    dump.push_str(&events_to_json_lines(&tracer.drain()));
+    dump.push_str(&series_to_json_lines("sim.miss_ratio", &series));
+
+    let path = out_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(dump.as_bytes()))
+        .expect("write json dump");
+    let prom_path = path.with_extension("prom");
+    std::fs::write(&prom_path, registry_to_prometheus(&registry)).expect("write prometheus dump");
+
+    // Keep the backoff type linked so the faults surface stays exercised
+    // even when retries are off above.
+    let mut backoff = Backoff::new(RetryPolicy::default(), 99);
+    let _ = backoff.next_delay();
+
+    println!(
+        "obs_dump: {} metrics, {} events ({} dropped), {} windows, \
+         flash trips/recoveries {}/{}, csv parsed/skipped {}/{}",
+        registry.len(),
+        tracer.recorded(),
+        tracer.dropped(),
+        series.points().len(),
+        fstats.budget_trips,
+        fstats.budget_recoveries,
+        report.parsed_lines,
+        report.skipped_lines,
+    );
+    println!("obs_dump: wrote {} and {}", path.display(), prom_path.display());
+}

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use s3fifo::ShardStatsSnapshot;
+
 pub mod clock;
 pub mod harness;
 pub mod locked;
@@ -59,7 +61,7 @@ pub trait ConcurrentCache: Send + Sync {
 }
 
 /// Number of hash-index shards used by the scalable implementations.
-pub(crate) const SHARDS: usize = 64;
+pub const SHARDS: usize = 64;
 
 #[inline]
 pub(crate) fn shard_of(key: u64) -> usize {

@@ -20,13 +20,53 @@
 use crate::{shard_of, ConcurrentCache, SHARDS};
 use bytes::Bytes;
 use cache_ds::{GhostTable, MpmcRing};
+use cache_obs::Scope;
 use parking_lot::{Mutex, RwLock};
 use cache_ds::IdMap;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Maximum capped frequency (two bits).
 const MAX_FREQ: u8 = 3;
+
+/// Per-shard operation counters, bumped with relaxed atomics so the hit
+/// path stays a read-lock plus two relaxed stores.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of one shard's counters (or, via
+/// [`ConcurrentS3Fifo::aggregate_stats`], of all shards summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Shard index ([`SHARDS`] for the aggregate).
+    pub shard: usize,
+    /// Lookups that found a current entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Inserts routed to this shard.
+    pub inserts: u64,
+    /// Evictions of objects homed in this shard (small-queue demotions to
+    /// the ghost and main-queue evictions both count).
+    pub evictions: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Hit ratio of the shard (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Entry {
@@ -41,6 +81,7 @@ pub struct ConcurrentS3Fifo {
     small: MpmcRing<Arc<Entry>>,
     main: MpmcRing<Arc<Entry>>,
     ghosts: Vec<Mutex<GhostTable>>,
+    counters: Vec<ShardCounters>,
     s_count: AtomicUsize,
     m_count: AtomicUsize,
     capacity: usize,
@@ -68,10 +109,67 @@ impl ConcurrentS3Fifo {
             ghosts: (0..SHARDS)
                 .map(|_| Mutex::new(GhostTable::new((m_capacity / SHARDS).max(8))))
                 .collect(),
+            counters: (0..SHARDS).map(|_| ShardCounters::default()).collect(),
             s_count: AtomicUsize::new(0),
             m_count: AtomicUsize::new(0),
             capacity,
             s_capacity,
+        }
+    }
+
+    /// Point-in-time counters of one shard.
+    fn snapshot_shard(&self, shard: usize) -> ShardStatsSnapshot {
+        let c = &self.counters[shard];
+        ShardStatsSnapshot {
+            shard,
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            inserts: c.inserts.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard operation counters, one snapshot per shard in index order.
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        (0..SHARDS).map(|s| self.snapshot_shard(s)).collect()
+    }
+
+    /// All shards summed; `shard` is set to [`SHARDS`] to mark the
+    /// aggregate. Concurrent updates may be mid-flight, so the aggregate is
+    /// a consistent *lower bound* during a run and exact at quiescence.
+    pub fn aggregate_stats(&self) -> ShardStatsSnapshot {
+        let mut total = ShardStatsSnapshot {
+            shard: SHARDS,
+            ..ShardStatsSnapshot::default()
+        };
+        for s in 0..SHARDS {
+            let snap = self.snapshot_shard(s);
+            total.hits += snap.hits;
+            total.misses += snap.misses;
+            total.inserts += snap.inserts;
+            total.evictions += snap.evictions;
+        }
+        total
+    }
+
+    /// Publishes the aggregate and per-shard counters into a metrics scope
+    /// as gauges (`hits`, `misses`, `inserts`, `evictions`, plus
+    /// `shard-NN.*` for any shard that saw traffic).
+    pub fn export_obs(&self, scope: &Scope) {
+        let total = self.aggregate_stats();
+        scope.gauge("hits").set(total.hits as i64);
+        scope.gauge("misses").set(total.misses as i64);
+        scope.gauge("inserts").set(total.inserts as i64);
+        scope.gauge("evictions").set(total.evictions as i64);
+        for snap in self.shard_stats() {
+            if snap.hits + snap.misses + snap.inserts + snap.evictions == 0 {
+                continue; // idle shard: keep the dump small
+            }
+            let shard_scope = scope.scope(format!("shard-{:02}", snap.shard));
+            shard_scope.gauge("hits").set(snap.hits as i64);
+            shard_scope.gauge("misses").set(snap.misses as i64);
+            shard_scope.gauge("inserts").set(snap.inserts as i64);
+            shard_scope.gauge("evictions").set(snap.evictions as i64);
         }
     }
 
@@ -154,7 +252,11 @@ impl ConcurrentS3Fifo {
                 continue;
             }
             self.ghost_insert(entry.key);
-            self.remove_if_current(&entry);
+            if self.remove_if_current(&entry) {
+                self.counters[shard_of(entry.key)]
+                    .evictions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             return true;
         }
         progress
@@ -185,7 +287,11 @@ impl ConcurrentS3Fifo {
                 }
                 continue;
             }
-            self.remove_if_current(&entry);
+            if self.remove_if_current(&entry) {
+                self.counters[shard_of(entry.key)]
+                    .evictions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             return true;
         }
         progress
@@ -220,14 +326,19 @@ impl ConcurrentCache for ConcurrentS3Fifo {
     }
 
     fn get(&self, key: u64) -> Option<Bytes> {
-        let shard = &self.shards[shard_of(key)];
+        let idx = shard_of(key);
+        let shard = &self.shards[idx];
         let guard = shard.read();
-        let entry = guard.get(&key)?;
+        let Some(entry) = guard.get(&key) else {
+            self.counters[idx].misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         // Lazy promotion: a hit is one relaxed atomic bump, nothing else.
         let f = entry.freq.load(Ordering::Relaxed);
         if f < MAX_FREQ {
             entry.freq.store(f + 1, Ordering::Relaxed);
         }
+        self.counters[idx].hits.fetch_add(1, Ordering::Relaxed);
         Some(entry.value.clone())
     }
 
@@ -239,6 +350,9 @@ impl ConcurrentCache for ConcurrentS3Fifo {
         });
         // Ghost membership is decided before eviction runs (the eviction
         // inserts into the ghost itself).
+        self.counters[shard_of(key)]
+            .inserts
+            .fetch_add(1, Ordering::Relaxed);
         let ghost_hit = self.ghost_take(key);
         self.make_room();
         {
@@ -430,5 +544,104 @@ mod tests {
     #[should_panic(expected = "at least 10")]
     fn tiny_capacity_panics() {
         ConcurrentS3Fifo::new(5);
+    }
+
+    #[test]
+    fn shard_stats_aggregate_to_operation_counts() {
+        let c = ConcurrentS3Fifo::new(100);
+        let mut expected_hits = 0u64;
+        let mut expected_misses = 0u64;
+        for k in 0..200u64 {
+            c.insert(k, payload());
+        }
+        for k in 0..300u64 {
+            match c.get(k) {
+                Some(_) => expected_hits += 1,
+                None => expected_misses += 1,
+            }
+        }
+        let total = c.aggregate_stats();
+        assert_eq!(total.shard, SHARDS, "aggregate marker");
+        assert_eq!(total.inserts, 200);
+        assert_eq!(total.hits, expected_hits);
+        assert_eq!(total.misses, expected_misses);
+        assert!(total.evictions > 0, "200 inserts into 100 slots must evict");
+        // Per-shard snapshots partition the totals.
+        let per_shard = c.shard_stats();
+        assert_eq!(per_shard.len(), SHARDS);
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            total.misses
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.inserts).sum::<u64>(),
+            total.inserts
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.evictions).sum::<u64>(),
+            total.evictions
+        );
+        // The mixing hash must actually spread keys around.
+        let active = per_shard.iter().filter(|s| s.inserts > 0).count();
+        assert!(active > SHARDS / 2, "only {active} shards saw inserts");
+    }
+
+    #[test]
+    fn shard_stats_survive_concurrent_load() {
+        let c = Arc::new(ConcurrentS3Fifo::new(1000));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut state = t + 1;
+                for _ in 0..20_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = (state >> 33) % 5000;
+                    if c.get(key).is_none() {
+                        c.insert(key, Bytes::from_static(b"v"));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = c.aggregate_stats();
+        // Every loop iteration was one get; inserts follow misses 1:1.
+        assert_eq!(total.hits + total.misses, 4 * 20_000);
+        assert_eq!(total.inserts, total.misses);
+        assert!(total.hit_ratio() > 0.0 && total.hit_ratio() < 1.0);
+    }
+
+    #[test]
+    fn export_obs_publishes_gauges() {
+        use cache_obs::{MetricsRegistry, SampleValue};
+        let c = ConcurrentS3Fifo::new(100);
+        for k in 0..50u64 {
+            c.insert(k, payload());
+            c.get(k);
+        }
+        let registry = MetricsRegistry::new();
+        c.export_obs(&registry.scope("cc.s3fifo"));
+        let samples = registry.snapshot();
+        let gauge = |name: &str| {
+            samples
+                .iter()
+                .find(|m| m.name == format!("cc.s3fifo.{name}"))
+                .map(|m| match m.value {
+                    SampleValue::Gauge(v) => v,
+                    ref other => panic!("{name}: expected gauge, got {other:?}"),
+                })
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert_eq!(gauge("hits"), 50);
+        assert_eq!(gauge("inserts"), 50);
+        // Per-shard entries exist for active shards only.
+        let shard_gauges = samples
+            .iter()
+            .filter(|m| m.name.contains(".shard-"))
+            .count();
+        assert!(shard_gauges > 0, "active shards must be exported");
     }
 }

@@ -234,6 +234,49 @@ mod tests {
         assert_eq!(h.min(), None);
     }
 
+    /// Regression pin (PR 4 audit, see TESTING.md): an empty histogram's
+    /// min/max must be `None`, never the internal `u64::MAX`/`0` sentinels
+    /// — an exporter trusting raw sentinel values would print
+    /// 18446744073709551615 as a "minimum".
+    #[test]
+    fn empty_min_max_never_leak_sentinels() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        // One sample flips every accessor to Some of that sample.
+        let mut h = h;
+        h.record(7);
+        assert_eq!(h.min(), Some(7));
+        assert_eq!(h.max(), Some(7));
+        assert_eq!(h.quantile(0.5), Some(7));
+    }
+
+    /// Merging with an empty histogram must not poison min/max with the
+    /// empty side's sentinels, in either direction.
+    #[test]
+    fn merge_with_empty_keeps_min_max_honest() {
+        let empty = Histogram::new();
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        a.merge(&empty);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(20));
+        let mut b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b.min(), Some(10));
+        assert_eq!(b.max(), Some(20));
+        let mut c = Histogram::new();
+        c.merge(&empty);
+        assert_eq!(c.min(), None, "empty ∪ empty stays empty");
+        assert_eq!(c.max(), None);
+    }
+
     #[test]
     fn quantile_within_factor_two() {
         let mut h = Histogram::new();

@@ -21,6 +21,7 @@ use cache_faults::{
     Backoff, DegradationState, DeviceFault, ErrorBudget, ErrorBudgetConfig, FaultPlan, FaultStats,
     RetryPolicy,
 };
+use cache_obs::{Counter, EventKind, EventTracer, Scope, SharedHistogram};
 use cache_policies::{Fifo, Lru};
 use cache_types::{CacheError, Eviction, Op, Policy, Request};
 
@@ -72,6 +73,8 @@ pub struct FlashStats {
     /// Objects discarded because a read failed its checksum.
     pub corruptions: u64,
     /// Requests processed while the flash tier was bypassed (degraded).
+    /// Counted at most once per request, even when one request skips both a
+    /// flash read and a flash write.
     pub degraded_ops: u64,
     /// Times the error budget tripped (flash taken offline).
     pub budget_trips: u64,
@@ -131,6 +134,23 @@ pub struct FlashCache<D: FlashDevice = FlashTier> {
     backoff_rng: SplitMix64,
     /// First fault seen while serving the current request.
     pending_fault: Option<CacheError>,
+    /// Whether the current request already counted toward `degraded_ops`;
+    /// one request can bypass the device twice (read then write-back).
+    degraded_this_request: bool,
+    /// Optional ladder telemetry; `None` costs nothing on the hot path.
+    obs: Option<FlashObs>,
+}
+
+/// Metric handles and event tracer for the degradation ladder, attached via
+/// [`FlashCache::attach_obs`].
+struct FlashObs {
+    tracer: EventTracer,
+    /// Simulated backoff latency per retry.
+    retry_latency: SharedHistogram,
+    device_errors: Counter,
+    degraded_requests: Counter,
+    trips: Counter,
+    recoveries: Counter,
 }
 
 fn tier_sizes(cfg: &FlashCacheConfig) -> Result<(u64, u64), CacheError> {
@@ -219,7 +239,23 @@ impl<D: FlashDevice> FlashCache<D> {
             budget: ErrorBudget::new(resilience.budget),
             backoff_rng: SplitMix64::new(0xF1A5_CACE),
             pending_fault: None,
+            degraded_this_request: false,
+            obs: None,
         })
+    }
+
+    /// Attaches ladder telemetry: counters and a retry-latency histogram
+    /// registered under `scope`, plus `tracer` for per-transition
+    /// degrade/recover/fault events. Detached caches skip all of it.
+    pub fn attach_obs(&mut self, scope: &Scope, tracer: EventTracer) {
+        self.obs = Some(FlashObs {
+            tracer,
+            retry_latency: scope.histogram("retry_latency_units"),
+            device_errors: scope.counter("device_errors"),
+            degraded_requests: scope.counter("degraded_requests"),
+            trips: scope.counter("budget_trips"),
+            recoveries: scope.counter("budget_recoveries"),
+        });
     }
 
     /// Name of the configured admission policy.
@@ -262,12 +298,20 @@ impl<D: FlashDevice> FlashCache<D> {
     }
 
     /// Feeds a post-retry failure to the error budget; notes the trip.
-    fn record_device_error(&mut self, fault: DeviceFault) {
+    fn record_device_error(&mut self, id: u64, fault: DeviceFault) {
         if fault.kind == cache_faults::FaultKind::Corruption {
             self.stats.corruptions += 1;
         }
+        if let Some(obs) = &self.obs {
+            obs.device_errors.inc();
+            obs.tracer.record(EventKind::Fault, "flash", id, self.now);
+        }
         if self.budget.record_error(self.now) {
             self.stats.budget_trips += 1;
+            if let Some(obs) = &self.obs {
+                obs.trips.inc();
+                obs.tracer.record(EventKind::Degrade, "flash", id, self.now);
+            }
             self.note_fault(CacheError::Degraded(format!(
                 "error budget tripped at op {} ({})",
                 self.now,
@@ -293,6 +337,30 @@ impl<D: FlashDevice> FlashCache<D> {
             && self.budget.record_probe(self.now, ok)
         {
             self.stats.budget_recoveries += 1;
+            if let Some(obs) = &self.obs {
+                obs.recoveries.inc();
+                obs.tracer.record(EventKind::Recover, "flash", 0, self.now);
+            }
+        }
+    }
+
+    /// Counts a device bypass toward `degraded_ops`, once per request.
+    fn note_degraded_bypass(&mut self) {
+        if !self.degraded_this_request {
+            self.degraded_this_request = true;
+            self.stats.degraded_ops += 1;
+            if let Some(obs) = &self.obs {
+                obs.degraded_requests.inc();
+            }
+        }
+    }
+
+    /// Records one retry's simulated backoff delay.
+    fn note_retry(&mut self, delay: u64) {
+        self.stats.retries += 1;
+        self.stats.retry_latency_units += delay;
+        if let Some(obs) = &self.obs {
+            obs.retry_latency.record(delay);
         }
     }
 
@@ -302,9 +370,13 @@ impl<D: FlashDevice> FlashCache<D> {
             return false;
         }
         if !self.device_available() {
-            self.stats.degraded_ops += 1;
+            self.note_degraded_bypass();
             return false;
         }
+        // While degraded, the budget authorized exactly one canary op; a
+        // retry loop here would multiply that into a burst against a device
+        // presumed down, so probes are single-shot.
+        let probing = self.budget.state() == DegradationState::Degraded;
         // Read-side faults are non-retryable by convention (`DeviceFault::of`),
         // but honor `retryable` so custom devices can opt in.
         let mut backoff = Backoff::new(self.resilience.retry, self.backoff_rng.next_u64());
@@ -314,21 +386,20 @@ impl<D: FlashDevice> FlashCache<D> {
                     self.after_device_op(true);
                     return hit;
                 }
-                Err(f) if f.retryable => {
+                Err(f) if f.retryable && !probing => {
                     if let Some(delay) = backoff.next_delay() {
-                        self.stats.retries += 1;
-                        self.stats.retry_latency_units += delay;
+                        self.note_retry(delay);
                         continue;
                     }
                     self.stats.device_read_errors += 1;
                     self.after_device_op(false);
-                    self.record_device_error(f);
+                    self.record_device_error(id, f);
                     return false;
                 }
                 Err(f) => {
                     self.stats.device_read_errors += 1;
                     self.after_device_op(false);
-                    self.record_device_error(f);
+                    self.record_device_error(id, f);
                     return false;
                 }
             }
@@ -339,9 +410,11 @@ impl<D: FlashDevice> FlashCache<D> {
     /// object landed on the device.
     fn flash_write_op(&mut self, id: u64, size: u32) -> bool {
         if !self.device_available() {
-            self.stats.degraded_ops += 1;
+            self.note_degraded_bypass();
             return false;
         }
+        // Single-shot while degraded, same as `flash_read`.
+        let probing = self.budget.state() == DegradationState::Degraded;
         let mut backoff = Backoff::new(self.resilience.retry, self.backoff_rng.next_u64());
         loop {
             match self.flash.write(id, size, &mut self.flash_scratch) {
@@ -349,21 +422,20 @@ impl<D: FlashDevice> FlashCache<D> {
                     self.after_device_op(true);
                     return true;
                 }
-                Err(f) if f.retryable => {
+                Err(f) if f.retryable && !probing => {
                     if let Some(delay) = backoff.next_delay() {
-                        self.stats.retries += 1;
-                        self.stats.retry_latency_units += delay;
+                        self.note_retry(delay);
                         continue;
                     }
                     self.stats.device_write_errors += 1;
                     self.after_device_op(false);
-                    self.record_device_error(f);
+                    self.record_device_error(id, f);
                     return false;
                 }
                 Err(f) => {
                     self.stats.device_write_errors += 1;
                     self.after_device_op(false);
-                    self.record_device_error(f);
+                    self.record_device_error(id, f);
                     return false;
                 }
             }
@@ -440,6 +512,7 @@ impl<D: FlashDevice> FlashCache<D> {
     /// All three imply the request missed.
     pub fn request_checked(&mut self, id: u64, size: u32) -> Result<bool, CacheError> {
         self.pending_fault = None;
+        self.degraded_this_request = false;
         self.now += 1;
         self.stats.requests += 1;
         self.stats.request_bytes += u64::from(size);
@@ -729,6 +802,191 @@ mod tests {
         let s = c.run(&trace.requests);
         assert!(s.corruptions > 0);
         assert_eq!(s.corruptions, c.device_fault_stats().corruptions);
+    }
+
+    /// A device plan that serves the first `clean_ops` device operations
+    /// and then fails every write attempt, deterministically.
+    fn dies_after(clean_ops: u64) -> FaultPlan {
+        FaultPlan::new(23).with(
+            FaultKind::TransientWrite,
+            Schedule::Burst {
+                period: u64::MAX,
+                burst_len: clean_ops,
+                inside: 0.0,
+                outside: 1.0,
+            },
+        )
+    }
+
+    /// Satellite regression: `degraded_ops` counts *requests*, not device
+    /// bypasses. A degraded write-all request that skips both the flash
+    /// read and the write-back used to count twice.
+    #[test]
+    fn degraded_request_bypassing_read_and_write_counts_once() {
+        let cfg = FlashCacheConfig {
+            total_bytes: 100_000,
+            dram_fraction: 0.01,
+            admission: AdmissionKind::WriteAll,
+        };
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy::no_retries(),
+            budget: ErrorBudgetConfig {
+                window_ops: 1000,
+                max_errors: 0,
+                // No probes during this test: every degraded op bypasses.
+                probe_interval: u64::MAX,
+                recovery_probes: 1,
+            },
+        };
+        // Device op 1 (the write of id 1) succeeds, everything after fails.
+        let mut c = FlashCache::faulty(cfg, dies_after(1), resilience).unwrap();
+
+        assert!(!c.request(1, 100), "cold miss, admitted to flash");
+        assert!(c.request(1, 100), "served from flash while healthy");
+        assert_eq!(c.stats().degraded_ops, 0);
+
+        // This write fails and trips the zero-tolerance budget.
+        let err = c.request_checked(2, 100).unwrap_err();
+        assert!(matches!(err, CacheError::Degraded(_)), "{err}");
+        assert_eq!(c.degradation(), DegradationState::Degraded);
+        assert_eq!(c.stats().budget_trips, 1);
+        assert_eq!(
+            c.stats().degraded_ops,
+            0,
+            "the tripping request itself reached the device, no bypass"
+        );
+
+        // id 1 is resident on flash, so this request bypasses the flash
+        // *read*, misses, and then bypasses the write-back too: two device
+        // bypasses, one request.
+        assert!(!c.request(1, 100));
+        assert_eq!(
+            c.stats().degraded_ops,
+            1,
+            "one degraded request must count exactly once"
+        );
+
+        // Ten more degraded requests (each bypassing read-or-write paths)
+        // add exactly ten.
+        for id in 10..20u64 {
+            c.request(id, 100);
+        }
+        assert_eq!(c.stats().degraded_ops, 11);
+        assert_eq!(c.stats().budget_trips, 1, "no re-trip while degraded");
+        assert_eq!(c.stats().budget_recoveries, 0);
+    }
+
+    /// Satellite regression: a probe is one canary op. The retry/backoff
+    /// loop used to run while degraded, hammering a down device with
+    /// `max_retries` extra attempts per authorized probe.
+    #[test]
+    fn probes_are_single_shot_no_retry_storm() {
+        let cfg = FlashCacheConfig {
+            total_bytes: 100_000,
+            dram_fraction: 0.01,
+            admission: AdmissionKind::WriteAll,
+        };
+        let retry = RetryPolicy {
+            max_retries: 3,
+            base_delay: 10,
+            max_delay: 1000,
+        };
+        let resilience = ResilienceConfig {
+            retry,
+            budget: ErrorBudgetConfig {
+                window_ops: 10_000,
+                max_errors: 0,
+                probe_interval: 5,
+                recovery_probes: 3,
+            },
+        };
+        // Every device write fails: the first one trips the budget (after a
+        // full healthy retry sequence), then probes keep failing forever.
+        let mut c = FlashCache::faulty(cfg, dies_after(0), resilience).unwrap();
+        for id in 0..200u64 {
+            c.request(id, 100);
+        }
+        let s = c.stats();
+        assert_eq!(c.degradation(), DegradationState::Degraded);
+        assert_eq!(s.budget_trips, 1);
+        assert_eq!(
+            s.retries,
+            u64::from(retry.max_retries),
+            "only the healthy pre-trip op may retry; probes are single-shot"
+        );
+        // Probes did run (and fail) — they're counted as device errors, one
+        // per probe, not max_retries+1 per probe.
+        assert!(
+            s.device_write_errors > 1,
+            "probes must have been attempted: {s:?}"
+        );
+        assert_eq!(s.budget_recoveries, 0);
+    }
+
+    /// Recovery still works with single-shot probes, and the ladder's obs
+    /// telemetry mirrors the stats counters exactly (no double-counting).
+    #[test]
+    fn ladder_telemetry_matches_stats() {
+        use cache_obs::{registry_to_json_lines, MetricsRegistry};
+        let trace = cdn_trace(8);
+        let plan = FaultPlan::new(13).with(
+            FaultKind::TransientWrite,
+            Schedule::Burst {
+                period: u64::MAX,
+                burst_len: 60,
+                inside: 1.0,
+                outside: 0.0,
+            },
+        );
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy::no_retries(),
+            budget: ErrorBudgetConfig {
+                window_ops: 500,
+                max_errors: 5,
+                probe_interval: 200,
+                recovery_probes: 2,
+            },
+        };
+        let registry = MetricsRegistry::new();
+        let tracer = cache_obs::EventTracer::new(1 << 12);
+        let mut c = FlashCache::faulty(faulty_cfg(&trace), plan, resilience).unwrap();
+        c.attach_obs(&registry.scope("flash.ladder"), tracer.clone());
+        let s = c.run(&trace.requests);
+
+        assert!(s.budget_trips >= 1 && s.budget_recoveries >= 1);
+        let find = |name: &str| {
+            registry
+                .snapshot()
+                .into_iter()
+                .find(|m| m.name == format!("flash.ladder.{name}"))
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        let counter = |name: &str| match find(name).value {
+            cache_obs::SampleValue::Counter(v) => v,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        assert_eq!(counter("budget_trips"), s.budget_trips);
+        assert_eq!(counter("budget_recoveries"), s.budget_recoveries);
+        assert_eq!(counter("device_errors"), s.device_errors());
+        assert_eq!(counter("degraded_requests"), s.degraded_ops);
+
+        // The tracer saw matching transition events, in logical-time order.
+        let events = tracer.drain();
+        let degrades = events
+            .iter()
+            .filter(|e| e.kind == cache_obs::EventKind::Degrade)
+            .count() as u64;
+        let recovers = events
+            .iter()
+            .filter(|e| e.kind == cache_obs::EventKind::Recover)
+            .count() as u64;
+        assert_eq!(degrades, s.budget_trips);
+        assert_eq!(recovers, s.budget_recoveries);
+        assert!(events.windows(2).all(|w| w[0].ts < w[1].ts));
+
+        // And the whole thing exports as valid JSON lines.
+        let dump = registry_to_json_lines(&registry);
+        assert!(dump.contains("flash.ladder.budget_trips"));
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Exporters: JSON-lines for tooling and the Prometheus text exposition
+//! format for scrapers.
+//!
+//! Both formats are generated with plain string building (the workspace has
+//! no serde); every emitted name/label goes through an escaper so corrupt
+//! trace names or odd scope strings cannot break the framing.
+
+use crate::events::Event;
+use crate::metrics::{MetricSample, MetricsRegistry, SampleValue};
+use crate::series::MissRatioSeries;
+use cache_ds::Histogram;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hist_fields(h: &Histogram) -> String {
+    // Empty histograms export explicit nulls rather than sentinel values —
+    // the distinction the Histogram::min()/max() Option API exists for.
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+    format!(
+        "\"count\":{},\"mean\":{:.6},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+        h.count(),
+        h.mean(),
+        opt(h.min()),
+        opt(h.max()),
+        opt(h.quantile(0.50)),
+        opt(h.quantile(0.90)),
+        opt(h.quantile(0.99)),
+    )
+}
+
+/// One JSON object per metric, one per line.
+pub fn metrics_to_json_lines(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let name = json_escape(&s.name);
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}\n"
+                ));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{v}}}\n"
+                ));
+            }
+            SampleValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "{{\"type\":\"histogram\",\"name\":\"{name}\",{}}}\n",
+                    hist_fields(h)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// One JSON object per traced event, one per line.
+pub fn events_to_json_lines(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"type\":\"event\",\"ts\":{},\"kind\":\"{}\",\"scope\":\"{}\",\"id\":{},\"value\":{}}}\n",
+            e.ts,
+            e.kind.label(),
+            json_escape(e.scope),
+            e.id,
+            e.value
+        ));
+    }
+    out
+}
+
+/// One JSON object per timeseries window, one per line. `series_name` tags
+/// the points (e.g. the policy name).
+pub fn series_to_json_lines(series_name: &str, series: &MissRatioSeries) -> String {
+    let name = json_escape(series_name);
+    let mut out = String::new();
+    for p in series.points() {
+        out.push_str(&format!(
+            "{{\"type\":\"window\",\"series\":\"{name}\",\"window\":{},\"start_index\":{},\
+             \"requests\":{},\"misses\":{},\"miss_ratio\":{:.6}}}\n",
+            p.window,
+            p.start_index,
+            p.requests,
+            p.misses,
+            p.miss_ratio()
+        ));
+    }
+    out
+}
+
+/// Everything the registry holds as one JSON-lines document.
+pub fn registry_to_json_lines(registry: &MetricsRegistry) -> String {
+    metrics_to_json_lines(&registry.snapshot())
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else becomes
+/// an underscore, and a leading digit gets a `_` prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders metric samples in the Prometheus text exposition format.
+///
+/// Histograms export as `<name>_count`, `<name>_sum`-less summaries with
+/// `quantile` labels (the gauge-style summary convention), since the log2
+/// buckets do not map onto Prometheus' cumulative `le` buckets exactly.
+pub fn metrics_to_prometheus(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let name = prom_name(&s.name);
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            SampleValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} summary\n"));
+                out.push_str(&format!("{name}_count {}\n", h.count()));
+                out.push_str(&format!("{name}_mean {:.6}\n", h.mean()));
+                for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    if let Some(v) = h.quantile(q) {
+                        out.push_str(&format!(
+                            "{name}{{quantile=\"{label}\"}} {v}\n"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the whole registry in the Prometheus text format.
+pub fn registry_to_prometheus(registry: &MetricsRegistry) -> String {
+    metrics_to_prometheus(&registry.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, EventTracer};
+
+    #[test]
+    fn json_lines_cover_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.scope("a").counter("c").add(3);
+        reg.scope("a").gauge("g").set(-2);
+        let h = reg.scope("a").histogram("h");
+        h.record(10);
+        let text = registry_to_json_lines(&reg);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"counter\"") && lines[0].contains("\"value\":3"));
+        assert!(lines[1].contains("\"type\":\"gauge\"") && lines[1].contains("-2"));
+        assert!(lines[2].contains("\"type\":\"histogram\"") && lines[2].contains("\"count\":1"));
+    }
+
+    #[test]
+    fn empty_histogram_exports_nulls_not_sentinels() {
+        let reg = MetricsRegistry::new();
+        reg.scope("x").histogram("empty");
+        let text = registry_to_json_lines(&reg);
+        assert!(text.contains("\"min\":null"), "{text}");
+        assert!(text.contains("\"max\":null"), "{text}");
+        assert!(
+            !text.contains(&u64::MAX.to_string()),
+            "empty histogram must not leak the u64::MAX sentinel: {text}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let reg = MetricsRegistry::new();
+        reg.scope("bad\"name\\with\nnewline").counter("c");
+        let text = registry_to_json_lines(&reg);
+        assert!(text.contains("bad\\\"name\\\\with\\nnewline"));
+        // Still exactly one line per metric.
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn events_export_with_order() {
+        let t = EventTracer::new(8);
+        t.record(EventKind::Degrade, "flash", 0, 42);
+        t.record(EventKind::Recover, "flash", 0, 43);
+        let text = events_to_json_lines(&t.drain());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"degrade\""));
+        assert!(lines[1].contains("\"kind\":\"recover\""));
+    }
+
+    #[test]
+    fn series_export_has_ratio() {
+        let mut s = MissRatioSeries::new(2);
+        s.record(true);
+        s.record(false);
+        s.finish();
+        let text = series_to_json_lines("LRU", &s);
+        assert!(text.contains("\"series\":\"LRU\""));
+        assert!(text.contains("\"miss_ratio\":0.5"));
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names() {
+        let reg = MetricsRegistry::new();
+        reg.scope("sim.s3-fifo").counter("misses").inc();
+        let text = registry_to_prometheus(&reg);
+        assert!(text.contains("# TYPE sim_s3_fifo_misses counter"));
+        assert!(text.contains("sim_s3_fifo_misses 1"));
+    }
+
+    #[test]
+    fn prometheus_summary_for_histograms() {
+        let reg = MetricsRegistry::new();
+        let h = reg.scope("lat").histogram("retry");
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        let text = registry_to_prometheus(&reg);
+        assert!(text.contains("# TYPE lat_retry summary"));
+        assert!(text.contains("lat_retry_count 4"));
+        assert!(text.contains("lat_retry{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn prometheus_leading_digit_prefixed() {
+        assert_eq!(prom_name("2q.hits"), "_2q_hits");
+    }
+}

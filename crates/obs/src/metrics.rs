@@ -1,0 +1,372 @@
+//! The always-on metrics registry: cheap atomic counters and gauges plus
+//! shared histograms, addressable by dot-joined scope names.
+//!
+//! Design constraints (this layer rides on every hot path in the workspace):
+//!
+//! - **Handles are free to use.** A [`Counter`] is an `Arc<AtomicU64>`; one
+//!   relaxed `fetch_add` per increment, no registry lookups after creation.
+//! - **Registration is the slow path.** Creating or looking up a metric
+//!   takes the registry lock once; call sites hold the handle afterwards.
+//! - **Snapshots never stop writers.** Reading a counter is a relaxed load;
+//!   histograms take a short mutex only while copying 65 buckets.
+//!
+//! Scopes give every policy/shard/tier its own namespace:
+//!
+//! ```
+//! use cache_obs::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let scope = reg.scope("sim").scope("s3-fifo");
+//! let misses = scope.counter("misses");
+//! misses.inc();
+//! assert_eq!(reg.snapshot()[0].name, "sim.s3-fifo.misses");
+//! ```
+
+use cache_ds::Histogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying cell; increments are relaxed atomics.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a detached counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a detached gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared log2 [`Histogram`] handle (the `cache-ds` histogram behind a
+/// mutex so concurrent recorders and snapshotters coexist).
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistogram(Arc<Mutex<Histogram>>);
+
+impl SharedHistogram {
+    /// Creates a detached histogram (not registered anywhere).
+    pub fn new() -> Self {
+        SharedHistogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.lock().record(v);
+    }
+
+    /// Copies the current contents out.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().clone()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        self.0.lock().merge(other);
+    }
+}
+
+/// One registered metric, by kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(SharedHistogram),
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Full dot-joined name, e.g. `"flash.ladder.budget_trips"`.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// The value part of a [`MetricSample`].
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram copy (use `count()`/`quantile()` on it). Boxed: a
+    /// `Histogram` is ~560 bytes of buckets and would dominate the enum.
+    Histogram(Box<Histogram>),
+}
+
+/// The metrics registry: a named, threadsafe table of metric cells.
+///
+/// Cheap to clone (it is an `Arc` internally); all clones share the table.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns a scope rooted at `name` (metrics register as
+    /// `name.<metric>`).
+    pub fn scope(&self, name: impl Into<String>) -> Scope {
+        Scope {
+            registry: self.clone(),
+            prefix: name.into(),
+        }
+    }
+
+    fn full_name(prefix: &str, name: &str) -> String {
+        if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}.{name}")
+        }
+    }
+
+    fn counter_at(&self, full: String) -> Counter {
+        let mut guard = self.metrics.lock();
+        match guard
+            .entry(full)
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            // Same name, different kind: hand back a detached cell rather
+            // than panicking on a hot path; the registered metric wins.
+            _ => Counter::new(),
+        }
+    }
+
+    fn gauge_at(&self, full: String) -> Gauge {
+        let mut guard = self.metrics.lock();
+        match guard
+            .entry(full)
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    fn histogram_at(&self, full: String) -> SharedHistogram {
+        let mut guard = self.metrics.lock();
+        match guard
+            .entry(full)
+            .or_insert_with(|| Metric::Histogram(SharedHistogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => SharedHistogram::new(),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads every metric, in name order.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        self.metrics
+            .lock()
+            .iter()
+            .map(|(name, m)| MetricSample {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+}
+
+/// A named namespace inside a [`MetricsRegistry`].
+///
+/// Scopes nest (`reg.scope("flash").scope("shard-3")`) and hand out metric
+/// handles; keep the handle, not the scope, on hot paths.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: MetricsRegistry,
+    prefix: String,
+}
+
+impl Scope {
+    /// A child scope named `prefix.name`.
+    pub fn scope(&self, name: impl AsRef<str>) -> Scope {
+        Scope {
+            registry: self.registry.clone(),
+            prefix: MetricsRegistry::full_name(&self.prefix, name.as_ref()),
+        }
+    }
+
+    /// This scope's full prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Registers (or retrieves) a counter named `prefix.name`.
+    pub fn counter(&self, name: impl AsRef<str>) -> Counter {
+        self.registry
+            .counter_at(MetricsRegistry::full_name(&self.prefix, name.as_ref()))
+    }
+
+    /// Registers (or retrieves) a gauge named `prefix.name`.
+    pub fn gauge(&self, name: impl AsRef<str>) -> Gauge {
+        self.registry
+            .gauge_at(MetricsRegistry::full_name(&self.prefix, name.as_ref()))
+    }
+
+    /// Registers (or retrieves) a histogram named `prefix.name`.
+    pub fn histogram(&self, name: impl AsRef<str>) -> SharedHistogram {
+        self.registry
+            .histogram_at(MetricsRegistry::full_name(&self.prefix, name.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_count() {
+        let reg = MetricsRegistry::new();
+        let c = reg.scope("a").counter("hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same cell.
+        let again = reg.scope("a").counter("hits");
+        again.inc();
+        assert_eq!(c.get(), 6);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn scopes_nest_with_dots() {
+        let reg = MetricsRegistry::new();
+        let shard = reg.scope("cc").scope("shard-07");
+        shard.counter("hits").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].name, "cc.shard-07.hits");
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.scope("x").gauge("level");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histograms_snapshot() {
+        let reg = MetricsRegistry::new();
+        let h = reg.scope("x").histogram("lat");
+        h.record(5);
+        h.record(500);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), Some(5));
+        assert_eq!(snap.max(), Some(500));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.scope("b").counter("z");
+        reg.scope("a").counter("y");
+        let names: Vec<String> = reg.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a.y".to_string(), "b.z".to_string()]);
+    }
+
+    #[test]
+    fn kind_conflict_returns_detached_cell() {
+        let reg = MetricsRegistry::new();
+        let c = reg.scope("x").counter("v");
+        c.inc();
+        // Asking for the same name as a gauge must not panic or clobber.
+        let g = reg.scope("x").gauge("v");
+        g.set(99);
+        assert_eq!(c.get(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(matches!(snap[0].value, SampleValue::Counter(1)));
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_counts() {
+        let reg = MetricsRegistry::new();
+        let c = reg.scope("t").counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -9,6 +9,8 @@
 //! - [`sweep`] fans (trace × algorithm × cache size) combinations across a
 //!   scoped-thread worker pool and aggregates the paper's
 //!   miss-ratio-reduction percentiles (Figs. 6, 7, 11).
+//! - [`observers`] attaches `cache-obs` instrumentation to both replay
+//!   engines: per-window miss-ratio timeseries and replay-stage profiles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +18,7 @@
 pub mod demotion;
 pub mod engine;
 pub mod mrc;
+pub mod observers;
 pub mod oracle;
 pub mod sweep;
 
@@ -26,8 +29,12 @@ pub use engine::{
     SimResult,
 };
 pub use mrc::{miss_ratio_curve, MissRatioCurve, MrcPoint};
+pub use observers::{
+    simulate_dense_profiled, simulate_dense_windowed, simulate_named_windowed, simulate_windowed,
+    TimeseriesObserver,
+};
 pub use oracle::NextAccessOracle;
 pub use sweep::{
-    miss_ratio_reduction, per_dataset_means, run_sweep, summarize_reductions, SweepRecord,
-    SweepSpec, MAX_GANG,
+    miss_ratio_reduction, per_dataset_means, run_sweep, run_sweep_with_abort,
+    summarize_reductions, JobReport, JobStatus, SweepOutcome, SweepRecord, SweepSpec, MAX_GANG,
 };

@@ -1,0 +1,316 @@
+//! Observability hooks into the replay engines: the windowed miss-ratio
+//! timeseries observer (Fig. 6's per-window view) and replay-stage
+//! profiling.
+//!
+//! Two integration styles, matched to each engine's cost model:
+//!
+//! - **Keyed engine** — [`TimeseriesObserver`] plugs into the existing
+//!   [`RequestObserver`] hook ([`simulate_observed`]); one branch per
+//!   request.
+//! - **Dense engine** — the monomorphized replay loop must stay free of
+//!   per-request callbacks, so [`simulate_dense_windowed`] replays in
+//!   window-sized chunks and derives each window's request/miss counts from
+//!   [`PolicyStats`] deltas between chunks. Observable results are
+//!   identical to [`simulate_dense`]: same requests, same policy state,
+//!   same eviction records (chunking only shortens the prefetch lookahead
+//!   at chunk boundaries, which affects speed, not decisions).
+
+use crate::engine::{simulate_dense, simulate_observed, RequestObserver, SimConfig, SimResult};
+use cache_ds::Histogram;
+use cache_obs::{MissRatioSeries, ReplayProfile};
+use cache_policies::registry;
+use cache_trace::Trace;
+use cache_types::{CacheError, DensePolicy, Eviction, Outcome, Policy, Request};
+use std::time::Instant;
+
+/// A [`RequestObserver`] that feeds a [`MissRatioSeries`].
+///
+/// Mirrors [`PolicyStats`](cache_types::PolicyStats) accounting exactly:
+/// non-read requests ([`Outcome::NotRead`]) are not counted, and
+/// [`Outcome::Uncacheable`] counts as a miss — so the series' totals can be
+/// asserted equal to the end-of-run stats.
+pub struct TimeseriesObserver<'a> {
+    series: &'a mut MissRatioSeries,
+}
+
+impl<'a> TimeseriesObserver<'a> {
+    /// Wraps a series for one observed run.
+    pub fn new(series: &'a mut MissRatioSeries) -> Self {
+        TimeseriesObserver { series }
+    }
+}
+
+impl RequestObserver for TimeseriesObserver<'_> {
+    fn after_request(
+        &mut self,
+        _index: usize,
+        _req: &Request,
+        outcome: Outcome,
+        _evicted: &[Eviction],
+        _policy: &dyn Policy,
+    ) {
+        if outcome != Outcome::NotRead {
+            self.series.record(outcome.is_miss());
+        }
+    }
+}
+
+/// [`simulate`](crate::simulate) plus a windowed miss-ratio timeseries with
+/// `window` requests per window.
+pub fn simulate_windowed(
+    policy: &mut dyn Policy,
+    trace: &Trace,
+    ignore_size: bool,
+    window: u64,
+) -> (SimResult, MissRatioSeries) {
+    let mut series = MissRatioSeries::new(window);
+    let mut observer = TimeseriesObserver::new(&mut series);
+    let result = simulate_observed(policy, trace, ignore_size, &mut observer);
+    series.finish();
+    (result, series)
+}
+
+/// [`simulate_dense`] plus a windowed miss-ratio timeseries.
+///
+/// The trace is replayed in window-sized chunks through the policy's own
+/// monomorphized loop; each window's counts come from stats deltas, so the
+/// per-request fast path carries zero extra work.
+pub fn simulate_dense_windowed(
+    policy: &mut dyn DensePolicy,
+    trace: &Trace,
+    ignore_size: bool,
+    window: u64,
+) -> (SimResult, MissRatioSeries) {
+    let dense = trace.dense();
+    let slots = &dense.slots;
+    let window_usize = window.max(1) as usize;
+    let mut series = MissRatioSeries::new(window);
+    let mut freq_at_eviction = Histogram::new();
+    let mut eviction_age = Histogram::new();
+    let mut prev = policy.stats();
+    let mut base = 0usize;
+    while base < slots.len() {
+        let end = (base + window_usize).min(slots.len());
+        // Eviction callbacks see chunk-relative indices; rebase them so
+        // eviction ages match the unchunked replay bit for bit.
+        let offset = base as u64;
+        policy.replay(
+            &slots[base..end],
+            &trace.requests[base..end],
+            ignore_size,
+            &mut |i, e| {
+                freq_at_eviction.record(u64::from(e.freq));
+                eviction_age.record(e.age(offset + i as u64));
+            },
+        );
+        let cur = policy.stats();
+        series.record_window(cur.gets - prev.gets, cur.misses - prev.misses);
+        prev = cur;
+        base = end;
+    }
+    series.finish();
+    let stats = policy.stats();
+    let result = SimResult {
+        algorithm: policy.name(),
+        trace: trace.name.clone(),
+        capacity: policy.capacity(),
+        requests: stats.gets,
+        misses: stats.misses,
+        miss_ratio: stats.miss_ratio(),
+        byte_miss_ratio: stats.byte_miss_ratio(),
+        evictions: stats.evictions,
+        one_hit_eviction_fraction: freq_at_eviction.zero_fraction(),
+        freq_at_eviction,
+        eviction_age,
+    };
+    (result, series)
+}
+
+/// Builds the named algorithm and simulates it with a windowed timeseries,
+/// preferring the dense fast path exactly like
+/// [`simulate_named`](crate::simulate_named).
+///
+/// # Errors
+///
+/// Propagates [`CacheError`] from the registry (unknown name, bad
+/// parameter).
+pub fn simulate_named_windowed(
+    name: &str,
+    trace: &Trace,
+    cfg: &SimConfig,
+    window: u64,
+) -> Result<Option<(SimResult, MissRatioSeries)>, CacheError> {
+    let capacity = cfg.capacity_for(trace);
+    if cfg.min_objects > 0 && capacity < cfg.min_objects {
+        return Ok(None);
+    }
+    if let Some(mut dense) = registry::build_dense(name, capacity, &trace.dense().ids)? {
+        return Ok(Some(simulate_dense_windowed(
+            dense.as_mut(),
+            trace,
+            cfg.ignore_size,
+            window,
+        )));
+    }
+    let mut policy = registry::build(name, capacity, Some(&trace.requests))?;
+    Ok(Some(simulate_windowed(
+        policy.as_mut(),
+        trace,
+        cfg.ignore_size,
+        window,
+    )))
+}
+
+/// [`simulate_dense`] with per-stage profiling: op counts and wall time for
+/// the intern, replay, and aggregate stages.
+///
+/// The replay stage itself is the unmodified monomorphized loop — the
+/// profile brackets stages with two clock reads each, so the per-request
+/// path is untouched.
+pub fn simulate_dense_profiled(
+    policy: &mut dyn DensePolicy,
+    trace: &Trace,
+    ignore_size: bool,
+) -> (SimResult, ReplayProfile) {
+    let mut profile = ReplayProfile::new();
+
+    let t0 = Instant::now();
+    let slots = trace.dense().slots.len() as u64;
+    profile.push("intern", slots, t0.elapsed());
+
+    let t0 = Instant::now();
+    let result = simulate_dense(policy, trace, ignore_size);
+    profile.push("replay", result.requests, t0.elapsed());
+
+    let t0 = Instant::now();
+    let evictions = result.freq_at_eviction.count();
+    profile.push("aggregate", evictions, t0.elapsed());
+
+    (result, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_named_keyed;
+    use crate::simulate_named;
+    use cache_trace::gen::WorkloadSpec;
+
+    fn trace() -> Trace {
+        WorkloadSpec::zipf("obs-t", 20_000, 2000, 1.0, 5).generate()
+    }
+
+    /// Satellite: windowed timeseries totals must agree with end-of-run
+    /// stats for registry policies, on both engines.
+    #[test]
+    fn window_sums_match_totals_keyed_and_dense() {
+        let trace = trace();
+        let cfg = SimConfig::large();
+        for name in ["FIFO", "LRU", "S3-FIFO"] {
+            // Dense path (these three all have dense variants).
+            let (dense_result, dense_series) =
+                simulate_named_windowed(name, &trace, &cfg, 1000)
+                    .expect("known policy")
+                    .expect("no size filter");
+            assert_eq!(
+                dense_series.total_misses(),
+                dense_result.misses,
+                "{name} dense: sum of per-window misses != total misses"
+            );
+            assert_eq!(dense_series.total_requests(), dense_result.requests, "{name}");
+
+            // Keyed path, via the RequestObserver hook.
+            let capacity = cfg.capacity_for(&trace);
+            let mut policy =
+                cache_policies::registry::build(name, capacity, Some(&trace.requests))
+                    .expect("known policy");
+            let (keyed_result, keyed_series) =
+                simulate_windowed(policy.as_mut(), &trace, cfg.ignore_size, 1000);
+            assert_eq!(
+                keyed_series.total_misses(),
+                keyed_result.misses,
+                "{name} keyed: sum of per-window misses != total misses"
+            );
+            assert_eq!(keyed_series.total_requests(), keyed_result.requests, "{name}");
+
+            // The two engines agree window by window, not just in total.
+            assert_eq!(keyed_series.points().len(), dense_series.points().len());
+            for (k, d) in keyed_series.points().iter().zip(dense_series.points()) {
+                assert_eq!(k.misses, d.misses, "{name} window {}", k.window);
+                assert_eq!(k.requests, d.requests, "{name} window {}", k.window);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_dense_is_bit_identical_to_plain_dense() {
+        let trace = trace();
+        let cfg = SimConfig::large();
+        for name in ["S3-FIFO", "SIEVE"] {
+            let plain = simulate_named(name, &trace, &cfg).unwrap().unwrap();
+            let (windowed, _) = simulate_named_windowed(name, &trace, &cfg, 777)
+                .unwrap()
+                .unwrap();
+            assert_eq!(plain.misses, windowed.misses, "{name}");
+            assert_eq!(plain.evictions, windowed.evictions, "{name}");
+            assert_eq!(
+                plain.miss_ratio.to_bits(),
+                windowed.miss_ratio.to_bits(),
+                "{name}"
+            );
+            assert_eq!(
+                plain.one_hit_eviction_fraction.to_bits(),
+                windowed.one_hit_eviction_fraction.to_bits(),
+                "{name}: eviction histograms must survive chunked replay"
+            );
+            assert_eq!(
+                plain.eviction_age.quantile(0.5),
+                windowed.eviction_age.quantile(0.5),
+                "{name}: eviction ages must be rebased correctly across chunks"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_only_policy_gets_observer_path() {
+        let trace = trace();
+        let cfg = SimConfig::large();
+        // ARC has no dense variant; simulate_named_windowed must fall back.
+        let (result, series) = simulate_named_windowed("ARC", &trace, &cfg, 2000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(series.total_misses(), result.misses);
+        let keyed = simulate_named_keyed("ARC", &trace, &cfg).unwrap().unwrap();
+        assert_eq!(result.misses, keyed.misses);
+    }
+
+    #[test]
+    fn windows_respect_min_objects_filter() {
+        let trace = WorkloadSpec::zipf("tiny", 2000, 100, 1.0, 9).generate();
+        let cfg = SimConfig {
+            min_objects: 1000,
+            ..SimConfig::small()
+        };
+        assert!(simulate_named_windowed("LRU", &trace, &cfg, 100)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn profile_reports_stages() {
+        let trace = trace();
+        let cfg = SimConfig::large();
+        let mut dense = cache_policies::registry::build_dense(
+            "S3-FIFO",
+            cfg.capacity_for(&trace),
+            &trace.dense().ids,
+        )
+        .unwrap()
+        .unwrap();
+        let (result, profile) = simulate_dense_profiled(dense.as_mut(), &trace, true);
+        let stages: Vec<&str> = profile.stages().iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["intern", "replay", "aggregate"]);
+        assert_eq!(profile.stages()[1].ops, result.requests);
+        assert!(profile.total_micros() > 0);
+    }
+}

@@ -55,9 +55,86 @@ pub struct SweepSpec<'a> {
 /// saturate. Keep this small.
 pub const MAX_GANG: usize = 2;
 
-/// Runs the sweep on a scoped worker pool. Records for configurations
-/// skipped by the `min_objects` rule are silently omitted, mirroring the
-/// paper's exclusions.
+/// Why a sweep job did or did not contribute records.
+///
+/// A sweep that stops early used to be indistinguishable from one that ran
+/// everything — a caller averaging the records could silently compute
+/// statistics over a partial sweep. Every job now reports its fate so
+/// "missing because skipped/aborted" is distinguishable from "ran and
+/// produced nothing".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job ran and its records (if any) are in the output.
+    Completed,
+    /// The job ran but the `min_objects` rule excluded the configuration,
+    /// mirroring the paper's exclusions; no records by design.
+    SkippedMinObjects,
+    /// The job was never claimed because the sweep aborted first; its
+    /// records are *missing*, not zero.
+    NotRun,
+}
+
+/// Per-job outcome of a sweep: which trace/algorithm chunk it covered and
+/// what happened to it.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Trace name the job replayed.
+    pub trace: String,
+    /// Algorithm names the job covered (one gang chunk).
+    pub algorithms: Vec<String>,
+    /// What happened.
+    pub status: JobStatus,
+}
+
+/// The full result of a sweep: records plus a per-job accounting that makes
+/// partial sweeps explicit.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Measurements from completed jobs, deterministically ordered.
+    pub records: Vec<SweepRecord>,
+    /// One report per work unit, in job order.
+    pub jobs: Vec<JobReport>,
+    /// True when at least one job was [`JobStatus::NotRun`] — the records
+    /// cover only part of the requested grid.
+    pub aborted: bool,
+}
+
+impl SweepOutcome {
+    /// True when every job ran (completed or was excluded by design).
+    pub fn is_complete(&self) -> bool {
+        !self.aborted
+    }
+
+    /// The jobs that never ran, for error messages and retry lists.
+    pub fn not_run(&self) -> impl Iterator<Item = &JobReport> {
+        self.jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::NotRun)
+    }
+}
+
+/// Runs the sweep on a scoped worker pool, returning only the records.
+///
+/// Thin wrapper over [`run_sweep_with_abort`] with no external abort; when
+/// it returns `Ok`, every job ran, so the records are never silently
+/// partial. Callers that cancel sweeps mid-flight must use
+/// [`run_sweep_with_abort`] and inspect [`SweepOutcome::aborted`].
+///
+/// # Errors
+///
+/// Returns the first simulation error (unknown algorithm, bad parameter).
+pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
+    let outcome = run_sweep_with_abort(spec, &|| false)?;
+    debug_assert!(
+        outcome.is_complete(),
+        "no external abort, so every job must have run"
+    );
+    Ok(outcome.records)
+}
+
+/// Runs the sweep on a scoped worker pool with a caller-supplied abort
+/// check, polled by every worker before claiming the next job (a deadline,
+/// a ctrl-C flag, a test hook).
 ///
 /// Work units are chunks of up to [`MAX_GANG`] algorithms against one trace;
 /// each chunk replays the trace once, driving every dense-capable algorithm
@@ -65,12 +142,20 @@ pub const MAX_GANG: usize = 2;
 ///
 /// The first failing job raises a shared abort flag; every worker checks it
 /// before claiming the next job, so one bad algorithm name cancels the whole
-/// sweep instead of letting the remaining workers grind through their queues.
+/// sweep instead of letting the remaining workers grind through their
+/// queues. In-flight jobs still finish — abort is a claim barrier, not a
+/// cancellation of running work.
 ///
 /// # Errors
 ///
 /// Returns the first simulation error (unknown algorithm, bad parameter).
-pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
+/// An external abort is not an error: the partial results come back with
+/// the unclaimed jobs marked [`JobStatus::NotRun`] and
+/// [`SweepOutcome::aborted`] set.
+pub fn run_sweep_with_abort(
+    spec: &SweepSpec<'_>,
+    should_abort: &(dyn Fn() -> bool + Sync),
+) -> Result<SweepOutcome, CacheError> {
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     let jobs: Vec<(usize, std::ops::Range<usize>)> = (0..spec.traces.len())
         .flat_map(|t| {
@@ -89,12 +174,15 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let results: std::sync::Mutex<Vec<SweepRecord>> = std::sync::Mutex::new(Vec::new());
+    let statuses: std::sync::Mutex<Vec<JobStatus>> =
+        std::sync::Mutex::new(vec![JobStatus::NotRun; jobs.len()]);
     let first_error: std::sync::Mutex<Option<CacheError>> = std::sync::Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.len().max(1)) {
             scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
+                if abort.load(Ordering::Relaxed) || should_abort() {
+                    abort.store(true, Ordering::Relaxed);
                     break;
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -114,6 +202,11 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
                             .enumerate()
                             .filter_map(|(j, r)| r.map(|r| (j, r)))
                             .collect();
+                        let status = if produced.is_empty() {
+                            JobStatus::SkippedMinObjects
+                        } else {
+                            JobStatus::Completed
+                        };
                         let sim_micros = start.elapsed().as_micros() as u64
                             / produced.len().max(1) as u64;
                         let mut guard = results.lock().unwrap_or_else(|e| e.into_inner());
@@ -129,6 +222,8 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
                                 sim_micros,
                             });
                         }
+                        drop(guard);
+                        statuses.lock().unwrap_or_else(|e| e.into_inner())[i] = status;
                     }
                     Err(e) => {
                         first_error
@@ -156,7 +251,22 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
     out.sort_by(|x, y| {
         (&x.dataset, &x.trace, &x.algorithm).cmp(&(&y.dataset, &y.trace, &y.algorithm))
     });
-    Ok(out)
+    let statuses = statuses.into_inner().unwrap_or_else(|e| e.into_inner());
+    let reports: Vec<JobReport> = jobs
+        .iter()
+        .zip(&statuses)
+        .map(|((t, algos), status)| JobReport {
+            trace: spec.traces[*t].1.name.clone(),
+            algorithms: spec.algorithms[algos.clone()].to_vec(),
+            status: *status,
+        })
+        .collect();
+    let aborted = statuses.contains(&JobStatus::NotRun);
+    Ok(SweepOutcome {
+        records: out,
+        jobs: reports,
+        aborted,
+    })
 }
 
 /// The paper's bounded miss-ratio-reduction metric (§5.1.2).
@@ -335,6 +445,93 @@ mod tests {
         // remaining jobs are never claimed.
         let err = run_sweep(&spec).unwrap_err();
         assert!(format!("{err}").contains("NOT-AN-ALGORITHM"), "{err}");
+    }
+
+    /// Satellite regression: an externally aborted sweep must say so —
+    /// unclaimed jobs come back `NotRun`, `aborted` is set, and the caller
+    /// can tell partial coverage from a clean (possibly empty) run.
+    #[test]
+    fn aborted_sweep_is_marked_not_silently_partial() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let traces: Vec<Trace> = (0..4)
+            .map(|i| WorkloadSpec::zipf(format!("t{i}"), 2000, 200, 1.0, i as u64).generate())
+            .collect();
+        let spec = SweepSpec {
+            traces: traces.iter().map(|t| ("d".to_string(), t)).collect(),
+            algorithms: vec!["FIFO".into(), "LRU".into()],
+            config: SimConfig::large(),
+            threads: 1,
+        };
+        // 4 traces × 1 gang chunk = 4 jobs. Single worker; the abort check
+        // runs once before each claim, so returning true from the third
+        // check lets exactly two jobs through.
+        let checks = AtomicUsize::new(0);
+        let outcome = run_sweep_with_abort(&spec, &|| {
+            checks.fetch_add(1, Ordering::Relaxed) >= 2
+        })
+        .unwrap();
+
+        assert!(outcome.aborted, "partial sweep must be flagged");
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.jobs.len(), 4);
+        let completed = outcome
+            .jobs
+            .iter()
+            .filter(|j| j.status == JobStatus::Completed)
+            .count();
+        let not_run: Vec<&JobReport> = outcome.not_run().collect();
+        assert_eq!(completed, 2, "{:?}", outcome.jobs);
+        assert_eq!(not_run.len(), 2);
+        // Records exist only for completed jobs: missing != zero.
+        assert_eq!(outcome.records.len(), completed * 2);
+        for j in &not_run {
+            assert!(
+                !outcome.records.iter().any(|r| r.trace == j.trace),
+                "NotRun job {j:?} must not have records"
+            );
+        }
+    }
+
+    #[test]
+    fn unaborted_sweep_reports_all_jobs_run() {
+        let t1 = WorkloadSpec::zipf("t1", 2000, 200, 1.0, 1).generate();
+        let spec = SweepSpec {
+            traces: vec![("d1".into(), &t1)],
+            algorithms: vec!["FIFO".into(), "LRU".into(), "S3-FIFO".into()],
+            config: SimConfig::large(),
+            threads: 2,
+        };
+        let outcome = run_sweep_with_abort(&spec, &|| false).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.not_run().count(), 0);
+        assert!(outcome
+            .jobs
+            .iter()
+            .all(|j| j.status == JobStatus::Completed));
+        assert_eq!(outcome.records.len(), 3);
+    }
+
+    #[test]
+    fn min_objects_skip_is_distinguished_from_abort() {
+        let t1 = WorkloadSpec::zipf("tiny", 2000, 100, 1.0, 9).generate();
+        let spec = SweepSpec {
+            traces: vec![("d1".into(), &t1)],
+            algorithms: vec!["FIFO".into()],
+            config: SimConfig {
+                size: crate::engine::CacheSizeSpec::FractionOfObjects(0.001),
+                ignore_size: true,
+                min_objects: 1000,
+                floor_objects: 0,
+            },
+            threads: 1,
+        };
+        let outcome = run_sweep_with_abort(&spec, &|| false).unwrap();
+        // The job *ran*; the paper's exclusion rule dropped it. That is not
+        // an abort and not a missing job.
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.jobs.len(), 1);
+        assert_eq!(outcome.jobs[0].status, JobStatus::SkippedMinObjects);
+        assert!(outcome.records.is_empty());
     }
 
     #[test]

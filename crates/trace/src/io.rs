@@ -54,9 +54,22 @@ pub fn write_csv<W: Write>(trace: &Trace, w: &mut W) -> Result<(), CacheError> {
 pub struct CsvReadReport {
     /// Malformed lines skipped.
     pub skipped_lines: u64,
+    /// Requests successfully parsed.
+    pub parsed_lines: u64,
     /// Line numbers (1-based) and reasons for the first few skips, for
     /// diagnostics without unbounded memory on badly corrupted files.
     pub first_skips: Vec<(u64, String)>,
+}
+
+impl CsvReadReport {
+    /// Publishes the read's accounting into a metrics scope:
+    /// `csv_skipped_lines` and `csv_parsed_lines` counters, accumulated
+    /// across reads sharing the scope. Skip *reasons* stay in the report —
+    /// metrics carry counts, diagnostics carry text.
+    pub fn record_to(&self, scope: &cache_obs::Scope) {
+        scope.counter("csv_skipped_lines").add(self.skipped_lines);
+        scope.counter("csv_parsed_lines").add(self.parsed_lines);
+    }
 }
 
 /// How many skip diagnostics a [`CsvReadReport`] retains.
@@ -124,7 +137,10 @@ fn read_csv_inner<R: Read>(
             continue;
         }
         match parse_csv_line(line, lineno) {
-            Ok(req) => reqs.push(req),
+            Ok(req) => {
+                report.parsed_lines += 1;
+                reqs.push(req);
+            }
             Err(e) if skip_invalid => {
                 report.skipped_lines += 1;
                 if report.first_skips.len() < MAX_SKIP_DIAGNOSTICS {
@@ -159,6 +175,23 @@ pub fn read_csv_lossy<R: Read>(
     r: R,
 ) -> Result<(Trace, CsvReadReport), CacheError> {
     read_csv_inner(name, r, true)
+}
+
+/// [`read_csv_lossy`] that also records the skip/parse counters into a
+/// metrics scope (see [`CsvReadReport::record_to`]), so silent data loss on
+/// corrupt trace files surfaces in every metrics dump.
+///
+/// # Errors
+///
+/// Propagates I/O errors; malformed *content* never fails this variant.
+pub fn read_csv_lossy_observed<R: Read>(
+    name: impl Into<String>,
+    r: R,
+    scope: &cache_obs::Scope,
+) -> Result<(Trace, CsvReadReport), CacheError> {
+    let (trace, report) = read_csv_inner(name, r, true)?;
+    report.record_to(scope);
+    Ok((trace, report))
 }
 
 /// Encodes a trace into the compact binary format.
@@ -322,6 +355,52 @@ mod tests {
         assert_eq!(t.requests, back.requests);
         assert_eq!(report.skipped_lines, 0);
         assert!(report.first_skips.is_empty());
+    }
+
+    /// Satellite regression: reading a corrupt trace *file* through the
+    /// observed path must surface the losses in the metrics registry, not
+    /// just in the returned report.
+    #[test]
+    fn corrupt_trace_file_skips_land_in_registry() {
+        use cache_obs::{MetricsRegistry, SampleValue};
+        let path = std::env::temp_dir().join(format!(
+            "s3fifo-corrupt-trace-{}.csv",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            b"# corrupt trace\n1,100,get\n\xff\xfe not utf8\ngarbage\n2,50,set\n9,nope,get\n",
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        let scope = registry.scope("trace.io");
+        let file = std::fs::File::open(&path).unwrap();
+        let (t, report) = read_csv_lossy_observed("corrupt", file, &scope).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(t.len(), 2, "the two good lines survive");
+        assert_eq!(report.skipped_lines, 3, "{report:?}");
+        assert_eq!(report.parsed_lines, 2);
+        let counter = |name: &str| {
+            registry
+                .snapshot()
+                .into_iter()
+                .find(|m| m.name == format!("trace.io.{name}"))
+                .map(|m| match m.value {
+                    SampleValue::Counter(v) => v,
+                    other => panic!("{name}: expected counter, got {other:?}"),
+                })
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert_eq!(counter("csv_skipped_lines"), 3);
+        assert_eq!(counter("csv_parsed_lines"), 2);
+
+        // A second observed read accumulates into the same counters.
+        let (_, r2) =
+            read_csv_lossy_observed("again", "bad\n7,1,get\n".as_bytes(), &scope).unwrap();
+        assert_eq!(r2.skipped_lines, 1);
+        assert_eq!(counter("csv_skipped_lines"), 4);
+        assert_eq!(counter("csv_parsed_lines"), 3);
     }
 
     #[test]
