@@ -30,6 +30,26 @@ echo "== check: differential fuzz + invariant observers + linearizability-lite =
 # failures print a shrunk reproduction (see TESTING.md).
 ./target/release/check_gate
 
+echo "== cache-lint: workspace lint + loom-lite interleaving exploration =="
+# Two hard gates from crates/lint (see DESIGN.md §8 and TESTING.md):
+#  - lint: the annotation contract (SAFETY:/ORDERING:/LOCK-ORDER:/invariant
+#    comments, explicit Ordering::* at atomic call sites, no non-test
+#    unwrap) over every crates/*/src/**/*.rs file, with inline waivers and
+#    a stale-checked central allowlist;
+#  - loom: bounded-preemption (CHESS, bound 2) exploration of the Vyukov
+#    ring and S3-FIFO shard models with a vector-clock race detector —
+#    >= 10k distinct interleavings must pass, and three planted mutants
+#    (wrong orderings, ghost-before-remove) must be *caught*, so a green
+#    run proves the detector still has teeth.
+# Budget: the whole pass must stay under 10 s in release.
+cache_lint_start=$(date +%s)
+./target/release/cache_lint --root . all
+cache_lint_elapsed=$(( $(date +%s) - cache_lint_start ))
+if [ "${cache_lint_elapsed}" -gt 10 ]; then
+    echo "cache_lint exceeded its 10 s budget (${cache_lint_elapsed}s)" >&2
+    exit 1
+fi
+
 echo "== bench smoke: sim_throughput =="
 # Small corpus, one repeat: proves the dense fast path and the legacy
 # emulation still agree bit-for-bit (the binary asserts it) and that the

@@ -300,6 +300,7 @@ pub fn fuzz_policy(name: &str, capacity: u64, cfg: &FuzzConfig) -> Result<usize,
                 &mut |cand| run_fresh(name, capacity, cand).is_some(),
                 failing,
             );
+            // Invariant: the shrinker only returns candidates that still fail.
             let (step, detail) = run_fresh(name, capacity, &shrunk)
                 .expect("shrunk trace still fails by construction");
             Err(Box::new(Divergence {

@@ -374,6 +374,7 @@ impl ReferencePolicy {
     }
 
     fn slru_on_hit(&mut self, id: ObjId, now: u64) {
+        // Invariant: on_hit is only called for resident ids.
         let seg = (0..4)
             .find(|&s| find(&self.segs[s], id).is_some())
             .expect("hit id in some segment");
@@ -474,10 +475,12 @@ impl ReferencePolicy {
     fn on_hit(&mut self, req: &Request) {
         match self.algo {
             Algo::Fifo => {
+                // Invariant: on_hit is only called for resident ids.
                 let p = find(&self.q0, req.id).expect("hit id resident");
                 self.q0[p].meta.touch(req.time);
             }
             Algo::Lru => {
+                // Invariant: on_hit is only called for resident ids.
                 let p = find(&self.q0, req.id).expect("hit id resident");
                 let mut n = self.q0.remove(p);
                 n.meta.touch(req.time);
@@ -489,6 +492,7 @@ impl ReferencePolicy {
                 self.q0[p].meta.touch(req.time);
             }
             Algo::Sieve => {
+                // Invariant: on_hit is only called for resident ids.
                 let p = find(&self.q0, req.id).expect("hit id resident");
                 self.q0[p].freq = 1; // visited bit
                 self.q0[p].meta.touch(req.time);
@@ -511,6 +515,7 @@ impl ReferencePolicy {
                 } else {
                     &mut self.q1
                 };
+                // Invariant: on_hit is only called for resident ids.
                 let p = find(q, req.id).expect("hit id resident");
                 q[p].freq = (q[p].freq + 1).min(3);
                 q[p].meta.touch(req.time);

@@ -47,6 +47,12 @@ impl ConcurrentClock {
     }
 
     /// Sweeps the hand until a victim slot is claimed; returns its index.
+    // ORDERING: all Relaxed — the hand is a mere round-robin cursor and
+    // the reference bit a heuristic; slot contents are guarded by the
+    // occupant RwLock, which carries the needed synchronization.
+    // LOCK-ORDER: slot occupant lock (try_write, non-blocking) before the
+    // index shard lock; `insert`/`remove` never hold the index lock while
+    // taking an occupant lock, so the order cannot invert into a deadlock.
     fn claim_slot(&self) -> usize {
         loop {
             let i = self.hand.fetch_add(1, Ordering::Relaxed) % self.slots.len();
@@ -80,6 +86,10 @@ impl ConcurrentCache for ConcurrentClock {
         "CLOCK".into()
     }
 
+    // ORDERING: Relaxed reference-bit store — it is a hint for the sweep,
+    // value visibility comes from the occupant lock.
+    // LOCK-ORDER: index shard read lock is dropped (temporary in `?` expr)
+    // before the occupant lock is taken; never held together.
     fn get(&self, key: u64) -> Option<Bytes> {
         let slot_idx = *self.index[shard_of(key)].read().get(&key)?;
         let slot = &self.slots[slot_idx];
@@ -93,6 +103,10 @@ impl ConcurrentCache for ConcurrentClock {
         }
     }
 
+    // ORDERING: Relaxed bit/len updates — see `claim_slot`; the occupant
+    // lock orders the payload.
+    // LOCK-ORDER: occupant lock and index lock are never held at the same
+    // time here (each guard is a temporary or dropped before the next).
     fn insert(&self, key: u64, value: Bytes) {
         // Overwrite in place when present.
         if let Some(&slot_idx) = self.index[shard_of(key)].read().get(&key) {
@@ -114,6 +128,10 @@ impl ConcurrentCache for ConcurrentClock {
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
+    // ORDERING: Relaxed bit/len updates — the occupant lock is the point
+    // of synchronization for the removal itself.
+    // LOCK-ORDER: the index write guard is a temporary dropped at the end
+    // of the `let` statement, so the occupant lock is taken alone.
     fn remove(&self, key: u64) -> bool {
         let Some(slot_idx) = self.index[shard_of(key)].write().remove(&key) else {
             return false;
@@ -131,6 +149,7 @@ impl ConcurrentCache for ConcurrentClock {
         }
     }
 
+    // ORDERING: Relaxed — advisory count, exact only at quiescence.
     fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }

@@ -105,6 +105,8 @@ fn sample_zipf(cdf: &[f64], rng: &mut SplitMix64) -> u64 {
 ///
 /// Threads spin on a barrier, then replay their key slice: `get`, and on a
 /// miss, `insert` a clone of the pre-generated payload.
+// ORDERING: Relaxed hit counter — aggregated after `join`, which already
+// orders every worker's adds before the final load.
 pub fn run_throughput(
     cache: Arc<dyn ConcurrentCache>,
     keys: &[Vec<u64>],
@@ -136,6 +138,9 @@ pub fn run_throughput(
     barrier.wait();
     let start = Instant::now();
     for h in handles {
+        // Invariant: worker closures contain no panicking operations of
+        // their own; a panic here means the cache under test is broken,
+        // which must abort the measurement loudly.
         h.join().expect("worker panicked");
     }
     let seconds = start.elapsed().as_secs_f64();
@@ -262,6 +267,8 @@ fn decode_payload(b: &Bytes) -> Option<(u64, u64)> {
 /// Determinism note: each thread's *operation stream* is a pure function of
 /// `(cfg.seed, thread index)`; the cross-thread interleaving is whatever
 /// the scheduler produces, which is exactly the point.
+// ORDERING: Relaxed counters only — the scope join orders them before the
+// snapshot; no counter gates any control decision mid-run.
 pub fn run_torture(cache: Arc<dyn ConcurrentCache>, cfg: &TortureConfig) -> TortureReport {
     use cache_faults::{FaultInjector, FaultKind, OpClass};
 
@@ -394,6 +401,8 @@ struct TortureCounters {
 }
 
 impl TortureCounters {
+    // ORDERING: Relaxed — called after the thread scope exits, so all
+    // worker increments happen-before these loads via the joins.
     fn snapshot(&self) -> TortureReport {
         TortureReport {
             ops: self.ops.load(Ordering::Relaxed),

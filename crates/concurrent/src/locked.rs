@@ -50,6 +50,8 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
         self.name.clone()
     }
 
+    // ORDERING: Relaxed logical-clock tick — the policy only needs a
+    // unique monotonic-ish timestamp; real ordering comes from the lock.
     fn get(&self, key: u64) -> Option<Bytes> {
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();
@@ -65,6 +67,8 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
         }
     }
 
+    // ORDERING: Relaxed clock tick, as in `get` — the global lock below
+    // serializes all policy and store mutation.
     fn insert(&self, key: u64, value: Bytes) {
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();
@@ -78,6 +82,7 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
         core.scratch = evs;
     }
 
+    // ORDERING: Relaxed clock tick, as in `get`.
     fn remove(&self, key: u64) -> bool {
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();

@@ -92,6 +92,12 @@ impl ConcurrentCache for MutexLru {
         }
     }
 
+    // ORDERING: Relaxed promotion counter — a pure rate-limit heuristic;
+    // losing or double-counting a tick only shifts when promotion happens.
+    // LOCK-ORDER: shard read lock is always dropped before the core list
+    // mutex is taken (each guard is scoped); core -> shard is the only
+    // nesting that occurs (try_lock'd core, then shard read), and shard
+    // guards are never held while acquiring core, so no cycle exists.
     fn get(&self, key: u64) -> Option<Bytes> {
         let value = {
             let guard = self.shards[shard_of(key)].read();
@@ -125,6 +131,8 @@ impl ConcurrentCache for MutexLru {
         Some(value)
     }
 
+    // LOCK-ORDER: shard write lock is scoped and dropped before the core
+    // mutex is acquired — same core-after-shard discipline as `get`.
     fn insert(&self, key: u64, value: Bytes) {
         let entry = Arc::new(Entry {
             key,
@@ -148,6 +156,8 @@ impl ConcurrentCache for MutexLru {
         core.handles.insert(key, h);
     }
 
+    // LOCK-ORDER: the shard write guard is a temporary dropped at the end
+    // of the first statement; the core mutex is taken alone afterwards.
     fn remove(&self, key: u64) -> bool {
         let existed = self.shards[shard_of(key)].write().remove(&key).is_some();
         if existed {

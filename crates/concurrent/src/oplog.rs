@@ -104,6 +104,11 @@ fn decode(b: &Bytes) -> Option<(u64, u64)> {
 /// by every thread. Each thread's op stream is a pure function of
 /// `(cfg.seed, thread index)`; the interleaving — and therefore the recorded
 /// intervals — is whatever the scheduler produces.
+// ORDERING: the interval clock ticks are SeqCst *on purpose* — the
+// linearizability checker (cache-check) relies on the recorded start/end
+// stamps forming one total order consistent with real time across all
+// threads; Acquire/Release alone would not give unrelated ticks a single
+// global order. Do not downgrade.
 pub fn run_logged_torture(
     cache: Arc<dyn ConcurrentCache>,
     cfg: &LoggedTortureConfig,
@@ -160,6 +165,8 @@ pub fn run_logged_torture(
             }));
         }
         for h in handles {
+            // Invariant: workers only touch the cache and their own log; a
+            // panic means the cache under test blew up — propagate loudly.
             logs.push(h.join().expect("logged torture worker panicked"));
         }
     });

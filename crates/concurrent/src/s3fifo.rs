@@ -118,6 +118,8 @@ impl ConcurrentS3Fifo {
     }
 
     /// Point-in-time counters of one shard.
+    // ORDERING: Relaxed counter loads — statistics are advisory during a
+    // run and exact only at quiescence (documented on aggregate_stats).
     fn snapshot_shard(&self, shard: usize) -> ShardStatsSnapshot {
         let c = &self.counters[shard];
         ShardStatsSnapshot {
@@ -175,6 +177,7 @@ impl ConcurrentS3Fifo {
 
     /// Diagnostic snapshot: (index len, s_count, m_count, small ring len,
     /// main ring len).
+    // ORDERING: Relaxed — diagnostic reads, exact only at quiescence.
     pub fn debug_counts(&self) -> (usize, usize, usize, usize, usize) {
         (
             self.len(),
@@ -185,6 +188,9 @@ impl ConcurrentS3Fifo {
         )
     }
 
+    // ORDERING: Relaxed — occupancy is a heuristic trigger for eviction;
+    // over/undershoot by a few entries is tolerated by design (capacity is
+    // enforced with slack, see make_room).
     #[inline]
     fn total(&self) -> usize {
         self.s_count.load(Ordering::Relaxed) + self.m_count.load(Ordering::Relaxed)
@@ -221,6 +227,8 @@ impl ConcurrentS3Fifo {
 
     /// Pushes an entry into the main ring, accounting for it; on ring
     /// overflow the entry is dropped from the index (no leak).
+    // ORDERING: Relaxed m_count add/undo — the count is advisory (see
+    // total); the ring itself synchronizes entry handoff.
     fn push_main(&self, entry: Arc<Entry>) {
         self.m_count.fetch_add(1, Ordering::Relaxed);
         if let Err(back) = self.main.push(entry) {
@@ -231,6 +239,9 @@ impl ConcurrentS3Fifo {
 
     /// Evicts (or promotes) one object from the small queue. Returns true
     /// when it made progress (popped anything).
+    // ORDERING: Relaxed counters and freq bits — freq is a promotion
+    // heuristic (a lost update costs at most one wrong promotion); entry
+    // visibility is carried by the ring protocol and the shard lock.
     fn evict_small(&self) -> bool {
         let mut progress = false;
         // Bounded walk: promotions and stale handles keep the loop going;
@@ -251,8 +262,15 @@ impl ConcurrentS3Fifo {
                 self.push_main(entry);
                 continue;
             }
-            self.ghost_insert(entry.key);
+            // Ghost-insert only after the removal confirms this handle is
+            // still current: ghosting first lets a racing overwrite leave a
+            // *live* key in the ghost table, so its next insert would be
+            // mis-classified as a ghost hit and jump straight to M. The
+            // loom-lite shard model (crates/lint/src/models/shard.rs,
+            // `GhostOrder::BeforeRemove`) reproduces that race and pins
+            // this ordering.
             if self.remove_if_current(&entry) {
+                self.ghost_insert(entry.key);
                 self.counters[shard_of(entry.key)]
                     .evictions
                     .fetch_add(1, Ordering::Relaxed);
@@ -264,6 +282,7 @@ impl ConcurrentS3Fifo {
 
     /// Evicts one object from the main queue (two-bit reinsertion). Returns
     /// true when it made progress.
+    // ORDERING: Relaxed, same rationale as evict_small.
     fn evict_main(&self) -> bool {
         let mut progress = false;
         for _ in 0..self.capacity * 2 + 64 {
@@ -299,6 +318,8 @@ impl ConcurrentS3Fifo {
 
     /// Frees space until the cache is under capacity (Algorithm 1's
     /// eviction rule). Bounded so a racing thread cannot spin forever.
+    // ORDERING: Relaxed occupancy reads — stale values only mis-route one
+    // iteration between the small and main queues, never corrupt state.
     fn make_room(&self) {
         for _ in 0..self.capacity + 64 {
             if self.total() < self.capacity {
@@ -325,6 +346,9 @@ impl ConcurrentCache for ConcurrentS3Fifo {
         "S3-FIFO".into()
     }
 
+    // ORDERING: Relaxed freq load/store (lazy promotion is lossy by
+    // design, §3.3 — the two-bit counter tolerates racing updates) and
+    // Relaxed stat counters; the shard read lock orders the value read.
     fn get(&self, key: u64) -> Option<Bytes> {
         let idx = shard_of(key);
         let shard = &self.shards[idx];
@@ -342,6 +366,9 @@ impl ConcurrentCache for ConcurrentS3Fifo {
         Some(entry.value.clone())
     }
 
+    // ORDERING: Relaxed s_count add/undo and stat counters — advisory
+    // occupancy (see total); the shard write lock publishes the entry and
+    // the ring push hands the Arc to future evictors.
     fn insert(&self, key: u64, value: Bytes) {
         let entry = Arc::new(Entry {
             key,
@@ -455,6 +482,7 @@ mod tests {
         assert!(c.get(evicted).is_some());
     }
 
+    // ORDERING: Relaxed hit counter — joined before the final asserts.
     #[test]
     fn concurrent_mixed_workload_is_safe_and_bounded() {
         let c = Arc::new(ConcurrentS3Fifo::new(1000));

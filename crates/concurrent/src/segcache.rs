@@ -66,6 +66,12 @@ impl SegcacheLike {
     /// Merge-evicts the four oldest segments, retaining the top quarter by
     /// frequency (copying them into a fresh segment — the copy cost §5.3
     /// mentions).
+    // ORDERING: Relaxed freq/seg/len — freq is a retention heuristic and
+    // seg a tag checked under the index lock; the segment mutex (held by
+    // the caller) serializes whole merges against each other.
+    // LOCK-ORDER: segment mutex (caller) -> index shard lock, always in
+    // that direction; no path acquires the segment mutex while holding an
+    // index lock.
     fn merge_evict(&self, segments: &mut VecDeque<Segment>) {
         let take = 4.min(segments.len().saturating_sub(1));
         if take == 0 {
@@ -74,6 +80,8 @@ impl SegcacheLike {
         let mut candidates: Vec<(u64, u32, Arc<Entry>)> = Vec::new();
         let mut seg_ids = Vec::new();
         for _ in 0..take {
+            // Invariant: `take <= segments.len() - 1` by construction above,
+            // so a front segment always exists.
             let seg = segments.pop_front().expect("segment available");
             seg_ids.push(seg.id);
             for key in seg.keys {
@@ -117,6 +125,8 @@ impl ConcurrentCache for SegcacheLike {
         "Segcache".into()
     }
 
+    // ORDERING: Relaxed freq bump — the atomic-only hit path is the whole
+    // point (§5.3); losing increments under contention is acceptable.
     fn get(&self, key: u64) -> Option<Bytes> {
         let guard = self.index[shard_of(key)].read();
         let e = guard.get(&key)?;
@@ -124,6 +134,11 @@ impl ConcurrentCache for SegcacheLike {
         Some(e.value.clone())
     }
 
+    // ORDERING: Relaxed len/seg-id — len gates eviction heuristically;
+    // the segment mutex orders all segment structure mutation.
+    // LOCK-ORDER: segment mutex first, index shard lock second (via
+    // merge_evict); the direct index write below happens after the
+    // segment guard is dropped.
     fn insert(&self, key: u64, value: Bytes) {
         let mut segments = self.segments.lock();
         if self.len.load(Ordering::Relaxed) >= self.capacity {
@@ -141,6 +156,8 @@ impl ConcurrentCache for SegcacheLike {
                     keys: Vec::with_capacity(self.seg_size),
                 });
             }
+            // Invariant: the branch above pushed a segment when the deque
+            // was empty or the active one was full, so back_mut succeeds.
             let active = segments.back_mut().expect("active segment exists");
             active.keys.push(key);
             active.id
@@ -157,6 +174,7 @@ impl ConcurrentCache for SegcacheLike {
         }
     }
 
+    // ORDERING: Relaxed len — advisory occupancy, see `insert`.
     fn remove(&self, key: u64) -> bool {
         let existed = self.index[shard_of(key)].write().remove(&key).is_some();
         if existed {
@@ -165,6 +183,7 @@ impl ConcurrentCache for SegcacheLike {
         existed
     }
 
+    // ORDERING: Relaxed — advisory count, exact only at quiescence.
     fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }

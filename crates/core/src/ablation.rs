@@ -149,6 +149,7 @@ impl Qdlp {
         self.small.remove(entry.handle);
         self.s_used -= u64::from(entry.size);
         let h = self.main.push_front(id);
+        // Invariant: still tabled — only the queue handle changed.
         let e = self.table.get_mut(&id).expect("entry exists");
         e.handle = h;
         e.loc = Loc::Main;
@@ -161,6 +162,7 @@ impl Qdlp {
 
     fn evict_small(&mut self, now: u64, evicted: &mut Vec<Eviction>) {
         while let Some(&tail_id) = self.small.back() {
+            // Invariant: queued ids are always tabled.
             let entry = *self.table.get(&tail_id).expect("small tail in table");
             if entry.freq > self.cfg.promote_threshold {
                 self.move_small_to_main(tail_id, now, evicted);
@@ -192,6 +194,7 @@ impl Qdlp {
             return;
         }
         while let Some(&tail_id) = self.main.back() {
+            // Invariant: queued ids are always tabled.
             let entry = *self.table.get(&tail_id).expect("main tail in table");
             // An LRU main queue evicts the tail outright; a FIFO main queue
             // applies two-bit reinsertion.
@@ -226,6 +229,7 @@ impl Qdlp {
             .filter(|&h| self.main.get(h).is_some())
             .or_else(|| self.main.back_handle());
         while let Some(h) = cur {
+            // Invariant: the hand was just validated against the list; queued ids are tabled.
             let id = *self.main.get(h).expect("hand points at live node");
             let entry = *self.table.get(&id).expect("main id in table");
             if entry.freq > 0 {
@@ -294,6 +298,7 @@ impl Qdlp {
 
     fn on_hit(&mut self, id: ObjId, now: u64, evicted: &mut Vec<Eviction>) {
         let (loc, freq, handle) = {
+            // Invariant: on_hit fires only after a successful lookup.
             let e = self.table.get_mut(&id).expect("hit entry exists");
             e.freq = (e.freq + 1).min(3);
             e.hits += 1;

@@ -267,6 +267,7 @@ impl<K: Hash + Eq + Clone, V, S: BuildHasher> S3FifoCache<K, V, S> {
                 self.small.remove(old);
                 self.small_used -= w;
                 let h = self.main.push_front(tail_key.clone());
+                // Invariant: tail_key stays tabled across the queue move.
                 let entry = self.table.get_mut(&tail_key).expect("entry exists");
                 entry.handle = h;
                 entry.loc = Loc::Main;

@@ -178,6 +178,7 @@ impl<T> DList<T> {
 
     fn release(&mut self, idx: u32) -> T {
         let node = &mut self.nodes[idx as usize];
+        // Invariant: live handles point at occupied slots.
         let val = node.val.take().expect("releasing empty slot");
         node.gen = node.gen.wrapping_add(1);
         node.prev = NIL;

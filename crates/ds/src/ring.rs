@@ -81,6 +81,8 @@ impl<T> MpmcRing<T> {
     }
 
     /// Approximate number of queued items (exact when quiescent).
+    // ORDERING: Relaxed — the result is advisory by contract; readers must
+    // not infer payload visibility from it.
     pub fn len(&self) -> usize {
         let tail = self.dequeue_pos.0.load(Ordering::Relaxed);
         let head = self.enqueue_pos.0.load(Ordering::Relaxed);
@@ -93,6 +95,12 @@ impl<T> MpmcRing<T> {
     }
 
     /// Attempts to enqueue; returns `Err(val)` when the ring is full.
+    // ORDERING: the Acquire `seq` load pairs with the dequeuer's Release
+    // store, ordering our payload write after the previous lap's read; the
+    // Release `seq` store publishes the payload to the dequeuer's Acquire
+    // load. Cursor CASes/loads are Relaxed: they only arbitrate ownership,
+    // the seq protocol carries all payload ordering. Verified exhaustively
+    // by the loom-lite model (crates/lint/src/models/ring.rs).
     pub fn push(&self, val: T) -> Result<(), T> {
         let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
         loop {
@@ -128,6 +136,10 @@ impl<T> MpmcRing<T> {
     }
 
     /// Attempts to dequeue; returns `None` when the ring is empty.
+    // ORDERING: mirror image of `push` — Acquire `seq` load synchronizes
+    // with the enqueuer's Release store (payload fully written before we
+    // read it); our Release store hands the recycled slot to the enqueuer
+    // one lap ahead. Cursor orderings Relaxed as in `push`.
     pub fn pop(&self) -> Option<T> {
         let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
         loop {
@@ -230,13 +242,16 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
+    // ORDERING: Relaxed — the drop counter is asserted only after the
+    // queue is gone and all drops ran on this thread.
     #[test]
     fn drop_runs_destructors() {
         let counter = Arc::new(AtomicU64::new(0));
         struct D(Arc<AtomicU64>);
         impl Drop for D {
+            // ORDERING: Relaxed — monotonic count, read post-quiescence.
             fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
         {
@@ -246,7 +261,7 @@ mod tests {
             }
             q.pop(); // one dropped here
         }
-        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
     }
 
     proptest! {
@@ -275,6 +290,8 @@ mod tests {
         }
     }
 
+    // ORDERING: Relaxed counters throughout — thread joins order the
+    // final quiescent asserts.
     #[test]
     fn mpmc_no_loss_no_duplication() {
         const PRODUCERS: usize = 4;
@@ -325,8 +342,8 @@ mod tests {
             h.join().unwrap();
         }
         let total = PRODUCERS as u64 * PER_PRODUCER;
-        assert_eq!(count.load(Ordering::SeqCst), total);
+        assert_eq!(count.load(Ordering::Relaxed), total);
         // Sum of 0..total since ids are a permutation of that range.
-        assert_eq!(sum.load(Ordering::SeqCst), total * (total - 1) / 2);
+        assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
     }
 }

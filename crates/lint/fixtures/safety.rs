@@ -1,0 +1,11 @@
+// Fixture: L-SAFETY. Line numbers are pinned by tests/fixtures.rs — keep
+// both in sync when editing. This file is never compiled.
+
+// SAFETY: the pointer comes from a live reference held by the caller.
+pub unsafe fn annotated(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn unannotated(p: *const u8) -> u8 {
+    unsafe { *p }
+}

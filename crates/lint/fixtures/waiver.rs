@@ -1,0 +1,11 @@
+// Fixture: inline waivers. Line numbers are pinned by tests/fixtures.rs —
+// keep both in sync. Never compiled.
+
+pub fn waived(x: Option<u8>) -> u8 {
+    // lint:allow(L-PANIC): fixture demonstrating a reasoned waiver
+    x.unwrap()
+}
+
+pub fn reasonless(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(L-PANIC)
+}

@@ -1,0 +1,213 @@
+//! Waivers: inline `lint:allow` comments and the central allowlist file.
+//!
+//! Inline form, on the flagged line or the line directly above:
+//!
+//! ```text
+//! // lint:allow(L-PANIC): slab index handed out by this module, cannot dangle
+//! ```
+//!
+//! A reason after the `):` is mandatory — a bare waiver is itself a lint
+//! error (`L-WAIVER`).
+//!
+//! Central form, one entry per line in `crates/lint/lint.allow`:
+//!
+//! ```text
+//! L-PANIC  crates/sim/src/sweep.rs  results.lock()
+//! ```
+//!
+//! `rule`, a workspace-relative path, then a substring that must occur in
+//! the flagged line's code. Every entry must match at least one diagnostic;
+//! stale entries are reported (`L-ALLOW-STALE`) so the file cannot rot.
+
+use crate::lexer::Scanned;
+use crate::rules::Diagnostic;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry waives.
+    pub rule: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Substring of the flagged line's code.
+    pub needle: String,
+    /// Line in `lint.allow` (for stale reporting).
+    pub line: usize,
+}
+
+/// Parses `lint.allow` content. Malformed lines become diagnostics.
+pub fn parse_allowlist(content: &str, origin: &str) -> (Vec<AllowEntry>, Vec<Diagnostic>) {
+    let mut entries = Vec::new();
+    let mut diags = Vec::new();
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some(rule), Some(path)) => {
+                // The needle is everything after the second token (runs of
+                // whitespace separate fields, so `splitn` would misparse).
+                let needle = line
+                    .trim_start()
+                    .strip_prefix(rule)
+                    .unwrap_or("")
+                    .trim_start()
+                    .strip_prefix(path)
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    needle,
+                    line: i + 1,
+                });
+            }
+            _ => diags.push(Diagnostic {
+                rule: "L-ALLOW-STALE",
+                path: origin.to_string(),
+                line: i + 1,
+                msg: format!("malformed allowlist entry: `{line}`"),
+                hint: "format: `RULE-ID  path/from/workspace/root.rs  line-substring`".into(),
+            }),
+        }
+    }
+    (entries, diags)
+}
+
+/// True when line `ln` (or the line above) carries `lint:allow(rule)`.
+/// Returns `Some(has_reason)`.
+fn inline_waiver(s: &Scanned, ln: usize, rule: &str) -> Option<bool> {
+    let token = format!("lint:allow({rule})");
+    for idx in [ln, ln.saturating_sub(1)] {
+        if idx == 0 || idx > s.lines.len() {
+            continue;
+        }
+        let c = &s.lines[idx - 1].comment;
+        if let Some(pos) = c.find(&token) {
+            let rest = c[pos + token.len()..]
+                .trim_start_matches([':', '-', ' '])
+                .trim();
+            return Some(!rest.is_empty());
+        }
+    }
+    None
+}
+
+/// Applies inline waivers and allowlist entries to raw diagnostics.
+///
+/// Returns the surviving diagnostics; appends `L-WAIVER` for reason-less
+/// inline waivers and `L-ALLOW-STALE` for entries that matched nothing.
+pub fn filter(
+    diags: Vec<Diagnostic>,
+    files: &[(String, Scanned)],
+    allow: &[AllowEntry],
+    allow_origin: &str,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; allow.len()];
+    let mut out = Vec::new();
+    for d in diags {
+        let scanned = files.iter().find(|(p, _)| *p == d.path).map(|(_, s)| s);
+        if let Some(s) = scanned {
+            match inline_waiver(s, d.line, d.rule) {
+                Some(true) => continue,
+                Some(false) => {
+                    out.push(Diagnostic {
+                        rule: "L-WAIVER",
+                        path: d.path.clone(),
+                        line: d.line,
+                        msg: format!("`lint:allow({})` without a reason", d.rule),
+                        hint: "write `// lint:allow(RULE): <why this site is sound>`".into(),
+                    });
+                    continue;
+                }
+                None => {}
+            }
+            let code = s
+                .lines
+                .get(d.line - 1)
+                .map(|l| l.code.as_str())
+                .unwrap_or("");
+            let hit = allow.iter().enumerate().find(|(_, e)| {
+                e.rule == d.rule
+                    && e.path == d.path
+                    && (e.needle.is_empty() || code.contains(e.needle.as_str()))
+            });
+            if let Some((i, _)) = hit {
+                used[i] = true;
+                continue;
+            }
+        }
+        out.push(d);
+    }
+    for (e, used) in allow.iter().zip(used) {
+        if !used {
+            out.push(Diagnostic {
+                rule: "L-ALLOW-STALE",
+                path: allow_origin.to_string(),
+                line: e.line,
+                msg: format!(
+                    "allowlist entry matched nothing: `{} {} {}`",
+                    e.rule, e.path, e.needle
+                ),
+                hint: "the violation was fixed or moved — delete the entry".into(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::rules::lint_file;
+
+    fn lint(src: &str) -> (Vec<Diagnostic>, Vec<(String, Scanned)>) {
+        let s = scan(src);
+        let d = lint_file("mem.rs", &s, false);
+        (d, vec![("mem.rs".to_string(), s)])
+    }
+
+    #[test]
+    fn inline_waiver_with_reason_suppresses() {
+        let (d, files) = lint(
+            "fn f() {\n    // lint:allow(L-PANIC): fixture-only path, input is trusted\n    x().unwrap();\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        let out = filter(d, &files, &[], "lint.allow");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn reasonless_waiver_is_its_own_violation() {
+        let (d, files) = lint("fn f() {\n    x().unwrap(); // lint:allow(L-PANIC)\n}\n");
+        let out = filter(d, &files, &[], "lint.allow");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "L-WAIVER");
+    }
+
+    #[test]
+    fn allowlist_entry_suppresses_and_stale_is_flagged() {
+        let (allow, parse_diags) = parse_allowlist(
+            "# comment\nL-PANIC  mem.rs  x().unwrap()\nL-PANIC  gone.rs  y().unwrap()\n",
+            "lint.allow",
+        );
+        assert!(parse_diags.is_empty());
+        assert_eq!(allow.len(), 2);
+        let (d, files) = lint("fn f() {\n    x().unwrap();\n}\n");
+        let out = filter(d, &files, &allow, "lint.allow");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "L-ALLOW-STALE");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn malformed_allowlist_line_reports() {
+        let (_, diags) = parse_allowlist("JUSTONETOKEN\n", "lint.allow");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L-ALLOW-STALE");
+    }
+}

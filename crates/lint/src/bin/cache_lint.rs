@@ -1,0 +1,192 @@
+//! CI gate binary for the cache-lint crate.
+//!
+//! ```text
+//! cache_lint [--root DIR] [lint|loom|all]
+//! ```
+//!
+//! - `lint`: run the workspace lint pass; nonzero exit on any surviving
+//!   diagnostic.
+//! - `loom`: exhaustively explore the loom-lite models (correct variants
+//!   must be clean, planted mutants must be caught) and enforce the
+//!   interleaving-coverage floor.
+//! - `all` (default): both.
+
+use cache_lint::loomlite::{Config, Report};
+use cache_lint::models::ring::{ring_scenario, RingOrderings};
+use cache_lint::models::shard::{ghost_overwrite_scenario, promote_insert_scenario, GhostOrder};
+use cache_lint::walk::lint_workspace;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Interleaving-coverage floor the loom gate enforces (per acceptance
+/// criteria: >= 10k distinct schedules across the clean model runs).
+const MIN_SCHEDULES: usize = 10_000;
+
+fn run_lint(root: &Path) -> bool {
+    let report = match lint_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("cache-lint: FAIL — cannot walk workspace at {}: {e}", root.display());
+            return false;
+        }
+    };
+    println!(
+        "cache-lint: scanned {} files, {} diagnostic(s)",
+        report.files_scanned,
+        report.diagnostics.len()
+    );
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!("cache-lint: workspace clean");
+        true
+    } else {
+        println!("cache-lint: FAIL");
+        false
+    }
+}
+
+fn cfg() -> Config {
+    Config {
+        preemption_bound: 2,
+        max_schedules: 200_000,
+        stop_on_failure: true,
+    }
+}
+
+fn expect_clean(name: &str, r: &Report, schedules: &mut usize, ok: &mut bool) {
+    *schedules += r.schedules;
+    if !r.failures.is_empty() {
+        println!(
+            "loom-lite: {name}: FAIL — {}",
+            r.failures[0].messages.join("; ")
+        );
+        println!("           schedule: {:?}", r.failures[0].schedule);
+        *ok = false;
+    } else if !r.exhausted {
+        println!(
+            "loom-lite: {name}: FAIL — schedule cap hit at {} without exhausting",
+            r.schedules
+        );
+        *ok = false;
+    } else {
+        println!(
+            "loom-lite: {name}: ok ({} schedules, exhaustive at bound 2)",
+            r.schedules
+        );
+    }
+}
+
+fn expect_caught(name: &str, r: &Report, ok: &mut bool) {
+    if r.failures.is_empty() {
+        println!(
+            "loom-lite: {name}: FAIL — planted bug NOT caught ({} schedules)",
+            r.schedules
+        );
+        *ok = false;
+    } else {
+        println!(
+            "loom-lite: {name}: mutant caught after {} schedules ({})",
+            r.schedules,
+            r.failures[0]
+                .messages
+                .first()
+                .map(String::as_str)
+                .unwrap_or("")
+        );
+    }
+}
+
+fn run_loom() -> bool {
+    let mut ok = true;
+    let mut schedules = 0usize;
+
+    // Clean models: every bounded-preemption interleaving must hold the
+    // invariants and be free of data races.
+    expect_clean(
+        "ring 2p/1c",
+        &cfg().explore(ring_scenario(2, 2, 2, 3, RingOrderings::correct())),
+        &mut schedules,
+        &mut ok,
+    );
+    expect_clean(
+        "ring 1p/2-pop",
+        &cfg().explore(ring_scenario(2, 1, 3, 2, RingOrderings::correct())),
+        &mut schedules,
+        &mut ok,
+    );
+    expect_clean(
+        "shard evict-vs-overwrite",
+        &cfg().explore(ghost_overwrite_scenario(GhostOrder::AfterRemove)),
+        &mut schedules,
+        &mut ok,
+    );
+    expect_clean(
+        "shard promote-vs-insert",
+        &cfg().explore(promote_insert_scenario(GhostOrder::AfterRemove)),
+        &mut schedules,
+        &mut ok,
+    );
+
+    // Mutation smoke: the checker must catch each planted bug, or its
+    // green runs above mean nothing.
+    expect_caught(
+        "ring mutant (relaxed pop seq load)",
+        &cfg().explore(ring_scenario(2, 1, 1, 2, RingOrderings::broken_pop_seq_load())),
+        &mut ok,
+    );
+    expect_caught(
+        "ring mutant (relaxed publish)",
+        &cfg().explore(ring_scenario(2, 1, 1, 2, RingOrderings::broken_push_publish())),
+        &mut ok,
+    );
+    expect_caught(
+        "shard mutant (ghost before remove)",
+        &cfg().explore(ghost_overwrite_scenario(GhostOrder::BeforeRemove)),
+        &mut ok,
+    );
+
+    println!(
+        "loom-lite: {schedules} distinct schedules across clean models (floor {MIN_SCHEDULES})"
+    );
+    if schedules < MIN_SCHEDULES {
+        println!("loom-lite: FAIL — coverage below floor");
+        ok = false;
+    }
+    if ok {
+        println!("loom-lite: all models ok");
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut mode = String::from("all");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+            }
+            "lint" | "loom" | "all" => mode = a,
+            other => {
+                eprintln!("cache_lint: unknown argument `{other}`");
+                eprintln!("usage: cache_lint [--root DIR] [lint|loom|all]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut ok = true;
+    if mode == "lint" || mode == "all" {
+        ok &= run_lint(&root);
+    }
+    if mode == "loom" || mode == "all" {
+        ok &= run_loom();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

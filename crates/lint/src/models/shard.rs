@@ -1,0 +1,295 @@
+//! A loom-lite model of the concurrent S3-FIFO shard
+//! (`crates/concurrent/src/s3fifo.rs`): the insert / `evict_small` /
+//! `remove_if_current` / promotion path.
+//!
+//! Down-scaling choices (documented so the model stays honest):
+//! - entries are `u64` ids encoding `key * 10 + version`; an overwrite
+//!   installs a new id for the key, making the old ring handle *stale*,
+//!   exactly like a new `Arc<Entry>` replacing the old one in the `IdMap`;
+//! - the per-shard `RwLock<IdMap>` becomes an [`MMutex`] over a tiny array
+//!   (read/write distinction collapsed — it only widens the schedule space
+//!   the real code already survives via mutual exclusion);
+//! - the small/main queues are [`ModelRing`]s with the real orderings;
+//! - `s_count`/`m_count`/`evictions`/ghost-insert counters use the real
+//!   code's `Relaxed` RMW orderings.
+//!
+//! [`GhostOrder`] captures the one genuinely order-sensitive step:
+//! whether `evict_small` inserts the victim's key into the ghost table
+//! before or after `remove_if_current` confirms the handle is still
+//! current. `BeforeRemove` mirrors the bug this PR fixes in the real
+//! shard: a racing overwrite lets a *live* key leak into the ghost, so a
+//! later re-insert is mis-classified as a ghost hit. The pairing invariant
+//! `ghost_inserts == successful evictions` catches it.
+
+use super::ring::{ModelRing, RingOrderings};
+use crate::loomlite::sync::{MAtomic, MMutex, Ord};
+use crate::loomlite::{self, check};
+use std::sync::Arc;
+
+/// Where `evict_small` performs the ghost insert relative to
+/// `remove_if_current`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GhostOrder {
+    /// Buggy: ghost-insert first, then try to remove. A concurrent
+    /// overwrite makes the removal fail, leaving a live key ghosted.
+    BeforeRemove,
+    /// Fixed: ghost-insert only after the entry was confirmed current and
+    /// removed.
+    AfterRemove,
+}
+
+/// Keys the model uses (`index` is an array, not a map).
+const KEYS: usize = 2;
+
+struct Ghost {
+    /// Bitmask of ghosted keys.
+    keys: u8,
+    /// Total ghost inserts ever performed.
+    inserts: u64,
+}
+
+/// Model of one `ConcurrentS3Fifo` shard plus its two queues.
+pub struct ModelShard {
+    /// key -> currently-resident entry id (`None` = absent).
+    index: MMutex<[Option<u64>; KEYS]>,
+    small: ModelRing,
+    main: ModelRing,
+    ghost: MMutex<Ghost>,
+    /// Per-key frequency bit (the real two-bit counter, down-scaled).
+    freq: [MAtomic; KEYS],
+    s_count: MAtomic,
+    m_count: MAtomic,
+    evictions: MAtomic,
+    order: GhostOrder,
+}
+
+impl ModelShard {
+    /// Builds an empty shard model; queues use the real ring orderings.
+    pub fn new(order: GhostOrder) -> Self {
+        ModelShard {
+            index: MMutex::new("index", [None; KEYS]),
+            small: ModelRing::new(4, RingOrderings::correct()),
+            main: ModelRing::new(4, RingOrderings::correct()),
+            ghost: MMutex::new("ghost", Ghost { keys: 0, inserts: 0 }),
+            freq: [MAtomic::new("freq0", 0), MAtomic::new("freq1", 0)],
+            s_count: MAtomic::new("s_count", 0),
+            m_count: MAtomic::new("m_count", 0),
+            evictions: MAtomic::new("evictions", 0),
+            order,
+        }
+    }
+
+    fn key_of(id: u64) -> usize {
+        (id / 10) as usize
+    }
+
+    /// Mirrors `ConcurrentS3Fifo::insert`: install into the index (possibly
+    /// overwriting), enqueue on small, bump `s_count`.
+    // ORDERING: Relaxed counter RMW, as in the real shard — counts are
+    // advisory; residency truth lives in the index and queues.
+    pub fn insert(&self, key: usize, version: u64) {
+        let id = key as u64 * 10 + version;
+        self.index.with(|m| m[key] = Some(id));
+        let _ = self.small.push(id);
+        self.s_count.fetch_add(1, Ord::Relaxed);
+    }
+
+    /// Mirrors a read hit: mark the key's frequency bit (real code:
+    /// `Relaxed` on the entry's freq counter).
+    // ORDERING: Relaxed — frequency is a heuristic, losing a mark is benign.
+    pub fn touch(&self, key: usize) {
+        self.freq[key].store(1, Ord::Relaxed);
+    }
+
+    /// Mirrors `remove_if_current`: under the shard lock, remove the
+    /// mapping only if `id` is still the current entry for its key.
+    fn remove_if_current(&self, id: u64) -> bool {
+        let key = Self::key_of(id);
+        self.index.with(|m| {
+            if m[key] == Some(id) {
+                m[key] = None;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    fn ghost_insert(&self, key: usize) {
+        self.ghost.with(|g| {
+            g.keys |= 1 << key;
+            g.inserts += 1;
+        });
+    }
+
+    /// Mirrors `evict_small`: pop a victim from the small queue; promote it
+    /// to main when its frequency bit is set, otherwise evict it (ghost +
+    /// remove-if-current, in the order under test).
+    // ORDERING: Relaxed counters, as in the real shard; correctness hangs
+    // on the index mutex and the ghost/remove order, which is what the
+    // scenarios interrogate.
+    pub fn evict_small(&self) -> bool {
+        let Some(id) = self.small.pop() else {
+            return false;
+        };
+        self.s_count.fetch_sub(1, Ord::Relaxed);
+        let key = Self::key_of(id);
+        if self.freq[key].load(Ord::Relaxed) > 0 {
+            let _ = self.main.push(id);
+            self.m_count.fetch_add(1, Ord::Relaxed);
+            return true;
+        }
+        match self.order {
+            GhostOrder::BeforeRemove => {
+                // BUG (mirrors the pre-fix real code): the key is ghosted
+                // before we know the handle is still current.
+                self.ghost_insert(key);
+                if self.remove_if_current(id) {
+                    self.evictions.fetch_add(1, Ord::Relaxed);
+                }
+            }
+            GhostOrder::AfterRemove => {
+                if self.remove_if_current(id) {
+                    self.ghost_insert(key);
+                    self.evictions.fetch_add(1, Ord::Relaxed);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Quiescent-state checks shared by the scenarios. Must run after all
+/// model threads joined.
+// ORDERING: Relaxed loads suffice — joins already ordered every thread's
+// writes before this single-threaded epilogue.
+fn check_quiescent(sh: &ModelShard) {
+    // Ghost/eviction pairing: a key enters the ghost iff its entry was
+    // confirmed current and removed. Under `BeforeRemove`, a racing
+    // overwrite breaks this (ghost insert lands, removal fails).
+    let inserts = sh.ghost.with(|g| g.inserts);
+    let evictions = sh.evictions.load(Ord::Relaxed);
+    check(
+        inserts == evictions,
+        &format!(
+            "ghost inserts ({inserts}) != successful evictions ({evictions}): \
+             a live key leaked into the ghost table"
+        ),
+    );
+
+    // Accounting: the queue counters must match actual queue contents.
+    let s_count = sh.s_count.load(Ord::Relaxed);
+    let m_count = sh.m_count.load(Ord::Relaxed);
+    let mut small = Vec::new();
+    while let Some(id) = sh.small.pop() {
+        small.push(id);
+    }
+    let mut main = Vec::new();
+    while let Some(id) = sh.main.pop() {
+        main.push(id);
+    }
+    check(
+        s_count == small.len() as u64 && m_count == main.len() as u64,
+        &format!(
+            "queue accounting drift: s_count={s_count} (ring {}), \
+             m_count={m_count} (ring {})",
+            small.len(),
+            main.len()
+        ),
+    );
+
+    // No duplicate residency: an entry id sits in at most one queue, once.
+    let mut all: Vec<u64> = small.iter().chain(main.iter()).copied().collect();
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    check(n == all.len(), "duplicate residency: an entry id appears twice");
+
+    // No lost elements: every current (in-index) entry is resident in a
+    // queue. Stale ids in queues are fine (dead handles); current ids
+    // missing from every queue are not.
+    let current = sh.index.with(|m| *m);
+    for id in current.iter().flatten() {
+        check(
+            all.binary_search(id).is_ok(),
+            &format!("lost element: current entry {id} resident in no queue"),
+        );
+    }
+}
+
+/// Scenario A — eviction racing an overwrite of the same key:
+/// a concurrent `insert(k0)` overwrites while `evict_small` processes the
+/// old entry of `k0`. With [`GhostOrder::BeforeRemove`] some schedule
+/// ghost-inserts a key whose (new) entry stays live.
+pub fn ghost_overwrite_scenario(order: GhostOrder) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sh = Arc::new(ModelShard::new(order));
+        sh.insert(0, 1); // single-threaded setup: k0/v1 resident in small
+        let s2 = Arc::clone(&sh);
+        let h = loomlite::spawn(move || {
+            s2.evict_small();
+        });
+        sh.insert(0, 2); // racing overwrite of k0
+        h.join();
+        check_quiescent(&sh);
+    }
+}
+
+/// Scenario B — promotion racing an insert:
+/// `k0` is hot (frequency bit set) so the evictor promotes it to main
+/// while another thread inserts `k1`. Exercises duplicate-residency,
+/// accounting, and lost-element invariants across both queues.
+pub fn promote_insert_scenario(order: GhostOrder) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let sh = Arc::new(ModelShard::new(order));
+        sh.insert(0, 1);
+        sh.touch(0); // k0 is hot: eviction will promote it
+        let s2 = Arc::clone(&sh);
+        let h = loomlite::spawn(move || {
+            s2.evict_small();
+            s2.evict_small();
+        });
+        sh.insert(1, 1);
+        h.join();
+        check_quiescent(&sh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loomlite::Config;
+
+    fn cfg() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 50_000,
+            stop_on_failure: true,
+        }
+    }
+
+    #[test]
+    fn fixed_shard_survives_overwrite_race() {
+        let r = cfg().explore(ghost_overwrite_scenario(GhostOrder::AfterRemove));
+        assert!(r.failures.is_empty(), "{:#?}", r.failures[0]);
+        assert!(r.exhausted, "schedule cap hit at {}", r.schedules);
+    }
+
+    #[test]
+    fn ghost_before_remove_mutant_is_caught() {
+        let r = cfg().explore(ghost_overwrite_scenario(GhostOrder::BeforeRemove));
+        assert!(!r.failures.is_empty(), "planted ghost-order bug not caught");
+        let msg = r.failures[0].messages.join("; ");
+        assert!(
+            msg.contains("ghost"),
+            "expected the ghost pairing invariant, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn promotion_race_is_clean() {
+        let r = cfg().explore(promote_insert_scenario(GhostOrder::AfterRemove));
+        assert!(r.failures.is_empty(), "{:#?}", r.failures[0]);
+        assert!(r.exhausted, "schedule cap hit at {}", r.schedules);
+    }
+}

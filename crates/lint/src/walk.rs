@@ -1,0 +1,90 @@
+//! Workspace file discovery and the top-level lint driver.
+
+use crate::allow;
+use crate::lexer::{scan, Scanned};
+use crate::rules::{lint_file, Diagnostic};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under the workspace's lintable roots:
+/// `crates/*/src/**` plus the root package's `src/**`.
+///
+/// `crates/shims/**` is intentionally out of scope (vendored stand-ins for
+/// external crates, excluded from the cargo workspace too) and the lint
+/// fixtures live outside any `src/` so they are never picked up here.
+pub fn lintable_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if dir.file_name().is_some_and(|n| n == "shims") {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Result of a full workspace lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Files scanned, in path order.
+    pub files_scanned: usize,
+    /// Diagnostics that survived waivers and the allowlist.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Lints the whole workspace rooted at `root`, applying the allowlist at
+/// `crates/lint/lint.allow` when present.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let paths = lintable_files(root)?;
+    let mut scanned_files: Vec<(String, Scanned)> = Vec::new();
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for p in &paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(p)?;
+        let s = scan(&text);
+        let is_bin = rel.contains("/src/bin/");
+        raw.extend(lint_file(&rel, &s, is_bin));
+        scanned_files.push((rel, s));
+    }
+    let allow_path = root.join("crates/lint/lint.allow");
+    let allow_origin = "crates/lint/lint.allow";
+    let (entries, mut diags) = match fs::read_to_string(&allow_path) {
+        Ok(content) => allow::parse_allowlist(&content, allow_origin),
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+    let mut filtered = allow::filter(raw, &scanned_files, &entries, allow_origin);
+    diags.append(&mut filtered);
+    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(LintReport {
+        files_scanned: paths.len(),
+        diagnostics: diags,
+    })
+}

@@ -1,0 +1,126 @@
+//! Fixture-based pinning of the lint rule catalog.
+//!
+//! Each file under `fixtures/` exhibits one rule's violations (and the
+//! matching clean form) at known line numbers; these tests assert the exact
+//! `(rule, line)` sets so any drift in a rule's trigger conditions fails
+//! loudly. The final test lints the real workspace from source — the same
+//! gate `ci.sh` runs through the `cache_lint` binary — so the suite cannot
+//! pass while the tree itself is dirty.
+//!
+//! The fixtures are plain text to the linter and are never compiled (they
+//! live outside any `src/`, so neither cargo nor clippy sees them).
+
+use cache_lint::allow::{filter, parse_allowlist};
+use cache_lint::lexer::scan;
+use cache_lint::rules::{lint_file, Diagnostic};
+use std::path::Path;
+
+/// Lints one fixture file end-to-end (rules + inline-waiver filtering, no
+/// central allowlist) and returns the surviving diagnostics.
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    // Invariant: fixtures ship with the crate, next to this test.
+    let text = std::fs::read_to_string(&path).expect("fixture exists");
+    let s = scan(&text);
+    let raw = lint_file(name, &s, false);
+    filter(raw, &[(name.to_string(), s)], &[], "lint.allow")
+}
+
+fn rule_lines(diags: &[Diagnostic]) -> Vec<(&str, usize)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn safety_fixture_flags_exactly_the_unannotated_unsafe() {
+    let d = lint_fixture("safety.rs");
+    assert_eq!(rule_lines(&d), vec![("L-SAFETY", 10)], "{d:#?}");
+    assert!(d[0].msg.contains("SAFETY"), "{}", d[0].msg);
+}
+
+#[test]
+fn ordering_fixture_flags_missing_comment_unnamed_ordering_and_seqcst() {
+    let d = lint_fixture("ordering.rs");
+    assert_eq!(
+        rule_lines(&d),
+        vec![("L-ORDERING", 10), ("L-ORDERING", 16), ("L-SEQCST", 21)],
+        "{d:#?}"
+    );
+    // The fn-level diagnostic anchors at the declaration, the per-op one at
+    // the call, and the SeqCst one at the store.
+    assert!(d[0].msg.contains("no `// ORDERING:`"), "{}", d[0].msg);
+    assert!(d[1].msg.contains("explicitly named"), "{}", d[1].msg);
+    assert!(d[2].msg.contains("SeqCst"), "{}", d[2].msg);
+}
+
+#[test]
+fn lock_order_fixture_flags_the_undocumented_double_acquire() {
+    let d = lint_fixture("lock_order.rs");
+    assert_eq!(rule_lines(&d), vec![("L-LOCK-ORDER", 11)], "{d:#?}");
+    assert!(d[0].msg.contains("2 locks"), "{}", d[0].msg);
+}
+
+#[test]
+fn panic_fixture_flags_unwrap_and_bare_expect_but_not_tests() {
+    let d = lint_fixture("panic.rs");
+    assert_eq!(
+        rule_lines(&d),
+        vec![("L-PANIC", 5), ("L-PANIC", 9)],
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn waiver_fixture_suppresses_reasoned_and_flags_reasonless() {
+    let d = lint_fixture("waiver.rs");
+    assert_eq!(rule_lines(&d), vec![("L-WAIVER", 10)], "{d:#?}");
+}
+
+#[test]
+fn central_allowlist_suppresses_and_stale_entries_surface() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("panic.rs");
+    // Invariant: fixtures ship with the crate, next to this test.
+    let text = std::fs::read_to_string(&path).expect("fixture exists");
+    let s = scan(&text);
+    let raw = lint_file("panic.rs", &s, false);
+    let (entries, parse_diags) = parse_allowlist(
+        "# demo\n\
+         L-PANIC  panic.rs  x.unwrap()\n\
+         L-PANIC  panic.rs  no_such_line_anywhere\n",
+        "lint.allow",
+    );
+    assert!(parse_diags.is_empty(), "{parse_diags:#?}");
+    let out = filter(raw, &[("panic.rs".to_string(), s)], &entries, "lint.allow");
+    // The unwrap at line 5 is waived by the first entry; the bare expect at
+    // line 9 survives; the second entry matches nothing and is stale.
+    assert_eq!(
+        rule_lines(&out),
+        vec![("L-PANIC", 9), ("L-ALLOW-STALE", 3)],
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // Invariant: the test binary always runs inside the workspace checkout.
+    let report = cache_lint::walk::lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.files_scanned > 50,
+        "workspace walk found only {} files — discovery broke",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must stay lint-clean; run `cache_lint lint` for details:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -86,6 +86,9 @@ impl EventTracer {
 
     /// Records an event; assigns the logical timestamp. Drops (and counts)
     /// the event when the ring is full.
+    // ORDERING: Relaxed sequence tick — timestamps must be unique, not
+    // globally ordered against other memory; the ring push publishes the
+    // event payload itself (Release inside MpmcRing).
     #[inline]
     pub fn record(&self, kind: EventKind, scope: &'static str, id: u64, value: u64) {
         let ts = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -112,6 +115,7 @@ impl EventTracer {
     }
 
     /// Events recorded so far (including dropped ones).
+    // ORDERING: Relaxed — advisory telemetry read.
     pub fn recorded(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
     }
@@ -160,6 +164,8 @@ mod tests {
     }
 
     #[test]
+    // ORDERING: Relaxed — the tally is a plain counter; the scope join
+    // publishes it before the final assert reads it.
     fn drain_while_producing() {
         let t = EventTracer::new(1024);
         let total = std::sync::atomic::AtomicU64::new(0);

@@ -41,18 +41,21 @@ impl Counter {
     }
 
     /// Adds one.
+    // ORDERING: Relaxed — monotonic tally; orders nothing.
     #[inline]
     pub fn inc(&self) {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
+    // ORDERING: Relaxed — monotonic tally; orders nothing.
     #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
+    // ORDERING: Relaxed — reporting read; tolerates skew.
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -70,18 +73,21 @@ impl Gauge {
     }
 
     /// Sets the value.
+    // ORDERING: Relaxed — last-writer-wins telemetry.
     #[inline]
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
+    // ORDERING: Relaxed — telemetry delta; orders nothing.
     #[inline]
     pub fn add(&self, delta: i64) {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
+    // ORDERING: Relaxed — reporting read; tolerates skew.
     #[inline]
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

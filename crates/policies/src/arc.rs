@@ -89,6 +89,7 @@ impl Arc {
             && (self.t1_used > self.p || (in_b2 && self.t1_used == self.p) || self.t2.is_empty());
         if from_t1 {
             if let Some(id) = self.t1.pop_back() {
+                // Invariant: ids on t1/t2 are always tabled.
                 let entry = self.table.remove(&id).expect("t1 id in table");
                 self.t1_used -= u64::from(entry.meta.size);
                 self.b1.insert(id, entry.meta.size);
@@ -96,6 +97,7 @@ impl Arc {
                 evicted.push(entry.meta.eviction(id, true));
             }
         } else if let Some(id) = self.t2.pop_back() {
+            // Invariant: ids on t1/t2 are always tabled.
             let entry = self.table.remove(&id).expect("t2 id in table");
             self.t2_used -= u64::from(entry.meta.size);
             self.b2.insert(id, entry.meta.size);
@@ -106,6 +108,7 @@ impl Arc {
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
         let (loc, size, handle) = {
+            // Invariant: on_hit fires only after a successful lookup.
             let e = self.table.get_mut(&id).expect("hit entry exists");
             e.meta.touch(now);
             (e.loc, e.meta.size, e.handle)
@@ -117,6 +120,7 @@ impl Arc {
                 self.t1_used -= u64::from(size);
                 let h = self.t2.push_front(id);
                 self.t2_used += u64::from(size);
+                // Invariant: still tabled — only the queue handle changed.
                 let e = self.table.get_mut(&id).expect("entry exists");
                 e.loc = Loc::T2;
                 e.handle = h;

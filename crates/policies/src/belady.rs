@@ -69,6 +69,7 @@ impl Belady {
     fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
         if let Some(&(next, id)) = self.order.iter().next_back() {
             self.order.remove(&(next, id));
+            // Invariant: the order set and the table index the same ids.
             let entry = self.table.remove(&id).expect("ordered id in table");
             self.used -= u64::from(entry.meta.size);
             self.stats.evictions += 1;
@@ -117,6 +118,7 @@ impl Policy for Belady {
         match req.op {
             Op::Get => {
                 if self.table.contains_key(&req.id) {
+                    // Invariant: contains_key just succeeded.
                     let e = self.table.get_mut(&req.id).expect("entry exists");
                     e.meta.touch(req.time);
                     let old = e.next_use;

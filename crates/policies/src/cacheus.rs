@@ -144,6 +144,7 @@ impl Cacheus {
     }
 
     fn remove_entry(&mut self, id: ObjId) -> Entry {
+        // Invariant: callers only remove resident ids.
         let entry = self.table.remove(&id).expect("entry in table");
         match entry.region {
             Region::Sr => {
@@ -213,6 +214,7 @@ impl Cacheus {
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
         let (region, freq, lfu_seq, handle, size) = {
+            // Invariant: on_hit fires only after a successful lookup.
             let e = self.table.get_mut(&id).expect("hit id in table");
             e.meta.touch(now);
             (e.region, e.freq, e.lfu_seq, e.handle, e.meta.size)
@@ -222,6 +224,7 @@ impl Cacheus {
         self.seq += 1;
         let new_seq = self.seq;
         {
+            // Invariant: still tabled — the entry was read a moment ago.
             let e = self.table.get_mut(&id).expect("entry exists");
             e.freq = freq + 1;
             e.lfu_seq = new_seq;
@@ -234,6 +237,7 @@ impl Cacheus {
                 self.sr_used -= u64::from(size);
                 let h = self.r.push_front(id);
                 self.r_used += u64::from(size);
+                // Invariant: still tabled — only the region handle changed.
                 let e = self.table.get_mut(&id).expect("entry exists");
                 e.region = Region::R;
                 e.handle = h;

@@ -56,12 +56,14 @@ impl Clock {
 
     fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
         while let Some(&tail_id) = self.queue.back() {
+            // Invariant: queued ids are always tabled.
             let e = self.table.get_mut(&tail_id).expect("tail in table");
             if e.freq > 0 {
                 e.freq -= 1;
                 let h = e.handle;
                 self.queue.move_to_front(h);
             } else {
+                // Invariant: queued ids are always tabled.
                 let entry = self.table.remove(&tail_id).expect("entry exists");
                 self.queue.remove(entry.handle);
                 self.used -= u64::from(entry.meta.size);

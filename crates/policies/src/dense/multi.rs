@@ -330,6 +330,7 @@ impl DenseSlru {
 
     fn on_hit(&mut self, slot: u32, now: u64) {
         self.slab.slots[slot as usize].touch(now);
+        // Invariant: a hit slot is owned by exactly one segment.
         let seg = self.seg_of(slot).expect("hit on resident slot");
         let size = u64::from(self.slab.size(slot));
         let target = (seg + 1).min(SEGMENTS - 1);

@@ -77,6 +77,7 @@ impl FifoMerge {
                 live_bytes: 0,
             });
         }
+        // Invariant: the branch above pushed a segment if none existed.
         self.segments.back_mut().expect("just ensured")
     }
 
@@ -91,6 +92,7 @@ impl FifoMerge {
         let mut seen = std::collections::HashSet::new();
         let mut merged_bytes = 0u64;
         for _ in 0..take {
+            // Invariant: take is bounded by the segment count, so pop_front succeeds.
             let seg = self.segments.pop_front().expect("segment available");
             for id in seg.ids {
                 // A segment's id list may hold duplicates: Delete leaves the
@@ -128,6 +130,7 @@ impl FifoMerge {
             live_bytes: 0,
         };
         for (id, _freq) in candidates {
+            // Invariant: candidates are live ids still present in the table.
             let e = self.table.get_mut(&id).expect("candidate in table");
             if merged.live_bytes + u64::from(e.meta.size) <= retain_budget {
                 e.seg = merged.id;
@@ -136,6 +139,7 @@ impl FifoMerge {
                 merged.live_bytes += u64::from(e.meta.size);
                 merged.ids.push(id);
             } else {
+                // Invariant: the same id resolved via get_mut just above.
                 let entry = self.table.remove(&id).expect("entry exists");
                 self.used -= u64::from(entry.meta.size);
                 self.stats.evictions += 1;

@@ -112,6 +112,7 @@ impl LeCar {
         let use_lru = lv == fv || self.rng.next_f64() < self.w_lru;
         let victim = if use_lru { lv } else { fv };
         let key = self.lfu_key(victim);
+        // Invariant: the victim came from a non-empty queue of tabled ids.
         let entry = self.table.remove(&victim).expect("victim in table");
         self.lru.remove(entry.handle);
         self.lfu.remove(&key);
@@ -150,6 +151,7 @@ impl LeCar {
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
         let old_key = self.lfu_key(id);
+        // Invariant: on_hit fires only after a successful lookup.
         let e = self.table.get_mut(&id).expect("hit id in table");
         e.meta.touch(now);
         e.freq += 1;
@@ -192,6 +194,7 @@ impl LeCar {
     fn delete(&mut self, id: ObjId) {
         if self.table.contains_key(&id) {
             let key = self.lfu_key(id);
+            // Invariant: contains_key just succeeded.
             let e = self.table.remove(&id).expect("entry exists");
             self.lru.remove(e.handle);
             self.lfu.remove(&key);

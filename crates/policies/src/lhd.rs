@@ -118,6 +118,7 @@ impl Lhd {
     }
 
     fn remove_slot(&mut self, id: ObjId) -> Entry {
+        // Invariant: callers only remove resident ids.
         let entry = self.table.remove(&id).expect("id in table");
         let slot = entry.slot;
         let last = self.keys.len() - 1;
@@ -125,6 +126,7 @@ impl Lhd {
         self.keys.pop();
         if slot < self.keys.len() {
             let moved = self.keys[slot];
+            // Invariant: every id in keys is tabled.
             self.table.get_mut(&moved).expect("moved id in table").slot = slot;
         }
         self.used -= u64::from(entry.meta.size);
@@ -146,6 +148,7 @@ impl Lhd {
                 victim = Some((d, id));
             }
         }
+        // Invariant: eviction only runs with a non-empty key set.
         let (_, id) = victim.expect("non-empty keys yields a victim");
         let entry = self.remove_slot(id);
         let age = self.now.saturating_sub(entry.meta.last_access);
@@ -208,6 +211,7 @@ impl Policy for Lhd {
             Op::Get => {
                 if self.table.contains_key(&req.id) {
                     let age = {
+                        // Invariant: contains_key just succeeded.
                         let e = self.table.get_mut(&req.id).expect("entry exists");
                         let age = self.now.saturating_sub(e.meta.last_access);
                         e.meta.touch(req.time);

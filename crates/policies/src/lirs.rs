@@ -106,6 +106,7 @@ impl Lirs {
             if node.state == State::Lir {
                 break;
             }
+            // Invariant: ids resident in the stack hold a stack handle.
             let h = node.s_handle.take().expect("bottom has stack handle");
             self.s.remove(h);
             if node.state == State::HirGhost {
@@ -120,6 +121,7 @@ impl Lirs {
         while self.s.len() > self.max_stack_entries {
             let Some(&bottom) = self.s.back() else { break };
             let node = self.table.get_mut(&bottom).expect("stack id in table");
+            // Invariant: ids resident in the stack hold a stack handle.
             let h = node.s_handle.take().expect("bottom has stack handle");
             self.s.remove(h);
             match node.state {
@@ -148,6 +150,7 @@ impl Lirs {
         let node = self.table.get_mut(&bottom).expect("stack id in table");
         debug_assert_eq!(node.state, State::Lir);
         node.state = State::HirResident;
+        // Invariant: a LIR bottom always holds a stack handle.
         let h = node.s_handle.take().expect("bottom has stack handle");
         node.q_handle = Some(self.q.push_front(bottom));
         self.lir_used -= u64::from(node.meta.size);
@@ -171,11 +174,13 @@ impl Lirs {
     }
 
     fn push_stack_top(&mut self, id: ObjId) {
+        // Invariant: callers pass tabled ids.
         let node = self.table.get_mut(&id).expect("id in table");
         if let Some(h) = node.s_handle.take() {
             self.s.remove(h);
         }
         let h = self.s.push_front(id);
+        // Invariant: the same tabled id as above.
         self.table.get_mut(&id).expect("id in table").s_handle = Some(h);
     }
 
@@ -216,6 +221,7 @@ impl Lirs {
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
         let state = {
+            // Invariant: on_hit fires only after a successful lookup.
             let node = self.table.get_mut(&id).expect("hit id in table");
             node.meta.touch(now);
             node.state

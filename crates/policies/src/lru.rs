@@ -46,6 +46,7 @@ impl Lru {
 
     fn evict_one(&mut self, evicted: &mut Vec<Eviction>) {
         if let Some(id) = self.queue.pop_back() {
+            // Invariant: queued ids are always tabled.
             let entry = self.table.remove(&id).expect("queued id in table");
             self.used -= u64::from(entry.meta.size);
             self.stats.evictions += 1;

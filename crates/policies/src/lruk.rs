@@ -96,6 +96,7 @@ impl LruK {
     }
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
+        // Invariant: on_hit fires only after a successful lookup.
         let entry = self.table.get_mut(&id).expect("hit id in table");
         entry.meta.touch(now);
         let penult = entry.last;

@@ -61,6 +61,7 @@ impl Sieve {
             .filter(|&h| self.queue.get(h).is_some())
             .or_else(|| self.queue.back_handle());
         while let Some(h) = cur {
+            // Invariant: the hand was just validated; queued ids are always tabled.
             let id = *self.queue.get(h).expect("hand points at live node");
             let e = self.table.get_mut(&id).expect("queued id in table");
             if e.visited {

@@ -61,6 +61,7 @@ impl Slru {
                 let Some(id) = self.segs[s].pop_back() else {
                     break;
                 };
+                // Invariant: segment ids are always tabled.
                 let e = self.table.get_mut(&id).expect("segment id in table");
                 self.seg_used[s] -= u64::from(e.meta.size);
                 e.seg = s - 1;
@@ -101,6 +102,7 @@ impl Slru {
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
         let (seg, size, handle) = {
+            // Invariant: on_hit fires only after a successful lookup.
             let e = self.table.get_mut(&id).expect("hit entry exists");
             e.meta.touch(now);
             (e.seg, e.meta.size, e.handle)
@@ -114,6 +116,7 @@ impl Slru {
         self.seg_used[seg] -= u64::from(size);
         let h = self.segs[target].push_front(id);
         self.seg_used[target] += u64::from(size);
+        // Invariant: still tabled — only the segment handle changed.
         let e = self.table.get_mut(&id).expect("entry exists");
         e.seg = target;
         e.handle = h;

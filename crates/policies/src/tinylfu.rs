@@ -110,6 +110,7 @@ impl TinyLfu {
     }
 
     fn remove_from(&mut self, id: ObjId) -> (Loc, Meta) {
+        // Invariant: callers only remove resident ids.
         let entry = self.table.remove(&id).expect("id in table");
         self.list(entry.loc).remove(entry.handle);
         *self.used_of(entry.loc) -= u64::from(entry.meta.size);
@@ -128,6 +129,7 @@ impl TinyLfu {
             let Some(id) = self.protected.pop_back() else {
                 break;
             };
+            // Invariant: protected ids are always tabled.
             let e = self.table.get_mut(&id).expect("protected id in table");
             self.protected_used -= u64::from(e.meta.size);
             e.loc = Loc::Probation;
@@ -195,6 +197,7 @@ impl TinyLfu {
 
     fn on_hit(&mut self, id: ObjId, now: u64) {
         let (loc, handle) = {
+            // Invariant: on_hit fires only after a successful lookup.
             let e = self.table.get_mut(&id).expect("hit id in table");
             e.meta.touch(now);
             (e.loc, e.handle)

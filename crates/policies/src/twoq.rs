@@ -95,6 +95,7 @@ impl TwoQ {
             }
         }
         if let Some(id) = self.am.pop_back() {
+            // Invariant: am ids are always tabled.
             let entry = self.table.remove(&id).expect("am id in table");
             self.am_used -= u64::from(entry.meta.size);
             self.stats.evictions += 1;

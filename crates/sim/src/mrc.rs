@@ -86,6 +86,7 @@ pub fn miss_ratio_curve(
             min_objects: 0,
             floor_objects: 0,
         };
+        // Invariant: min_objects is 0 above, so the filter never drops the run.
         let r = simulate_named(algorithm, sim_trace, &cfg)?.expect("no min_objects filter");
         points.push(MrcPoint {
             capacity: cap,

@@ -152,6 +152,12 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
 /// An external abort is not an error: the partial results come back with
 /// the unclaimed jobs marked [`JobStatus::NotRun`] and
 /// [`SweepOutcome::aborted`] set.
+// ORDERING: Relaxed throughout — `next` needs only RMW atomicity to hand
+// out unique job indices and `abort` is an advisory stop flag; all result
+// hand-off is ordered by the mutexes and the scope join.
+// LOCK-ORDER: results, statuses, and first_error are each taken in
+// non-overlapping scopes (the results guard is dropped before statuses is
+// locked); no two are ever held at once, so no deadlock cycle exists.
 pub fn run_sweep_with_abort(
     spec: &SweepSpec<'_>,
     should_abort: &(dyn Fn() -> bool + Sync),
@@ -320,6 +326,7 @@ pub fn summarize_reductions(records: &[SweepRecord], byte: bool) -> Vec<(String,
         .filter(|(_, v)| !v.is_empty())
         .map(|(a, v)| (a, summarize(&v)))
         .collect();
+    // Invariant: miss ratios are finite, so means are never NaN.
     out.sort_by(|a, b| b.1.mean.partial_cmp(&a.1.mean).expect("no NaN"));
     out
 }
@@ -451,6 +458,8 @@ mod tests {
     /// unclaimed jobs come back `NotRun`, `aborted` is set, and the caller
     /// can tell partial coverage from a clean (possibly empty) run.
     #[test]
+    // ORDERING: Relaxed — the abort flag is advisory; no data is published
+    // through it, and the outcome is read after run_sweep_with_abort returns.
     fn aborted_sweep_is_marked_not_silently_partial() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let traces: Vec<Trace> = (0..4)

@@ -123,6 +123,7 @@ pub fn trace_stats(reqs: &[Request], samples: usize, seed: u64) -> TraceStats {
             if *counts.entry(r.id).or_insert(0) == 0 {
                 object_bytes += u64::from(r.size);
             }
+            // Invariant: the entry was created two lines above.
             *counts.get_mut(&r.id).expect("just inserted") += 1;
         }
     }

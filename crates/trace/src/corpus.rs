@@ -448,6 +448,7 @@ pub fn msr_like(requests: usize, seed: u64) -> Trace {
 /// Convenience: a Twitter-like KV trace (Figs. 2, 4, 10 use Twitter
 /// cluster 52).
 pub fn twitter_like(requests: usize, seed: u64) -> Trace {
+    // Invariant: the built-in dataset registry always includes "twitter".
     let ds = datasets()
         .into_iter()
         .find(|d| d.name == "twitter")
