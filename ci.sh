@@ -9,8 +9,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release =="
-cargo build --release --offline
+echo "== cargo build --release --workspace =="
+# --workspace is load-bearing: the root manifest is both a workspace and a
+# package, so a bare `cargo build` would only build the root package and
+# skip the gate binaries (check_gate, cache_lint, sim_throughput, obs_dump,
+# cache_loadgen) this script runs below.
+cargo build --release --offline --workspace
 
 echo "== cargo test -q =="
 cargo test -q --offline
@@ -37,10 +41,12 @@ echo "== cache-lint: workspace lint + loom-lite interleaving exploration =="
 #    unwrap) over every crates/*/src/**/*.rs file, with inline waivers and
 #    a stale-checked central allowlist;
 #  - loom: bounded-preemption (CHESS, bound 2) exploration of the Vyukov
-#    ring and S3-FIFO shard models with a vector-clock race detector —
-#    >= 10k distinct interleavings must pass, and three planted mutants
-#    (wrong orderings, ghost-before-remove) must be *caught*, so a green
-#    run proves the detector still has teeth.
+#    ring, S3-FIFO shard, and server drain-handshake models with a
+#    vector-clock race detector — >= 10k distinct interleavings must
+#    pass, and five planted mutants (wrong orderings,
+#    ghost-before-remove, drain check-before-join, relaxed drain
+#    completion) must be *caught*, so a green run proves the detector
+#    still has teeth.
 # Budget: the whole pass must stay under 10 s in release.
 cache_lint_start=$(date +%s)
 ./target/release/cache_lint --root . all
@@ -97,6 +103,45 @@ for o in objs:
         assert o["min"] is None and o["max"] is None, f"sentinel leak: {o}"
 print(f"obs smoke ok: {len(objs)} lines, {len(names - {''})} metrics, "
       f"kinds {sorted(kinds)}")
+PY
+
+echo "== server smoke: cache_loadgen --self-host =="
+# Spins up three in-process servers (nominal, burst-storm with tight
+# accept queues, degraded with injected write delays + a faulty flash
+# tier) and drives each with the closed-loop loadgen. The binary itself
+# enforces: every scenario completes ops, zero protocol (CLIENT_ERROR)
+# replies, and a clean in-flight drain on shutdown. Numbers from this run
+# are NOT meaningful; the checked-in BENCH_server.json comes from the
+# full config.
+./target/release/cache_loadgen --self-host --smoke \
+    --out target/BENCH_server.json --prom-out target/SERVER_metrics.prom
+python3 - <<'PY'
+import json
+with open("target/BENCH_server.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "cache_server", doc
+scenarios = {s["scenario"]: s for s in doc["scenarios"]}
+assert set(scenarios) == {"nominal", "burst-storm", "degraded"}, scenarios
+for name, s in scenarios.items():
+    assert s["ops"] > 0, f"{name}: no completed ops"
+    assert s["drained"], f"{name}: unclean drain"
+    assert s["errors"]["client_errors"] == 0, f"{name}: protocol errors"
+    assert s["p50_us"] <= s["p99_us"] <= s["p999_us"], f"{name}: quantiles"
+deg = scenarios["degraded"]
+assert deg["errors"]["shed"] + deg["errors"]["timeouts"] > 0, \
+    "degraded scenario produced no overload evidence"
+# The Prometheus dump must be well-formed: TYPE lines, metric lines, and
+# every sample line is `name value` with a parseable float.
+lines = [l.rstrip("\n") for l in open("target/SERVER_metrics.prom") if l.strip()]
+assert any(l.startswith("# TYPE cache_server_") for l in lines), lines[:5]
+samples = [l for l in lines if not l.startswith("#")]
+assert samples, "no samples in Prometheus dump"
+for l in samples:
+    name, value = l.rsplit(" ", 1)
+    assert name.startswith("cache_server_"), l
+    float(value)
+print(f"server smoke ok: {sum(s['ops'] for s in scenarios.values())} ops "
+      f"across {len(scenarios)} scenarios, {len(samples)} metric samples")
 PY
 
 echo "ci: all gates passed"

@@ -28,5 +28,7 @@ pub mod plan;
 pub mod retry;
 
 pub use budget::{DegradationState, ErrorBudget, ErrorBudgetConfig};
-pub use plan::{DeviceFault, FaultInjector, FaultKind, FaultPlan, FaultStats, OpClass, Schedule};
+pub use plan::{
+    DelaySpec, DeviceFault, FaultInjector, FaultKind, FaultPlan, FaultStats, OpClass, Schedule,
+};
 pub use retry::{Backoff, RetryPolicy};

@@ -152,6 +152,38 @@ impl Schedule {
     }
 }
 
+/// A seeded latency (delay) fault: the operation *succeeds* but is slowed
+/// by a deterministic number of delay units (the consumer decides what a
+/// unit means — the cache server interprets them as microseconds, the
+/// simulators as logical latency).
+///
+/// Delays ride alongside the error schedules so slow-IO and slow-client
+/// scenarios are first-class: the same `(seed, plan)` pair fully determines
+/// every delay decision *and* every delay magnitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySpec {
+    /// Which operation class is slowed; `None` slows both.
+    pub class: Option<OpClass>,
+    /// When the delay fires (same schedule language as error faults).
+    pub schedule: Schedule,
+    /// Smallest delay, in units.
+    pub min_units: u64,
+    /// Largest delay, in units (inclusive; clamped up to `min_units`).
+    pub max_units: u64,
+}
+
+impl DelaySpec {
+    /// A constant-probability delay of `min_units..=max_units` for `class`.
+    pub fn constant(class: Option<OpClass>, p: f64, min_units: u64, max_units: u64) -> Self {
+        DelaySpec {
+            class,
+            schedule: Schedule::Constant(p),
+            min_units,
+            max_units,
+        }
+    }
+}
+
 /// A seeded description of which faults a device throws and when.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -161,6 +193,8 @@ pub struct FaultPlan {
     pub schedules: Vec<(FaultKind, Schedule)>,
     /// Simulated latency units added by one latency spike.
     pub spike_latency: u64,
+    /// Seeded delay (slow-operation) faults; empty means never slow.
+    pub delays: Vec<DelaySpec>,
 }
 
 impl FaultPlan {
@@ -170,6 +204,7 @@ impl FaultPlan {
             seed: 0,
             schedules: Vec::new(),
             spike_latency: 0,
+            delays: Vec::new(),
         }
     }
 
@@ -180,6 +215,7 @@ impl FaultPlan {
             seed,
             schedules: Vec::new(),
             spike_latency: 100,
+            delays: Vec::new(),
         }
     }
 
@@ -208,9 +244,23 @@ impl FaultPlan {
         self.with(FaultKind::Corruption, Schedule::Constant(p))
     }
 
+    /// Adds a delay (slow-operation) fault.
+    #[must_use]
+    pub fn with_delay(mut self, spec: DelaySpec) -> Self {
+        self.delays.push(spec);
+        self
+    }
+
+    /// Convenience: constant-rate read+write delays of
+    /// `min_units..=max_units`.
+    #[must_use]
+    pub fn with_delays(self, p: f64, min_units: u64, max_units: u64) -> Self {
+        self.with_delay(DelaySpec::constant(None, p, min_units, max_units))
+    }
+
     /// True when no schedule can ever fire.
     pub fn is_noop(&self) -> bool {
-        self.schedules.is_empty()
+        self.schedules.is_empty() && self.delays.is_empty()
     }
 }
 
@@ -229,10 +279,16 @@ pub struct FaultStats {
     pub latency_spikes: u64,
     /// Total simulated latency units added by spikes.
     pub spike_latency_units: u64,
+    /// Delay faults injected (see [`DelaySpec`]).
+    pub delays: u64,
+    /// Total delay units injected across all delay faults.
+    pub delay_units: u64,
 }
 
 impl FaultStats {
-    /// Total injected faults (spikes included).
+    /// Total injected *error* faults (spikes included; delay faults are
+    /// counted separately in [`FaultStats::delays`] because the slowed
+    /// operation still succeeds).
     pub fn total(&self) -> u64 {
         self.transient_writes
             + self.read_errors
@@ -261,7 +317,11 @@ impl FaultStats {
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SplitMix64,
+    /// Separate RNG stream for delay decisions so adding or removing delay
+    /// specs never perturbs the error-fault stream (and vice versa).
+    delay_rng: SplitMix64,
     op: u64,
+    delay_op: u64,
     stats: FaultStats,
 }
 
@@ -269,10 +329,13 @@ impl FaultInjector {
     /// Builds an injector for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let rng = SplitMix64::new(plan.seed ^ 0xFA_0175);
+        let delay_rng = SplitMix64::new(plan.seed ^ 0xDE_1A7);
         FaultInjector {
             plan,
             rng,
+            delay_rng,
             op: 0,
+            delay_op: 0,
             stats: FaultStats::default(),
         }
     }
@@ -313,6 +376,40 @@ impl FaultInjector {
             }
         }
         None
+    }
+
+    /// Decides whether the next operation of class `class` is slowed, and by
+    /// how many units. Returns 0 when no delay fires.
+    ///
+    /// Delay decisions run on their own op counter and RNG stream: calling
+    /// (or not calling) `next_delay` never changes what [`Self::next_fault`]
+    /// injects. Specs are evaluated in plan order; the first that fires wins
+    /// and its magnitude is drawn uniformly from `min_units..=max_units`.
+    pub fn next_delay(&mut self, class: OpClass) -> u64 {
+        let op = self.delay_op;
+        self.delay_op += 1;
+        if self.plan.delays.is_empty() {
+            return 0;
+        }
+        for i in 0..self.plan.delays.len() {
+            let spec = self.plan.delays[i];
+            if spec.class.is_some_and(|c| c != class) {
+                continue;
+            }
+            // One draw per applicable spec keeps the stream aligned with the
+            // spec list regardless of which specs fire (same discipline as
+            // the error schedules).
+            let draw = self.delay_rng.next_f64();
+            if draw < spec.schedule.probability(op) {
+                let lo = spec.min_units;
+                let hi = spec.max_units.max(lo);
+                let units = lo + self.delay_rng.next_below(hi - lo + 1);
+                self.stats.delays += 1;
+                self.stats.delay_units += units;
+                return units;
+            }
+        }
+        0
     }
 
     /// Operations decided so far.
@@ -424,6 +521,80 @@ mod tests {
         assert!(inj.next_fault(OpClass::Read).is_none());
         assert_eq!(inj.stats().total(), 0);
         assert!(FaultPlan::none().is_noop());
+    }
+
+    #[test]
+    fn delay_faults_are_deterministic_and_bounded() {
+        let plan = FaultPlan::new(99)
+            .with_delays(0.25, 3, 17)
+            .with_delay(DelaySpec::constant(Some(OpClass::Read), 0.5, 100, 100));
+        let run = |mut inj: FaultInjector| -> Vec<u64> {
+            (0..2000)
+                .map(|i| {
+                    inj.next_delay(if i % 2 == 0 {
+                        OpClass::Write
+                    } else {
+                        OpClass::Read
+                    })
+                })
+                .collect()
+        };
+        let a = run(FaultInjector::new(plan.clone()));
+        let b = run(FaultInjector::new(plan.clone()));
+        assert_eq!(a, b, "delay stream must be a pure function of (seed, plan)");
+        // Magnitudes come only from the configured ranges.
+        for &d in &a {
+            assert!(
+                d == 0 || (3..=17).contains(&d) || d == 100,
+                "delay {d} outside configured ranges"
+            );
+        }
+        assert!(a.iter().any(|&d| d > 0), "delays never fired");
+        let mut inj = FaultInjector::new(plan);
+        let total: u64 = (0..2000)
+            .map(|i| {
+                inj.next_delay(if i % 2 == 0 {
+                    OpClass::Write
+                } else {
+                    OpClass::Read
+                })
+            })
+            .sum();
+        assert_eq!(inj.stats().delay_units, total);
+        assert_eq!(inj.stats().delays, a.iter().filter(|&&d| d > 0).count() as u64);
+    }
+
+    #[test]
+    fn delay_stream_is_independent_of_error_stream() {
+        let base = FaultPlan::new(7).with_transient_writes(0.1);
+        let with_delays = base.clone().with_delays(0.5, 1, 5);
+        let faults = |mut inj: FaultInjector| -> Vec<Option<DeviceFault>> {
+            (0..1000).map(|_| inj.next_fault(OpClass::Write)).collect()
+        };
+        // Adding delay specs must not perturb the error-fault stream.
+        assert_eq!(
+            faults(FaultInjector::new(base)),
+            faults(FaultInjector::new(with_delays.clone()))
+        );
+        // Interleaving delay queries must not perturb it either.
+        let mut inj = FaultInjector::new(with_delays.clone());
+        let interleaved: Vec<Option<DeviceFault>> = (0..1000)
+            .map(|_| {
+                let _ = inj.next_delay(OpClass::Write);
+                inj.next_fault(OpClass::Write)
+            })
+            .collect();
+        assert_eq!(interleaved, faults(FaultInjector::new(with_delays)));
+    }
+
+    #[test]
+    fn delay_class_filter_applies() {
+        let plan = FaultPlan::new(11)
+            .with_delay(DelaySpec::constant(Some(OpClass::Write), 1.0, 7, 7));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.next_delay(OpClass::Write), 7);
+        assert_eq!(inj.next_delay(OpClass::Read), 0);
+        assert!(!FaultPlan::new(1).with_delays(1.0, 1, 1).is_noop());
     }
 
     #[test]

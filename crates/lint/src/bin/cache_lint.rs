@@ -12,6 +12,7 @@
 //! - `all` (default): both.
 
 use cache_lint::loomlite::{Config, Report};
+use cache_lint::models::drain::{drain_race_scenario, drain_two_workers_scenario, DrainVariant};
 use cache_lint::models::ring::{ring_scenario, RingOrderings};
 use cache_lint::models::shard::{ghost_overwrite_scenario, promote_insert_scenario, GhostOrder};
 use cache_lint::walk::lint_workspace;
@@ -128,6 +129,18 @@ fn run_loom() -> bool {
         &mut schedules,
         &mut ok,
     );
+    expect_clean(
+        "drain shutdown-vs-request",
+        &cfg().explore(drain_race_scenario(DrainVariant::Correct)),
+        &mut schedules,
+        &mut ok,
+    );
+    expect_clean(
+        "drain shutdown-vs-2-workers",
+        &cfg().explore(drain_two_workers_scenario(DrainVariant::Correct)),
+        &mut schedules,
+        &mut ok,
+    );
 
     // Mutation smoke: the checker must catch each planted bug, or its
     // green runs above mean nothing.
@@ -144,6 +157,16 @@ fn run_loom() -> bool {
     expect_caught(
         "shard mutant (ghost before remove)",
         &cfg().explore(ghost_overwrite_scenario(GhostOrder::BeforeRemove)),
+        &mut ok,
+    );
+    expect_caught(
+        "drain mutant (check before join)",
+        &cfg().explore(drain_race_scenario(DrainVariant::CheckThenJoin)),
+        &mut ok,
+    );
+    expect_caught(
+        "drain mutant (relaxed completion)",
+        &cfg().explore(drain_race_scenario(DrainVariant::RelaxedComplete)),
         &mut ok,
     );
 

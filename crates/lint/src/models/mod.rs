@@ -8,12 +8,15 @@
 //! - [`ring`]: the Vyukov MPMC ring behind both S3-FIFO queues
 //!   (`crates/ds/src/ring.rs`);
 //! - [`shard`]: the concurrent S3-FIFO shard insert/evict/remove path
-//!   (`crates/concurrent/src/s3fifo.rs`).
+//!   (`crates/concurrent/src/s3fifo.rs`);
+//! - [`drain`]: the server's shutdown/drain handshake
+//!   (`crates/server/src/drain.rs`).
 //!
 //! Each model also ships *mutants* — deliberately weakened orderings or
 //! reordered steps mirroring plausible refactor mistakes — with tests
 //! asserting the explorer catches them. A model checker that has never
 //! caught a planted bug proves nothing.
 
+pub mod drain;
 pub mod ring;
 pub mod shard;

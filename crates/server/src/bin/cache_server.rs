@@ -1,0 +1,89 @@
+//! The cache server binary.
+//!
+//! ```text
+//! cache_server [--addr HOST:PORT] [--shards N] [--capacity N]
+//!              [--flash-bytes N] [--deadline-ms N] [--fault-seed N]
+//!              [--delay-p P --delay-min-us N --delay-max-us N]
+//!              [--duration-secs N]
+//! ```
+//!
+//! Runs until `--duration-secs` elapses (then drains gracefully and prints
+//! a final Prometheus snapshot to stdout) or forever when omitted.
+
+use cache_faults::{DelaySpec, FaultPlan};
+use cache_server::server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: cache_server [--addr HOST:PORT] [--shards N] [--capacity N] \
+             [--flash-bytes N] [--deadline-ms N] [--fault-seed N] \
+             [--delay-p P --delay-min-us N --delay-max-us N] [--duration-secs N]"
+        );
+        return;
+    }
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = parse_flag::<String>(&args, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(n) = parse_flag(&args, "--shards") {
+        cfg.shards = n;
+    }
+    if let Some(n) = parse_flag(&args, "--capacity") {
+        cfg.store.capacity = n;
+    }
+    if let Some(n) = parse_flag(&args, "--flash-bytes") {
+        cfg.store.flash_total_bytes = n;
+    }
+    if let Some(ms) = parse_flag::<u64>(&args, "--deadline-ms") {
+        cfg.deadline = Duration::from_millis(ms);
+    }
+    let seed = parse_flag::<u64>(&args, "--fault-seed").unwrap_or(0);
+    let mut plan = FaultPlan::new(seed);
+    if let Some(p) = parse_flag::<f64>(&args, "--delay-p") {
+        let min = parse_flag::<u64>(&args, "--delay-min-us").unwrap_or(1_000);
+        let max = parse_flag::<u64>(&args, "--delay-max-us").unwrap_or(min.max(2_000));
+        plan = plan.with_delay(DelaySpec::constant(None, p, min, max));
+    }
+    if seed != 0 || !plan.delays.is_empty() {
+        cfg.fault_plan = plan;
+        cfg.store.fault_seed = seed;
+    }
+    let duration = parse_flag::<u64>(&args, "--duration-secs");
+
+    let handle = match Server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cache_server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("cache_server: listening on {}", handle.addr());
+    match duration {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            eprintln!("cache_server: draining");
+            let report = handle.shutdown();
+            eprintln!(
+                "cache_server: drained={} leaked={} requests={}",
+                report.drained, report.leaked_in_flight, report.requests
+            );
+            println!("{}", report.prometheus);
+            if !report.drained {
+                std::process::exit(2);
+            }
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}

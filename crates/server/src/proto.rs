@@ -1,0 +1,551 @@
+//! The memcached-flavored text protocol: hardened frame parser and reply
+//! encoder.
+//!
+//! Grammar (a strict, size-bounded subset of the memcached text protocol):
+//!
+//! ```text
+//! get <key>+\r\n
+//! set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//! delete <key> [noreply]\r\n
+//! stats\r\n
+//! metrics\r\n
+//! version\r\n
+//! quit\r\n
+//! ```
+//!
+//! Hardening contract (pinned by the proptest fuzz suite below): for *any*
+//! byte sequence the parser either asks for more bytes, yields a complete
+//! well-formed frame, yields a recoverable `CLIENT_ERROR`/`ERROR` reply
+//! with an exact number of bytes to skip, or declares the connection
+//! unrecoverable (reply then close). It never panics, never over-consumes,
+//! and never buffers more than the configured limits
+//! ([`Limits::max_line_len`] for a command line, [`Limits::max_value_len`]
+//! for a value block).
+
+/// Maximum key length, as in memcached.
+pub const MAX_KEY_LEN: usize = 250;
+
+/// Parser size limits. Every limit maps a hostile input to a bounded amount
+/// of memory.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted command line, terminator included.
+    pub max_line_len: usize,
+    /// Largest accepted value block.
+    pub max_value_len: usize,
+    /// Most keys accepted in one multi-get.
+    pub max_get_keys: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line_len: 2048,
+            max_value_len: 1 << 20,
+            max_get_keys: 64,
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get k1 [k2 ...]` — multi-key lookup.
+    Get {
+        /// Keys, in request order.
+        keys: Vec<String>,
+    },
+    /// `set key flags exptime bytes [noreply]` + value block.
+    Set {
+        /// Item key.
+        key: String,
+        /// Opaque client flags, stored verbatim.
+        flags: u32,
+        /// TTL in seconds; 0 = never expires.
+        exptime: u64,
+        /// The value block.
+        value: Vec<u8>,
+        /// When set, a successful store sends no reply.
+        noreply: bool,
+    },
+    /// `delete key [noreply]`.
+    Delete {
+        /// Item key.
+        key: String,
+        /// When set, the reply is suppressed.
+        noreply: bool,
+    },
+    /// `stats` — human-readable STAT lines.
+    Stats,
+    /// `metrics` — Prometheus exposition dump (extension).
+    Metrics,
+    /// `version`.
+    Version,
+    /// `quit` — close the connection.
+    Quit,
+}
+
+impl Command {
+    /// True for mutating commands (the shedder rejects these first).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Command::Set { .. } | Command::Delete { .. })
+    }
+}
+
+/// Result of trying to parse one frame off the front of a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The buffer holds no complete frame yet; read more bytes.
+    Incomplete,
+    /// A complete frame; `consumed` bytes belong to it.
+    Frame {
+        /// The parsed command.
+        cmd: Command,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+    },
+    /// A malformed but recoverable frame: send `reply`, drop `consumed`
+    /// bytes, keep the connection.
+    Error {
+        /// The full reply line (terminator included).
+        reply: String,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+    },
+    /// An unrecoverable framing violation: send `reply`, then close. The
+    /// stream position can no longer be trusted (e.g. an unparseable length
+    /// field means the value block boundary is unknown).
+    Fatal {
+        /// The full reply line (terminator included).
+        reply: String,
+    },
+}
+
+fn client_error(msg: &str) -> String {
+    format!("CLIENT_ERROR {msg}\r\n")
+}
+
+/// A key is 1..=250 bytes of printable non-space ASCII.
+fn key_ok(k: &str) -> bool {
+    !k.is_empty()
+        && k.len() <= MAX_KEY_LEN
+        && k.bytes().all(|b| (0x21..=0x7e).contains(&b))
+}
+
+/// Finds the first line terminator (`\r\n` or bare `\n`, both accepted on
+/// command lines) within `limit` bytes. Returns (line_end, term_len).
+fn find_line(buf: &[u8], limit: usize) -> Option<(usize, usize)> {
+    let horizon = buf.len().min(limit);
+    let nl = buf[..horizon].iter().position(|&b| b == b'\n')?;
+    if nl > 0 && buf[nl - 1] == b'\r' {
+        Some((nl - 1, 2))
+    } else {
+        Some((nl, 1))
+    }
+}
+
+/// Tries to parse one frame from the front of `buf`.
+///
+/// Stateless: callers keep the buffer and drop `consumed` bytes on
+/// [`ParseOutcome::Frame`] / [`ParseOutcome::Error`].
+pub fn parse_frame(buf: &[u8], limits: &Limits) -> ParseOutcome {
+    let Some((line_end, term)) = find_line(buf, limits.max_line_len) else {
+        if buf.len() >= limits.max_line_len {
+            // No terminator within the limit: a hostile or broken client;
+            // resynchronization is impossible without unbounded buffering.
+            return ParseOutcome::Fatal {
+                reply: client_error("line too long"),
+            };
+        }
+        return ParseOutcome::Incomplete;
+    };
+    let line_consumed = line_end + term;
+    let Ok(line) = std::str::from_utf8(&buf[..line_end]) else {
+        return ParseOutcome::Error {
+            reply: client_error("invalid utf-8 in command line"),
+            consumed: line_consumed,
+        };
+    };
+    let mut tokens = line.split_ascii_whitespace();
+    let Some(verb) = tokens.next() else {
+        // Blank line: memcached answers ERROR and keeps going.
+        return ParseOutcome::Error {
+            reply: "ERROR\r\n".into(),
+            consumed: line_consumed,
+        };
+    };
+    match verb {
+        "get" | "gets" => {
+            let keys: Vec<&str> = tokens.collect();
+            if keys.is_empty() {
+                return ParseOutcome::Error {
+                    reply: client_error("get requires at least one key"),
+                    consumed: line_consumed,
+                };
+            }
+            if keys.len() > limits.max_get_keys {
+                return ParseOutcome::Error {
+                    reply: client_error("too many keys in one get"),
+                    consumed: line_consumed,
+                };
+            }
+            if let Some(bad) = keys.iter().find(|k| !key_ok(k)) {
+                return ParseOutcome::Error {
+                    reply: client_error(&format!(
+                        "bad key (len {} > {MAX_KEY_LEN} or non-printable)",
+                        bad.len()
+                    )),
+                    consumed: line_consumed,
+                };
+            }
+            ParseOutcome::Frame {
+                cmd: Command::Get {
+                    keys: keys.into_iter().map(str::to_owned).collect(),
+                },
+                consumed: line_consumed,
+            }
+        }
+        "set" => parse_set(buf, line_consumed, &mut tokens, limits),
+        "delete" => {
+            let Some(key) = tokens.next() else {
+                return ParseOutcome::Error {
+                    reply: client_error("delete requires a key"),
+                    consumed: line_consumed,
+                };
+            };
+            if !key_ok(key) {
+                return ParseOutcome::Error {
+                    reply: client_error("bad key"),
+                    consumed: line_consumed,
+                };
+            }
+            let noreply = matches!(tokens.next(), Some("noreply"));
+            ParseOutcome::Frame {
+                cmd: Command::Delete {
+                    key: key.to_owned(),
+                    noreply,
+                },
+                consumed: line_consumed,
+            }
+        }
+        "stats" => ParseOutcome::Frame {
+            cmd: Command::Stats,
+            consumed: line_consumed,
+        },
+        "metrics" => ParseOutcome::Frame {
+            cmd: Command::Metrics,
+            consumed: line_consumed,
+        },
+        "version" => ParseOutcome::Frame {
+            cmd: Command::Version,
+            consumed: line_consumed,
+        },
+        "quit" => ParseOutcome::Frame {
+            cmd: Command::Quit,
+            consumed: line_consumed,
+        },
+        _ => ParseOutcome::Error {
+            reply: "ERROR\r\n".into(),
+            consumed: line_consumed,
+        },
+    }
+}
+
+/// Parses `set`'s argument line plus its value block.
+fn parse_set<'a>(
+    buf: &[u8],
+    line_consumed: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    limits: &Limits,
+) -> ParseOutcome {
+    let (Some(key), Some(flags), Some(exptime), Some(bytes)) =
+        (tokens.next(), tokens.next(), tokens.next(), tokens.next())
+    else {
+        return ParseOutcome::Error {
+            reply: client_error("set requires <key> <flags> <exptime> <bytes>"),
+            consumed: line_consumed,
+        };
+    };
+    let noreply = matches!(tokens.next(), Some("noreply"));
+    if !key_ok(key) {
+        // The length field may still parse; if it does the value block can
+        // be skipped and the connection survives.
+        if let Ok(n) = bytes.parse::<usize>() {
+            if n <= limits.max_value_len {
+                let total = line_consumed + n + 2;
+                if buf.len() < total {
+                    return ParseOutcome::Incomplete;
+                }
+                return ParseOutcome::Error {
+                    reply: client_error("bad key"),
+                    consumed: total,
+                };
+            }
+        }
+        return ParseOutcome::Fatal {
+            reply: client_error("bad key"),
+        };
+    }
+    let Ok(flags) = flags.parse::<u32>() else {
+        return bad_set_field(buf, line_consumed, bytes, limits, "bad flags");
+    };
+    let Ok(exptime) = exptime.parse::<u64>() else {
+        return bad_set_field(buf, line_consumed, bytes, limits, "bad exptime");
+    };
+    let Ok(n) = bytes.parse::<usize>() else {
+        // The value block boundary is unknowable: closing is the only safe
+        // resynchronization.
+        return ParseOutcome::Fatal {
+            reply: client_error("bad byte count"),
+        };
+    };
+    if n > limits.max_value_len {
+        // Refusing to buffer the block means the stream cannot be resynced.
+        return ParseOutcome::Fatal {
+            reply: client_error("object too large"),
+        };
+    }
+    let total = line_consumed + n + 2;
+    if buf.len() < total {
+        return ParseOutcome::Incomplete;
+    }
+    if &buf[line_consumed + n..total] != b"\r\n" {
+        // memcached's "bad data chunk": the client's framing is off; the
+        // stream position cannot be trusted.
+        return ParseOutcome::Fatal {
+            reply: client_error("bad data chunk"),
+        };
+    }
+    ParseOutcome::Frame {
+        cmd: Command::Set {
+            key: key.to_owned(),
+            flags,
+            exptime,
+            value: buf[line_consumed..line_consumed + n].to_vec(),
+            noreply,
+        },
+        consumed: total,
+    }
+}
+
+/// A set line with one bad numeric field but a parseable byte count: skip
+/// the value block and keep the connection.
+fn bad_set_field(
+    buf: &[u8],
+    line_consumed: usize,
+    bytes: &str,
+    limits: &Limits,
+    msg: &str,
+) -> ParseOutcome {
+    match bytes.parse::<usize>() {
+        Ok(n) if n <= limits.max_value_len => {
+            let total = line_consumed + n + 2;
+            if buf.len() < total {
+                ParseOutcome::Incomplete
+            } else {
+                ParseOutcome::Error {
+                    reply: client_error(msg),
+                    consumed: total,
+                }
+            }
+        }
+        _ => ParseOutcome::Fatal {
+            reply: client_error(msg),
+        },
+    }
+}
+
+/// Encodes one `VALUE` response item.
+pub fn encode_value(out: &mut Vec<u8>, key: &str, flags: u32, data: &[u8]) {
+    out.extend_from_slice(format!("VALUE {key} {flags} {}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(b: &[u8]) -> ParseOutcome {
+        parse_frame(b, &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_and_multiget() {
+        match parse(b"get foo\r\n") {
+            ParseOutcome::Frame { cmd, consumed } => {
+                assert_eq!(cmd, Command::Get { keys: vec!["foo".into()] });
+                assert_eq!(consumed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(b"get a b c\r\ntrailing") {
+            ParseOutcome::Frame { cmd, consumed } => {
+                assert_eq!(
+                    cmd,
+                    Command::Get {
+                        keys: vec!["a".into(), "b".into(), "c".into()]
+                    }
+                );
+                assert_eq!(consumed, 11, "must not consume the next frame");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_with_value_block() {
+        match parse(b"set k 7 60 5\r\nhello\r\nnext") {
+            ParseOutcome::Frame { cmd, consumed } => {
+                assert_eq!(
+                    cmd,
+                    Command::Set {
+                        key: "k".into(),
+                        flags: 7,
+                        exptime: 60,
+                        value: b"hello".to_vec(),
+                        noreply: false,
+                    }
+                );
+                assert_eq!(consumed, 21);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Value bytes are binary-safe, including \r\n inside the block.
+        match parse(b"set k 0 0 4\r\na\r\nb\r\n") {
+            ParseOutcome::Frame { cmd, .. } => match cmd {
+                Command::Set { value, .. } => assert_eq!(value, b"a\r\nb"),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_noreply_flag() {
+        match parse(b"set k 0 0 1 noreply\r\nx\r\n") {
+            ParseOutcome::Frame { cmd, .. } => match cmd {
+                Command::Set { noreply, .. } => assert!(noreply),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more() {
+        assert_eq!(parse(b"get fo"), ParseOutcome::Incomplete);
+        assert_eq!(parse(b"set k 0 0 10\r\nhel"), ParseOutcome::Incomplete);
+        assert_eq!(parse(b""), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn unknown_command_is_recoverable() {
+        match parse(b"frobnicate now\r\nget ok\r\n") {
+            ParseOutcome::Error { reply, consumed } => {
+                assert_eq!(reply, "ERROR\r\n");
+                assert_eq!(consumed, 16, "must resync to the next frame");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_set_numbers_skip_the_block_when_possible() {
+        // Bad flags, good byte count: block skipped, connection survives.
+        match parse(b"set k nope 0 3\r\nabc\r\n") {
+            ParseOutcome::Error { reply, consumed } => {
+                assert!(reply.contains("bad flags"), "{reply}");
+                assert_eq!(consumed, 21);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bad byte count: boundary unknowable, connection must close.
+        match parse(b"set k 0 0 banana\r\n") {
+            ParseOutcome::Fatal { reply } => assert!(reply.contains("bad byte count")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_data_terminator_is_fatal() {
+        match parse(b"set k 0 0 3\r\nabcXY") {
+            ParseOutcome::Fatal { reply } => assert!(reply.contains("bad data chunk")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_are_fatal() {
+        let limits = Limits {
+            max_value_len: 100,
+            ..Limits::default()
+        };
+        match parse_frame(b"set k 0 0 101\r\n", &limits) {
+            ParseOutcome::Fatal { reply } => assert!(reply.contains("too large")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_long_line_is_fatal() {
+        let limits = Limits {
+            max_line_len: 32,
+            ..Limits::default()
+        };
+        let long = vec![b'a'; 64];
+        match parse_frame(&long, &limits) {
+            ParseOutcome::Fatal { reply } => assert!(reply.contains("line too long")),
+            other => panic!("{other:?}"),
+        }
+        // Under the limit without a terminator: just incomplete.
+        assert_eq!(parse_frame(&[b'a'; 16], &limits), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn bad_keys_are_rejected() {
+        let long_key = format!("get {}\r\n", "k".repeat(251));
+        assert!(matches!(
+            parse(long_key.as_bytes()),
+            ParseOutcome::Error { .. }
+        ));
+        // Control bytes in a key.
+        assert!(matches!(
+            parse(b"get k\x01ey\r\n"),
+            ParseOutcome::Error { .. }
+        ));
+        assert!(matches!(parse(b"get\r\n"), ParseOutcome::Error { .. }));
+        assert!(matches!(parse(b"delete\r\n"), ParseOutcome::Error { .. }));
+    }
+
+    #[test]
+    fn non_utf8_line_is_recoverable() {
+        match parse(b"\xff\xfe\xfd\r\nget k\r\n") {
+            ParseOutcome::Error { reply, consumed } => {
+                assert!(reply.contains("utf-8"));
+                assert_eq!(consumed, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_newline_accepted_on_command_lines() {
+        assert!(matches!(
+            parse(b"get foo\n"),
+            ParseOutcome::Frame { consumed: 8, .. }
+        ));
+        // But the value block terminator must be exactly \r\n.
+        assert!(matches!(
+            parse(b"set k 0 0 1\nx\n\n"),
+            ParseOutcome::Fatal { .. }
+        ));
+    }
+
+    #[test]
+    fn encode_value_roundtrips() {
+        let mut out = Vec::new();
+        encode_value(&mut out, "k", 9, b"abc");
+        assert_eq!(out, b"VALUE k 9 3\r\nabc\r\n");
+    }
+}

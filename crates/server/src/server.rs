@@ -1,0 +1,720 @@
+//! The TCP front end: acceptor + shard-per-core event loops.
+//!
+//! ```text
+//!             ┌─ acceptor ─┐   bounded SyncSender<TcpStream> queues
+//!   clients ─▶│ nonblocking │──▶ shard 0 loop ─┐
+//!             │   accept    │──▶ shard 1 loop ─┼─▶ TtlStore (shared)
+//!             └─────────────┘──▶ ...           ─┘   LoadShedder (shared)
+//! ```
+//!
+//! Each shard owns its connections outright — reads, parses, executes, and
+//! writes happen on the shard thread, so the only cross-thread state is the
+//! store, the shedder, and the drain gate. Sockets are nonblocking; a shard
+//! sweep services every connection once and sleeps briefly when idle.
+//!
+//! Overload behavior, outermost first: a full shard queue bounces the
+//! connection with `SERVER_ERROR busy` (counted as shedder overflow); a
+//! slow reader whose outbuf exceeds the cap is disconnected; a request that
+//! overruns its deadline returns `SERVER_ERROR timeout` and feeds the
+//! shedder; a tripped shedder bounces requests with `SERVER_ERROR
+//! shed-write` / `shed-read` before they touch the store.
+
+use crate::drain::DrainGate;
+use crate::proto::{self, Command, Limits, ParseOutcome};
+use crate::shed::{Admission, LoadShedder, ShedConfig};
+use crate::store::{self, StoreConfig, TtlStore};
+use cache_faults::{FaultPlan, OpClass};
+use cache_obs::{registry_to_json_lines, registry_to_prometheus, MetricsRegistry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Shard (worker thread) count; clamped to at least 1.
+    pub shards: usize,
+    /// Pending-connection queue depth per shard (bounded accept).
+    pub queue_depth: usize,
+    /// Open-connection cap per shard; excess connections are bounced.
+    pub max_conns_per_shard: usize,
+    /// Per-request deadline.
+    pub deadline: Duration,
+    /// Outbuf cap per connection; a reader lagging past it is dropped.
+    pub max_outbuf: usize,
+    /// Protocol limits (line/value/key-count caps).
+    pub limits: Limits,
+    /// Storage engine configuration.
+    pub store: StoreConfig,
+    /// Load-shedder budgets.
+    pub shed: ShedConfig,
+    /// Fault plan: device faults for the flash tier and injected delays.
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
+            queue_depth: 64,
+            max_conns_per_shard: 256,
+            deadline: Duration::from_millis(50),
+            max_outbuf: 1 << 20,
+            limits: Limits::default(),
+            store: StoreConfig::default(),
+            shed: ShedConfig::default(),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// Front-end counters (advisory; the store keeps its own).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections handed to a shard.
+    pub conns_accepted: AtomicU64,
+    /// Connections bounced with `busy` (full queues or conn cap).
+    pub conns_rejected: AtomicU64,
+    /// Connections bounced because shutdown had begun.
+    pub conns_draining: AtomicU64,
+    /// Requests executed (admitted past the shedder).
+    pub requests: AtomicU64,
+    /// Requests answered `SERVER_ERROR timeout`.
+    pub timeouts: AtomicU64,
+    /// Requests bounced by the shedder.
+    pub shed_replies: AtomicU64,
+    /// Recoverable protocol errors (CLIENT_ERROR replies).
+    pub parse_errors: AtomicU64,
+    /// Connections closed on a fatal framing error.
+    pub fatal_closes: AtomicU64,
+    /// Connections dropped for reading too slowly.
+    pub slow_reader_drops: AtomicU64,
+    /// Microseconds of injected (fault-plan) delay actually slept.
+    pub injected_delay_us: AtomicU64,
+}
+
+/// Shared state visible to the acceptor and every shard.
+struct Shared {
+    store: TtlStore,
+    shed: LoadShedder,
+    gate: DrainGate,
+    /// Hard-stop flag for the event loops (set after drain completes).
+    stop: AtomicBool,
+    counters: ServerCounters,
+    /// Open connections across all shards (gauge).
+    conns_open: AtomicU64,
+    cfg: ServerConfig,
+    started: Instant,
+}
+
+/// Marker type: construct a running server with [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// A running server; dropping it without [`ServerHandle::shutdown`] aborts
+/// connections without draining.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+/// What a graceful shutdown observed.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// True when every in-flight request finished inside the drain window.
+    pub drained: bool,
+    /// Requests still in flight when the window closed (0 when drained).
+    pub leaked_in_flight: usize,
+    /// Final metrics snapshot, Prometheus exposition format.
+    pub prometheus: String,
+    /// Final metrics snapshot, JSON lines.
+    pub json_lines: String,
+    /// Total requests executed.
+    pub requests: u64,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and shard threads, and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unusable.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shards = cfg.shards.max(1);
+        let shared = Arc::new(Shared {
+            store: TtlStore::new(cfg.store, cfg.fault_plan.clone()),
+            shed: LoadShedder::new(cfg.shed),
+            gate: DrainGate::new(),
+            stop: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+            conns_open: AtomicU64::new(0),
+            cfg: cfg.clone(),
+            started: Instant::now(),
+        });
+
+        let mut senders: Vec<SyncSender<TcpStream>> = Vec::with_capacity(shards);
+        let mut shard_handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cache-shard-{i}"))
+                    .spawn(move || shard_loop(&shared, &rx))?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cache-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &senders))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            shards: shard_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared storage engine (for white-box assertions in tests).
+    pub fn ttl_store(&self) -> &TtlStore {
+        &self.shared.store
+    }
+
+    /// The shared load shedder.
+    pub fn shedder(&self) -> &LoadShedder {
+        &self.shared.shed
+    }
+
+    /// Front-end counters.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.shared.counters
+    }
+
+    /// Builds a point-in-time metrics registry (used by the `metrics`
+    /// command and the final shutdown snapshot).
+    pub fn collect_metrics(&self) -> MetricsRegistry {
+        collect_registry(&self.shared)
+    }
+
+    /// Graceful shutdown: close the accept gate, drain in-flight requests,
+    /// stop the loops, join every thread, and return a final snapshot.
+    // ORDERING: SeqCst store on `stop` pairs with the loops' SeqCst loads —
+    // the stop flag must be ordered after the drain-gate close in the single
+    // total order so no loop observes stop without also observing closed.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.gate.close();
+        let drained = self.shared.gate.await_drained(Duration::from_secs(5));
+        let leaked = self.shared.gate.in_flight();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+        let registry = collect_registry(&self.shared);
+        ShutdownReport {
+            drained,
+            leaked_in_flight: leaked,
+            prometheus: registry_to_prometheus(&registry),
+            json_lines: registry_to_json_lines(&registry),
+            requests: self.shared.counters.requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    // ORDERING: SeqCst, same rationale as `shutdown`.
+    fn drop(&mut self) {
+        self.shared.gate.close();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds a metrics registry from the live counters.
+// ORDERING: Relaxed counter loads — advisory snapshot.
+fn collect_registry(shared: &Shared) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    let scope = registry.scope("cache_server");
+    shared.store.export_obs(&scope);
+    let c = &shared.counters;
+    let s = scope.scope("frontend");
+    s.counter("conns_accepted").add(c.conns_accepted.load(Ordering::Relaxed));
+    s.counter("conns_rejected").add(c.conns_rejected.load(Ordering::Relaxed));
+    s.counter("conns_draining").add(c.conns_draining.load(Ordering::Relaxed));
+    s.counter("requests").add(c.requests.load(Ordering::Relaxed));
+    s.counter("timeouts").add(c.timeouts.load(Ordering::Relaxed));
+    s.counter("shed_replies").add(c.shed_replies.load(Ordering::Relaxed));
+    s.counter("parse_errors").add(c.parse_errors.load(Ordering::Relaxed));
+    s.counter("fatal_closes").add(c.fatal_closes.load(Ordering::Relaxed));
+    s.counter("slow_reader_drops").add(c.slow_reader_drops.load(Ordering::Relaxed));
+    s.counter("injected_delay_us").add(c.injected_delay_us.load(Ordering::Relaxed));
+    s.gauge("conns_open").set(shared.conns_open.load(Ordering::Relaxed) as i64);
+    let shed = scope.scope("shed");
+    let (level, sw, sr, dm, of, pr, wt, wrec, rt, rrec) = shared.shed.snapshot();
+    shed.gauge("level").set(match level {
+        crate::shed::ShedLevel::Normal => 0,
+        crate::shed::ShedLevel::ShedWrites => 1,
+        crate::shed::ShedLevel::ShedAll => 2,
+    });
+    shed.counter("shed_writes").add(sw);
+    shed.counter("shed_reads").add(sr);
+    shed.counter("deadline_misses").add(dm);
+    shed.counter("overflows").add(of);
+    shed.counter("probes").add(pr);
+    shed.counter("write_trips").add(wt);
+    shed.counter("write_recoveries").add(wrec);
+    shed.counter("read_trips").add(rt);
+    shed.counter("read_recoveries").add(rrec);
+    let delays = shared.store.delay_stats();
+    let faults = scope.scope("faults");
+    faults.counter("delays").add(delays.delays);
+    faults.counter("delay_units").add(delays.delay_units);
+    registry
+}
+
+/// Writes a canned reply to a fresh connection and drops it.
+fn bounce(mut conn: TcpStream, reply: &[u8]) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.write_all(reply);
+    // Dropping conn closes it; a lingering RST on unread input is fine.
+}
+
+/// The acceptor: nonblocking accept + round-robin handoff to shard queues.
+// ORDERING: SeqCst load of `stop` — pairs with shutdown's SeqCst store (see
+// ServerHandle::shutdown).
+fn accept_loop(shared: &Shared, listener: &TcpListener, senders: &[SyncSender<TcpStream>]) {
+    let mut next = 0usize;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if shared.gate.is_closed() {
+                    shared.counters.conns_draining.fetch_add(1, Ordering::Relaxed);
+                    bounce(conn, b"SERVER_ERROR shutting-down\r\n");
+                    continue;
+                }
+                // Round-robin, skipping full queues: the connection lands on
+                // the first shard with room, or bounces when all are full.
+                let mut handed = false;
+                let mut conn = Some(conn);
+                for probe in 0..senders.len() {
+                    let idx = (next + probe) % senders.len();
+                    // Invariant: conn is Some until the loop hands it off or
+                    // breaks; try_send returns it on failure.
+                    #[allow(clippy::expect_used)]
+                    let c = conn.take().expect("connection consumed twice");
+                    match senders[idx].try_send(c) {
+                        Ok(()) => {
+                            handed = true;
+                            next = (idx + 1) % senders.len();
+                            shared.counters.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(TrySendError::Full(c)) | Err(TrySendError::Disconnected(c)) => {
+                            conn = Some(c);
+                        }
+                    }
+                }
+                if !handed {
+                    // Backpressure instead of collapse: typed busy reply,
+                    // charged to the shedder as overflow.
+                    shared.counters.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.shed.record_overflow();
+                    if let Some(c) = conn {
+                        bounce(c, b"SERVER_ERROR busy\r\n");
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. aborted handshake): brief
+                // pause, keep serving.
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+/// One connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    /// Write out what is buffered, then close.
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            closing: false,
+        })
+    }
+}
+
+/// The shard event loop: adopt queued connections, sweep each connection
+/// (read → parse/execute → write), sleep briefly when idle.
+// ORDERING: SeqCst load of `stop` — pairs with shutdown's SeqCst store.
+fn shard_loop(shared: &Shared, rx: &Receiver<TcpStream>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut read_buf = vec![0u8; 16 * 1024];
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        // Adopt pending connections, bouncing past the per-shard cap.
+        while let Ok(stream) = rx.try_recv() {
+            progressed = true;
+            if conns.len() >= shared.cfg.max_conns_per_shard {
+                shared.counters.conns_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.shed.record_overflow();
+                bounce(stream, b"SERVER_ERROR busy\r\n");
+                continue;
+            }
+            match Conn::new(stream) {
+                Ok(c) => {
+                    shared.conns_open.fetch_add(1, Ordering::Relaxed);
+                    conns.push(c);
+                }
+                Err(_) => {
+                    // Socket died before setup; nothing to clean up.
+                }
+            }
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            let alive = sweep_conn(shared, &mut conns[i], &mut read_buf, &mut progressed);
+            if alive {
+                i += 1;
+            } else {
+                shared.conns_open.fetch_sub(1, Ordering::Relaxed);
+                conns.swap_remove(i);
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    // Stop: best-effort final flush so drained replies reach clients.
+    let flush_deadline = Instant::now() + Duration::from_millis(100);
+    for conn in &mut conns {
+        while !conn.outbuf.is_empty() && Instant::now() < flush_deadline {
+            if !flush_outbuf(conn) {
+                break;
+            }
+            if !conn.outbuf.is_empty() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+    let n = conns.len() as u64;
+    shared.conns_open.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// Writes as much buffered output as the socket accepts. Returns false when
+/// the connection is dead.
+fn flush_outbuf(conn: &mut Conn) -> bool {
+    while !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Services one connection once. Returns false when the connection should
+/// be dropped.
+// ORDERING: Relaxed counter bumps only — statistics, not synchronization;
+// request admission ordering lives in DrainGate/LoadShedder.
+fn sweep_conn(shared: &Shared, conn: &mut Conn, read_buf: &mut [u8], progressed: &mut bool) -> bool {
+    // 1. Read whatever is available.
+    if !conn.closing {
+        loop {
+            match conn.stream.read(read_buf) {
+                Ok(0) => {
+                    // Peer half-closed; process what we have, then close.
+                    conn.closing = true;
+                    *progressed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&read_buf[..n]);
+                    *progressed = true;
+                    if n < read_buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+    // 2. Parse and execute complete frames.
+    let mut quit = false;
+    while !quit {
+        match proto::parse_frame(&conn.inbuf, &shared.cfg.limits) {
+            ParseOutcome::Incomplete => break,
+            ParseOutcome::Frame { cmd, consumed } => {
+                conn.inbuf.drain(..consumed);
+                *progressed = true;
+                quit = handle_command(shared, conn, cmd);
+            }
+            ParseOutcome::Error { reply, consumed } => {
+                conn.inbuf.drain(..consumed);
+                *progressed = true;
+                shared.counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                conn.outbuf.extend_from_slice(reply.as_bytes());
+            }
+            ParseOutcome::Fatal { reply } => {
+                *progressed = true;
+                shared.counters.fatal_closes.fetch_add(1, Ordering::Relaxed);
+                conn.outbuf.extend_from_slice(reply.as_bytes());
+                conn.inbuf.clear();
+                quit = true;
+            }
+        }
+    }
+    if quit {
+        conn.closing = true;
+    }
+    // 3. Flush; enforce the slow-reader cap.
+    if !flush_outbuf(conn) {
+        return false;
+    }
+    if conn.outbuf.len() > shared.cfg.max_outbuf {
+        shared.counters.slow_reader_drops.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    // A closing connection lingers until its outbuf is flushed.
+    !(conn.closing && conn.outbuf.is_empty())
+}
+
+/// Executes one parsed command against the store, the shedder, and the
+/// drain gate. Returns true when the connection should close (quit/fatal).
+// ORDERING: Relaxed counter bumps — advisory stats; admission and drain
+// correctness live in LoadShedder and DrainGate respectively.
+fn handle_command(shared: &Shared, conn: &mut Conn, cmd: Command) -> bool {
+    // Commands that bypass admission entirely.
+    match &cmd {
+        Command::Quit => return true,
+        Command::Version => {
+            conn.outbuf.extend_from_slice(b"VERSION s3fifo-cache 0.1\r\n");
+            return false;
+        }
+        Command::Stats => {
+            write_stats(shared, &mut conn.outbuf);
+            return false;
+        }
+        Command::Metrics => {
+            let registry = collect_registry(shared);
+            let text = registry_to_prometheus(&registry);
+            conn.outbuf.extend_from_slice(text.as_bytes());
+            conn.outbuf.extend_from_slice(b"END\r\n");
+            return false;
+        }
+        _ => {}
+    }
+    let noreply = match &cmd {
+        Command::Set { noreply, .. } | Command::Delete { noreply, .. } => *noreply,
+        _ => false,
+    };
+    // Drain gate: no new work once shutdown began.
+    let Some(_in_flight) = shared.gate.try_enter() else {
+        if !noreply {
+            conn.outbuf.extend_from_slice(b"SERVER_ERROR shutting-down\r\n");
+        }
+        return true;
+    };
+    // Load shedder: bounce before touching the store.
+    let is_write = cmd.is_write();
+    let admission = shared.shed.admit(is_write);
+    if admission == Admission::Shed {
+        shared.counters.shed_replies.fetch_add(1, Ordering::Relaxed);
+        if !noreply {
+            conn.outbuf.extend_from_slice(if is_write {
+                b"SERVER_ERROR shed-write\r\n".as_slice()
+            } else {
+                b"SERVER_ERROR shed-read\r\n".as_slice()
+            });
+        }
+        return false;
+    }
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    // Deadline clock starts at admission; injected (fault-plan) delays are
+    // slept against it so a delay fault can push a request over.
+    let start = Instant::now();
+    let deadline = shared.cfg.deadline;
+    let class = if is_write { OpClass::Write } else { OpClass::Read };
+    let delay_us = shared.store.next_delay_us(class);
+    if delay_us > 0 {
+        let remaining = deadline.saturating_sub(start.elapsed());
+        let sleep = Duration::from_micros(delay_us).min(remaining + Duration::from_millis(1));
+        std::thread::sleep(sleep);
+        shared
+            .counters
+            .injected_delay_us
+            .fetch_add(sleep.as_micros() as u64, Ordering::Relaxed);
+    }
+    let mut reply = Vec::new();
+    let timed_out = if start.elapsed() >= deadline {
+        // The injected delay alone blew the budget; never touch the store.
+        true
+    } else {
+        execute(shared, cmd, &mut reply);
+        start.elapsed() >= deadline
+    };
+    if timed_out {
+        shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        reply.clear();
+        reply.extend_from_slice(b"SERVER_ERROR timeout\r\n");
+    }
+    let met = !timed_out;
+    match admission {
+        Admission::Probe => shared.shed.record_probe_outcome(is_write, met),
+        _ => shared.shed.record_outcome(is_write, met),
+    }
+    // noreply suppresses success replies AND errors (memcached semantics);
+    // timeouts on noreply ops are visible only to stats.
+    if !noreply {
+        conn.outbuf.extend_from_slice(&reply);
+    }
+    false
+}
+
+/// Runs the store operation and formats the success/typed-error reply.
+fn execute(shared: &Shared, cmd: Command, reply: &mut Vec<u8>) {
+    match cmd {
+        Command::Get { keys } => {
+            for key in &keys {
+                match shared.store.get(key) {
+                    Ok(Some(v)) => proto::encode_value(reply, key, v.flags, &v.data),
+                    Ok(None) => {}
+                    Err(e) => {
+                        // Typed degradation error replaces the whole reply.
+                        reply.clear();
+                        reply.extend_from_slice(&store::error_reply(&e));
+                        return;
+                    }
+                }
+            }
+            reply.extend_from_slice(b"END\r\n");
+        }
+        Command::Set {
+            key,
+            flags,
+            exptime,
+            value,
+            ..
+        } => match shared.store.set(&key, flags, exptime, &value) {
+            Ok(()) => reply.extend_from_slice(b"STORED\r\n"),
+            Err(e) => reply.extend_from_slice(&store::error_reply(&e)),
+        },
+        Command::Delete { key, .. } => {
+            if shared.store.delete(&key) {
+                reply.extend_from_slice(b"DELETED\r\n");
+            } else {
+                reply.extend_from_slice(b"NOT_FOUND\r\n");
+            }
+        }
+        // Handled before admission; unreachable here but total anyway.
+        Command::Stats | Command::Metrics | Command::Version | Command::Quit => {}
+    }
+}
+
+/// Formats the STATS reply.
+// ORDERING: Relaxed counter loads — advisory stats.
+fn write_stats(shared: &Shared, out: &mut Vec<u8>) {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let mut stat = |name: &str, value: String| {
+        // Invariant: writing to a String cannot fail.
+        let _ = writeln!(text, "STAT {name} {value}\r");
+    };
+    let c = &shared.counters;
+    let sc = &shared.store.counters;
+    let cache = shared.store.cache_stats();
+    let (level, sw, sr, dm, of, pr, wt, wrec, rt, rrec) = shared.shed.snapshot();
+    stat("uptime_ms", shared.started.elapsed().as_millis().to_string());
+    stat("curr_connections", shared.conns_open.load(Ordering::Relaxed).to_string());
+    stat("total_connections", c.conns_accepted.load(Ordering::Relaxed).to_string());
+    stat("rejected_connections", c.conns_rejected.load(Ordering::Relaxed).to_string());
+    stat("cmd_get", sc.gets.load(Ordering::Relaxed).to_string());
+    stat("cmd_set", sc.sets.load(Ordering::Relaxed).to_string());
+    stat("get_hits", sc.hits.load(Ordering::Relaxed).to_string());
+    stat(
+        "get_misses",
+        sc.gets
+            .load(Ordering::Relaxed)
+            .saturating_sub(sc.hits.load(Ordering::Relaxed))
+            .to_string(),
+    );
+    stat("deletes", sc.deletes.load(Ordering::Relaxed).to_string());
+    stat("expired", sc.expired.load(Ordering::Relaxed).to_string());
+    stat("collisions", sc.collisions.load(Ordering::Relaxed).to_string());
+    stat("resident", shared.store.len().to_string());
+    stat("capacity", shared.store.capacity().to_string());
+    stat("dram_hit_ratio", format!("{:.4}", cache.hit_ratio()));
+    stat("requests", c.requests.load(Ordering::Relaxed).to_string());
+    stat("timeouts", c.timeouts.load(Ordering::Relaxed).to_string());
+    stat("parse_errors", c.parse_errors.load(Ordering::Relaxed).to_string());
+    stat("fatal_closes", c.fatal_closes.load(Ordering::Relaxed).to_string());
+    stat("slow_reader_drops", c.slow_reader_drops.load(Ordering::Relaxed).to_string());
+    stat("injected_delay_us", c.injected_delay_us.load(Ordering::Relaxed).to_string());
+    stat("shed_level", level.label().to_string());
+    stat("shed_writes", sw.to_string());
+    stat("shed_reads", sr.to_string());
+    stat("shed_replies", c.shed_replies.load(Ordering::Relaxed).to_string());
+    stat("deadline_misses", dm.to_string());
+    stat("overflows", of.to_string());
+    stat("probes", pr.to_string());
+    stat("write_budget_trips", wt.to_string());
+    stat("write_budget_recoveries", wrec.to_string());
+    stat("read_budget_trips", rt.to_string());
+    stat("read_budget_recoveries", rrec.to_string());
+    stat("flash_state", shared.store.flash_state().to_string());
+    stat("device_failures", sc.device_failures.load(Ordering::Relaxed).to_string());
+    stat("corruptions", sc.corruptions.load(Ordering::Relaxed).to_string());
+    stat("degraded", sc.degraded.load(Ordering::Relaxed).to_string());
+    out.extend_from_slice(text.as_bytes());
+    out.extend_from_slice(b"END\r\n");
+}

@@ -1,0 +1,379 @@
+//! Error-budget-driven load shedding.
+//!
+//! The shedder reuses [`cache_faults::ErrorBudget`] semantics (sliding
+//! error window → trip, canary probes → recover) with *deadline misses and
+//! queue overflow* as the error signal, and runs two budgets as a ladder:
+//!
+//! ```text
+//! Normal ──[write budget trips]──▶ ShedWrites ──[read budget trips]──▶ ShedAll
+//!   ▲            (writes bounce, reads pass)        (everything bounces)
+//!   └──────────── canary probes recover each rung independently ◀──────┘
+//! ```
+//!
+//! The write budget is tighter than the read budget, so under rising
+//! overload writes are always shed first — writes are the expensive,
+//! eviction-causing operations, and a cache that keeps serving reads while
+//! bouncing writes degrades its freshness, not its availability. While a
+//! rung is tripped, its budget's probe cadence admits one canary request
+//! per interval; canaries that meet their deadline accumulate toward
+//! recovery, exactly like the flash ladder's device probes.
+
+use cache_faults::{DegradationState, ErrorBudget, ErrorBudgetConfig};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shedder parameters. Defaults shed writes after >8 deadline misses in a
+/// 256-request window and everything after >32 in 512.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedConfig {
+    /// Budget guarding writes (trips first).
+    pub write: ErrorBudgetConfig,
+    /// Budget guarding reads (trips under sustained overload).
+    pub read: ErrorBudgetConfig,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig {
+            write: ErrorBudgetConfig {
+                window_ops: 256,
+                max_errors: 8,
+                probe_interval: 64,
+                recovery_probes: 3,
+            },
+            read: ErrorBudgetConfig {
+                window_ops: 512,
+                max_errors: 32,
+                probe_interval: 64,
+                recovery_probes: 3,
+            },
+        }
+    }
+}
+
+/// Where the shedder currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedLevel {
+    /// Everything is admitted.
+    Normal,
+    /// Writes bounce with `SERVER_ERROR shed-write`, reads pass.
+    ShedWrites,
+    /// Reads bounce too (canaries excepted).
+    ShedAll,
+}
+
+impl ShedLevel {
+    /// Label for STATS.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedLevel::Normal => "normal",
+            ShedLevel::ShedWrites => "shed-writes",
+            ShedLevel::ShedAll => "shed-all",
+        }
+    }
+}
+
+/// Admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve it.
+    Accept,
+    /// Serve it and report the outcome via
+    /// [`LoadShedder::record_probe_outcome`] — it is a recovery canary.
+    Probe,
+    /// Bounce it with a typed `SERVER_ERROR`.
+    Shed,
+}
+
+#[derive(Debug)]
+struct Budgets {
+    write: ErrorBudget,
+    read: ErrorBudget,
+}
+
+/// The shedder: two error budgets behind one short-critical-section lock,
+/// plus lock-free counters for STATS.
+#[derive(Debug)]
+pub struct LoadShedder {
+    budgets: Mutex<Budgets>,
+    /// Logical clock: one tick per admission decision.
+    ops: AtomicU64,
+    shed_writes: AtomicU64,
+    shed_reads: AtomicU64,
+    deadline_misses: AtomicU64,
+    overflows: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl LoadShedder {
+    /// Builds the shedder.
+    pub fn new(cfg: ShedConfig) -> Self {
+        LoadShedder {
+            budgets: Mutex::new(Budgets {
+                write: ErrorBudget::new(cfg.write),
+                read: ErrorBudget::new(cfg.read),
+            }),
+            ops: AtomicU64::new(0),
+            shed_writes: AtomicU64::new(0),
+            shed_reads: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Current ladder rung.
+    pub fn level(&self) -> ShedLevel {
+        let b = self.budgets.lock();
+        match (b.write.state(), b.read.state()) {
+            (_, DegradationState::Degraded) => ShedLevel::ShedAll,
+            (DegradationState::Degraded, _) => ShedLevel::ShedWrites,
+            _ => ShedLevel::Normal,
+        }
+    }
+
+    /// Decides admission for one request. `is_write` selects the rung:
+    /// writes shed at [`ShedLevel::ShedWrites`], reads only at
+    /// [`ShedLevel::ShedAll`].
+    // ORDERING: Relaxed tick/counters — the logical clock only feeds the
+    // budget windows (slack tolerated by design) and the counters are
+    // advisory stats; admission truth is decided under the budget lock.
+    pub fn admit(&self, is_write: bool) -> Admission {
+        let now = self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut b = self.budgets.lock();
+        let budget = if is_write { &mut b.write } else { &mut b.read };
+        match budget.state() {
+            DegradationState::Healthy => {
+                // A write also bounces while the *read* rung is tripped
+                // (ShedAll is a superset of ShedWrites).
+                if is_write && b.read.state() == DegradationState::Degraded {
+                    drop(b);
+                    self.shed_writes.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Shed;
+                }
+                Admission::Accept
+            }
+            DegradationState::Degraded => {
+                if budget.should_probe(now) {
+                    // The attempt is marked when the outcome is reported; a
+                    // burst of requests between admit and report may all be
+                    // admitted as canaries, which only speeds recovery.
+                    drop(b);
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    Admission::Probe
+                } else {
+                    drop(b);
+                    if is_write {
+                        self.shed_writes.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.shed_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Admission::Shed
+                }
+            }
+        }
+    }
+
+    /// Reports a served request's outcome. Deadline misses are the error
+    /// signal that trips the budgets.
+    // ORDERING: Relaxed clock read and stat counters, as in admit.
+    pub fn record_outcome(&self, is_write: bool, deadline_met: bool) {
+        if deadline_met {
+            return;
+        }
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        let now = self.ops.load(Ordering::Relaxed);
+        let mut b = self.budgets.lock();
+        // A miss is evidence of overload for both rungs; the tighter write
+        // window trips first.
+        b.write.record_error(now);
+        if is_write {
+            // Reads stay healthy under write-only pain: only read-path
+            // misses (or overflow, which starves everyone) count there.
+        } else {
+            b.read.record_error(now);
+        }
+    }
+
+    /// Reports a canary's outcome (a request admitted as
+    /// [`Admission::Probe`]).
+    // ORDERING: Relaxed clock read, as in admit.
+    pub fn record_probe_outcome(&self, is_write: bool, deadline_met: bool) {
+        let now = self.ops.load(Ordering::Relaxed);
+        let mut b = self.budgets.lock();
+        let budget = if is_write { &mut b.write } else { &mut b.read };
+        budget.record_probe(now, deadline_met);
+    }
+
+    /// Reports queue/accept overflow: counted against both budgets — when
+    /// connections are bouncing, reads are hurting too.
+    // ORDERING: Relaxed clock read and stat counter, as in admit.
+    pub fn record_overflow(&self) {
+        self.overflows.fetch_add(1, Ordering::Relaxed);
+        let now = self.ops.load(Ordering::Relaxed);
+        let mut b = self.budgets.lock();
+        b.write.record_error(now);
+        b.read.record_error(now);
+    }
+
+    /// STATS snapshot: (level, shed_writes, shed_reads, deadline_misses,
+    /// overflows, probes, write trips, write recoveries, read trips, read
+    /// recoveries).
+    // ORDERING: Relaxed counter loads — advisory stats.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(&self) -> (ShedLevel, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+        let (level, wt, wr, rt, rr) = {
+            let b = self.budgets.lock();
+            let level = match (b.write.state(), b.read.state()) {
+                (_, DegradationState::Degraded) => ShedLevel::ShedAll,
+                (DegradationState::Degraded, _) => ShedLevel::ShedWrites,
+                _ => ShedLevel::Normal,
+            };
+            (
+                level,
+                b.write.trips(),
+                b.write.recoveries(),
+                b.read.trips(),
+                b.read.recoveries(),
+            )
+        };
+        (
+            level,
+            self.shed_writes.load(Ordering::Relaxed),
+            self.shed_reads.load(Ordering::Relaxed),
+            self.deadline_misses.load(Ordering::Relaxed),
+            self.overflows.load(Ordering::Relaxed),
+            self.probes.load(Ordering::Relaxed),
+            wt,
+            wr,
+            rt,
+            rr,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> ShedConfig {
+        ShedConfig {
+            write: ErrorBudgetConfig {
+                window_ops: 100,
+                max_errors: 3,
+                probe_interval: 10,
+                recovery_probes: 2,
+            },
+            read: ErrorBudgetConfig {
+                window_ops: 100,
+                max_errors: 8,
+                probe_interval: 10,
+                recovery_probes: 2,
+            },
+        }
+    }
+
+    /// Burns `n` admission ticks so probe cadences elapse.
+    fn tick(s: &LoadShedder, n: u64) {
+        for _ in 0..n {
+            let _ = s.admit(false);
+        }
+    }
+
+    #[test]
+    fn healthy_shedder_admits_everything() {
+        let s = LoadShedder::new(tight());
+        for _ in 0..50 {
+            assert_eq!(s.admit(true), Admission::Accept);
+            assert_eq!(s.admit(false), Admission::Accept);
+        }
+        assert_eq!(s.level(), ShedLevel::Normal);
+    }
+
+    #[test]
+    fn writes_shed_before_reads() {
+        let s = LoadShedder::new(tight());
+        tick(&s, 10);
+        // 4 write-side deadline misses trip the write budget only.
+        for _ in 0..4 {
+            s.record_outcome(true, false);
+        }
+        assert_eq!(s.level(), ShedLevel::ShedWrites);
+        assert_eq!(s.admit(true), Admission::Shed, "writes bounce");
+        assert_eq!(s.admit(false), Admission::Accept, "reads pass");
+    }
+
+    #[test]
+    fn sustained_misses_shed_reads_too() {
+        let s = LoadShedder::new(tight());
+        tick(&s, 10);
+        for _ in 0..9 {
+            s.record_outcome(false, false);
+        }
+        assert_eq!(s.level(), ShedLevel::ShedAll);
+        // Reads bounce now (first admit after trip is within probe
+        // interval).
+        assert_eq!(s.admit(false), Admission::Shed);
+        assert_eq!(s.admit(true), Admission::Shed);
+    }
+
+    #[test]
+    fn probes_recover_the_write_rung() {
+        let s = LoadShedder::new(tight());
+        tick(&s, 10);
+        for _ in 0..4 {
+            s.record_outcome(true, false);
+        }
+        assert_eq!(s.level(), ShedLevel::ShedWrites);
+        // Advance past the probe interval; the next write is a canary.
+        tick(&s, 11);
+        let mut recovered = false;
+        for _ in 0..100 {
+            match s.admit(true) {
+                Admission::Probe => {
+                    s.record_probe_outcome(true, true);
+                    if s.level() == ShedLevel::Normal {
+                        recovered = true;
+                        break;
+                    }
+                }
+                Admission::Shed => {}
+                Admission::Accept => {
+                    recovered = s.level() == ShedLevel::Normal;
+                    break;
+                }
+            }
+        }
+        assert!(recovered, "canaries must recover the rung");
+        assert_eq!(s.admit(true), Admission::Accept);
+    }
+
+    #[test]
+    fn overflow_counts_against_both_budgets() {
+        let s = LoadShedder::new(tight());
+        tick(&s, 10);
+        for _ in 0..9 {
+            s.record_overflow();
+        }
+        assert_eq!(s.level(), ShedLevel::ShedAll);
+        let snap = s.snapshot();
+        assert_eq!(snap.4, 9, "overflows counted");
+        assert!(snap.6 >= 1 && snap.8 >= 1, "both budgets tripped");
+    }
+
+    #[test]
+    fn failed_probes_keep_shedding() {
+        let s = LoadShedder::new(tight());
+        tick(&s, 10);
+        for _ in 0..4 {
+            s.record_outcome(true, false);
+        }
+        tick(&s, 11);
+        for _ in 0..50 {
+            if let Admission::Probe = s.admit(true) {
+                s.record_probe_outcome(true, false);
+            }
+        }
+        assert_eq!(s.level(), ShedLevel::ShedWrites, "failed canaries never recover");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property fuzz for the protocol parser: arbitrary, truncated, mutated,
+//! and oversized frames must never panic the parser — every input yields a
+//! well-formed outcome (a frame, a recoverable `CLIENT_ERROR`/`ERROR`
+//! reply, an `Incomplete` wait, or a fatal close) with sane `consumed`
+//! accounting.
+
+use cache_server::proto::{parse_frame, Limits, ParseOutcome};
+use cache_server::{Command, ParseOutcome as Outcome};
+use proptest::prelude::*;
+
+fn tight_limits() -> Limits {
+    Limits {
+        max_line_len: 256,
+        max_value_len: 1024,
+        max_get_keys: 8,
+    }
+}
+
+/// Checks the structural invariants every outcome must satisfy.
+fn assert_outcome_sane(buf: &[u8], outcome: &ParseOutcome, limits: &Limits) -> Result<(), TestCaseError> {
+    match outcome {
+        Outcome::Incomplete => {
+            // Incomplete only while the buffer could still grow into a
+            // frame: it must be shorter than the hard line cap plus the
+            // largest legal value block.
+            prop_assert!(
+                buf.len() <= limits.max_line_len + limits.max_value_len + 2,
+                "unbounded buffering on {} bytes",
+                buf.len()
+            );
+        }
+        Outcome::Frame { consumed, .. } => {
+            prop_assert!(*consumed > 0, "a frame must consume bytes");
+            prop_assert!(*consumed <= buf.len(), "over-consumed");
+        }
+        Outcome::Error { reply, consumed } => {
+            prop_assert!(*consumed > 0, "a recoverable error must make progress");
+            prop_assert!(*consumed <= buf.len(), "over-consumed");
+            prop_assert!(
+                reply.starts_with("CLIENT_ERROR") || reply.starts_with("ERROR"),
+                "recoverable reply must be a client error, got {reply:?}"
+            );
+            prop_assert!(reply.ends_with("\r\n"));
+        }
+        Outcome::Fatal { reply } => {
+            prop_assert!(
+                reply.starts_with("CLIENT_ERROR") || reply.starts_with("SERVER_ERROR"),
+                "fatal reply must be typed, got {reply:?}"
+            );
+            prop_assert!(reply.ends_with("\r\n"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pure byte soup: never panics, outcomes are structurally sane.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..2048),
+    ) {
+        let limits = tight_limits();
+        let outcome = parse_frame(&bytes, &limits);
+        assert_outcome_sane(&bytes, &outcome, &limits)?;
+    }
+
+    /// Drain loop: feeding arbitrary bytes through the parser the way the
+    /// server does (drain `consumed`, stop on Incomplete/Fatal) always
+    /// terminates — no infinite loop, no over-consumption.
+    #[test]
+    fn drain_loop_always_terminates(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..4096),
+    ) {
+        let limits = tight_limits();
+        let mut buf = bytes;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            prop_assert!(steps <= 10_000, "parser loop did not terminate");
+            match parse_frame(&buf, &limits) {
+                Outcome::Incomplete | Outcome::Fatal { .. } => break,
+                Outcome::Frame { consumed, .. } | Outcome::Error { consumed, .. } => {
+                    prop_assert!(consumed > 0 && consumed <= buf.len());
+                    buf.drain(..consumed);
+                }
+            }
+        }
+    }
+
+    /// A valid `set` frame with one byte mutated: parses to something sane
+    /// (a frame, an error reply, incomplete, or a close) — never a panic.
+    #[test]
+    fn mutated_set_frames_never_panic(
+        key_len in 1usize..12,
+        val_len in 0usize..64,
+        flip_at in 0usize..1024,
+        flip_to in 0u8..=255u8,
+    ) {
+        let limits = tight_limits();
+        let key: String = (0..key_len).map(|i| (b'a' + (i % 26) as u8) as char).collect();
+        let value = vec![b'v'; val_len];
+        let mut frame = format!("set {key} 7 60 {val_len}\r\n").into_bytes();
+        frame.extend_from_slice(&value);
+        frame.extend_from_slice(b"\r\n");
+        let idx = flip_at % frame.len();
+        frame[idx] = flip_to;
+        let outcome = parse_frame(&frame, &limits);
+        assert_outcome_sane(&frame, &outcome, &limits)?;
+    }
+
+    /// Every truncation of a valid pipelined exchange is Incomplete, a
+    /// frame, or a recoverable error — truncation alone is never fatal
+    /// (fatal is reserved for oversize and framing corruption).
+    #[test]
+    fn truncated_valid_frames_are_not_fatal(
+        cut in 0usize..256,
+    ) {
+        let limits = tight_limits();
+        let full = b"get alpha beta\r\nset gamma 1 0 5\r\nhello\r\ndelete alpha noreply\r\n";
+        let cut = cut % (full.len() + 1);
+        let buf = &full[..cut];
+        let outcome = parse_frame(buf, &limits);
+        assert_outcome_sane(buf, &outcome, &limits)?;
+        prop_assert!(
+            !matches!(outcome, Outcome::Fatal { .. }),
+            "truncation of valid input must not be fatal at cut {cut}"
+        );
+    }
+
+    /// Oversized declared values are rejected fatally (close, do not
+    /// buffer), regardless of the key.
+    #[test]
+    fn oversized_values_close_the_connection(
+        key_len in 1usize..16,
+        excess in 1u64..1_000_000,
+    ) {
+        let limits = tight_limits();
+        let key: String = (0..key_len).map(|i| (b'k' + (i % 8) as u8) as char).collect();
+        let bytes = limits.max_value_len as u64 + excess;
+        let frame = format!("set {key} 0 0 {bytes}\r\n");
+        let outcome = parse_frame(frame.as_bytes(), &limits);
+        prop_assert!(
+            matches!(outcome, Outcome::Fatal { .. }),
+            "oversize must close, got {outcome:?}"
+        );
+    }
+
+    /// Well-formed frames round-trip to the expected command for random
+    /// keys and values (parser correctness, not just crash-freedom).
+    #[test]
+    fn well_formed_frames_roundtrip(
+        key_len in 1usize..32,
+        val in proptest::collection::vec(0u8..=255u8, 0..512),
+        flags in 0u32..u32::MAX,
+        exptime in 0u64..100_000,
+    ) {
+        let limits = tight_limits();
+        let key: String = (0..key_len)
+            .map(|i| (b'!' + ((i * 7) % 94) as u8) as char)
+            .collect();
+        let mut frame = format!("set {key} {flags} {exptime} {}\r\n", val.len()).into_bytes();
+        frame.extend_from_slice(&val);
+        frame.extend_from_slice(b"\r\nget ");
+        frame.extend_from_slice(key.as_bytes());
+        frame.extend_from_slice(b"\r\n");
+        match parse_frame(&frame, &limits) {
+            Outcome::Frame { cmd: Command::Set { key: k, flags: f, exptime: e, value, noreply }, consumed } => {
+                prop_assert_eq!(k, key.clone());
+                prop_assert_eq!(f, flags);
+                prop_assert_eq!(e, exptime);
+                prop_assert_eq!(value, val);
+                prop_assert!(!noreply);
+                match parse_frame(&frame[consumed..], &limits) {
+                    Outcome::Frame { cmd: Command::Get { keys }, .. } => {
+                        prop_assert_eq!(keys, vec![key]);
+                    }
+                    other => prop_assert!(false, "get must parse, got {:?}", other),
+                }
+            }
+            other => prop_assert!(false, "set must parse, got {:?}", other),
+        }
+    }
+}

@@ -126,8 +126,11 @@ impl PolicyStats {
 ///
 /// Implementations are single-threaded; the concurrent prototype in
 /// `cache-concurrent` has its own interface because lock-free caches cannot
-/// report evictions through `&mut Vec`.
-pub trait Policy {
+/// report evictions through `&mut Vec`. The `Send` bound lets a policy (or
+/// a structure embedding `Box<dyn Policy>`, like the flash tier) move
+/// behind a mutex shared across server threads — implementations own plain
+/// data, so the bound costs nothing.
+pub trait Policy: Send {
     /// Human-readable algorithm name, e.g. `"S3-FIFO(0.10)"`.
     fn name(&self) -> String;
 
