@@ -56,6 +56,57 @@ if [ "${cache_lint_elapsed}" -gt 10 ]; then
     exit 1
 fi
 
+echo "== mrc smoke: mrc_throughput =="
+# Small trace, 8-point grid: the binary itself asserts every grid point of
+# the single-pass curve is bit-identical to the per-capacity sweep and that
+# FIFO routes through the exact engine. The validator below checks both the
+# smoke artifact and the checked-in full-run BENCH_mrc.json: sane schema,
+# strictly increasing grid, miss ratios in [0,1] non-increasing with
+# capacity (small epsilon for FIFO's Belady wobble), `identical: true` on
+# every point — and, for the checked-in full run only, the acceptance
+# speedups (aggregate >= 5x, exact-FIFO >= 10x). Smoke numbers themselves
+# are NOT meaningful.
+./target/release/mrc_throughput --smoke
+python3 - <<'PY'
+import json
+
+def check(path, full):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == "mrc_throughput", doc.get("bench")
+    for key in ("mode", "requests", "objects", "grid", "policies", "aggregate"):
+        assert key in doc, f"{path} missing key: {key}"
+    grid = doc["grid"]
+    assert all(a < b for a, b in zip(grid, grid[1:])), f"{path}: grid not increasing"
+    assert doc["policies"], f"{path}: no per-policy results"
+    for p in doc["policies"]:
+        caps = [pt["capacity"] for pt in p["points"]]
+        assert caps == grid, f"{path}: {p['name']} points do not cover the grid"
+        ratios = [pt["miss_ratio"] for pt in p["points"]]
+        assert all(0.0 <= r <= 1.0 for r in ratios), f"{path}: {p['name']} ratio range"
+        for i, (a, b) in enumerate(zip(ratios, ratios[1:])):
+            assert b <= a + 1e-6, \
+                f"{path}: {p['name']} miss ratio rises at grid point {i + 1}"
+        assert all(pt["identical"] is True for pt in p["points"]), \
+            f"{path}: {p['name']} has non-identical points"
+        assert p["speedup"] > 0, f"{path}: {p['name']} speedup"
+    agg = doc["aggregate"]
+    assert agg["metric"] == "mrc" and agg["grid_points"] == len(grid), agg
+    if full:
+        assert doc["mode"] == "full", f"{path}: checked-in file must be a full run"
+        assert agg["speedup"] >= 5.0, \
+            f"{path}: aggregate speedup {agg['speedup']} below 5x"
+        assert agg["fifo_exact_speedup"] >= 10.0, \
+            f"{path}: exact-FIFO speedup {agg['fifo_exact_speedup']} below 10x"
+    return doc, agg
+
+check("target/BENCH_mrc.json", full=False)
+doc, agg = check("BENCH_mrc.json", full=True)
+print(f"mrc smoke ok: {len(doc['policies'])} policies x {agg['grid_points']} "
+      f"points; checked-in full run {agg['speedup']:.2f}x aggregate, "
+      f"{agg['fifo_exact_speedup']:.2f}x exact-FIFO")
+PY
+
 echo "== bench smoke: sim_throughput =="
 # Small corpus, one repeat: proves the dense fast path and the legacy
 # emulation still agree bit-for-bit (the binary asserts it) and that the
@@ -103,6 +154,29 @@ for o in objs:
         assert o["min"] is None and o["max"] is None, f"sentinel leak: {o}"
 print(f"obs smoke ok: {len(objs)} lines, {len(names - {''})} metrics, "
       f"kinds {sorted(kinds)}")
+PY
+# The --mrc mode: instrumented single-pass curves as JSON lines. Every line
+# must parse standalone; every policy contributes curve points; the mrc.*
+# counter/histogram family must be present.
+./target/release/obs_dump --mrc --out target/OBS_mrc.jsonl
+python3 - <<'PY'
+import json
+objs = [json.loads(l) for l in open("target/OBS_mrc.jsonl") if l.strip()]
+points = [o for o in objs if o.get("type") == "mrc"]
+assert points, "no mrc curve points"
+algos = {p["algorithm"] for p in points}
+assert {"FIFO", "CLOCK", "SIEVE"} <= algos and any(
+    a.startswith("S3-FIFO") for a in algos), algos
+for p in points:
+    assert 0.0 <= p["miss_ratio"] <= 1.0 and p["engine"] in (
+        "exact-fifo", "ganged", "per-capacity"), p
+names = {o.get("name", "") for o in objs}
+for expected in ("mrc.curves", "mrc.points", "mrc.requests", "mrc.misses",
+                 "mrc.point_micros"):
+    assert expected in names, f"mrc dump missing metric: {expected}"
+series = {o.get("series", "") for o in objs if o.get("type") == "window"}
+assert "mrc.FIFO" in series, series
+print(f"obs mrc ok: {len(points)} curve points across {len(algos)} policies")
 PY
 
 echo "== server smoke: cache_loadgen --self-host =="

@@ -24,6 +24,12 @@
 //! `--overhead` instead measures the windowed dense replay against the
 //! plain dense replay (the <3 % acceptance number in EXPERIMENTS.md) and
 //! skips the dump.
+//! `--mrc` instead computes FIFO-family miss-ratio curves through the
+//! instrumented front door (`simulate_mrc_recorded`) and dumps them as
+//! JSON lines — one `{"type":"mrc",...}` object per curve point, a
+//! `MissRatioSeries` view per policy, and the `mrc.*` counters/timing
+//! histogram — to `--out` (default `target/OBS_mrc.jsonl`, Prometheus
+//! text next to it).
 
 use cache_concurrent::{s3fifo::ConcurrentS3Fifo, ConcurrentCache};
 use cache_faults::{
@@ -37,7 +43,7 @@ use cache_sim::{simulate_named_windowed, SimConfig};
 use cache_trace::gen::WorkloadSpec;
 use std::io::Write as _;
 
-fn out_path() -> std::path::PathBuf {
+fn out_path(default: &str) -> std::path::PathBuf {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {
@@ -46,7 +52,71 @@ fn out_path() -> std::path::PathBuf {
             }
         }
     }
-    std::path::PathBuf::from("target/OBS_dump.jsonl")
+    std::path::PathBuf::from(default)
+}
+
+/// `--mrc`: one instrumented single-pass curve per FIFO-family policy on a
+/// fixed Zipf trace, dumped as JSON lines plus the `mrc.*` metrics.
+fn dump_mrc() {
+    use cache_sim::{simulate_mrc_recorded, MrcConfig};
+    let registry = MetricsRegistry::new();
+    let scope = registry.scope("mrc");
+    let trace = WorkloadSpec::zipf("obs-mrc", 200_000, 20_000, 1.0, 21).generate();
+    // Log-spaced (powers of two) capacities over the trace footprint — the
+    // range a capacity-planning sweep walks.
+    let slots = trace.dense().ids.len() as u64;
+    let mut grid: Vec<u64> = [64u64, 32, 16, 8, 4, 2, 1]
+        .iter()
+        .map(|d| (slots / d).max(1))
+        .collect();
+    grid.dedup();
+    let cfg = MrcConfig::default();
+
+    let mut dump = String::new();
+    let mut curves = 0usize;
+    for algo in ["FIFO", "CLOCK", "SIEVE", "S3-FIFO"] {
+        let r = simulate_mrc_recorded(algo, &trace, &grid, &cfg, &scope)
+            .expect("known policy and valid grid");
+        // Invariant: the algorithm list and grid above are valid by
+        // construction.
+        for p in &r.points {
+            dump.push_str(&format!(
+                "{{\"type\":\"mrc\",\"algorithm\":\"{}\",\"trace\":\"{}\",\
+                 \"engine\":\"{}\",\"capacity\":{},\"requests\":{},\
+                 \"misses\":{},\"evictions\":{},\"miss_ratio\":{:.6}}}\n",
+                r.algorithm,
+                r.trace,
+                r.engine.as_str(),
+                p.capacity,
+                p.requests,
+                p.misses,
+                p.evictions,
+                p.miss_ratio,
+            ));
+        }
+        dump.push_str(&series_to_json_lines(
+            &format!("mrc.{}", r.algorithm),
+            &r.series(),
+        ));
+        curves += 1;
+    }
+    dump.push_str(&registry_to_json_lines(&registry));
+
+    let path = out_path("target/OBS_mrc.jsonl");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(dump.as_bytes()))
+        .expect("write mrc json dump");
+    let prom_path = path.with_extension("prom");
+    std::fs::write(&prom_path, registry_to_prometheus(&registry)).expect("write prometheus dump");
+    println!(
+        "obs_dump --mrc: {curves} curves x {} grid points, {} metrics",
+        grid.len(),
+        registry.len(),
+    );
+    println!("obs_dump: wrote {} and {}", path.display(), prom_path.display());
 }
 
 /// Windowed-vs-plain dense replay overhead: best-of-N wall time for the
@@ -104,6 +174,10 @@ fn measure_overhead() {
 fn main() {
     if std::env::args().any(|a| a == "--overhead") {
         measure_overhead();
+        return;
+    }
+    if std::env::args().any(|a| a == "--mrc") {
+        dump_mrc();
         return;
     }
     let registry = MetricsRegistry::new();
@@ -201,7 +275,7 @@ fn main() {
     dump.push_str(&events_to_json_lines(&tracer.drain()));
     dump.push_str(&series_to_json_lines("sim.miss_ratio", &series));
 
-    let path = out_path();
+    let path = out_path("target/OBS_dump.jsonl");
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
     }

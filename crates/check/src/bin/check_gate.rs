@@ -1,21 +1,28 @@
 //! CI gate: the full correctness battery on fixed seeds.
 //!
-//! Three phases, each fatal on failure (exit code 1 with a reproduction):
+//! Four phases, each fatal on failure (exit code 1 with a reproduction):
 //!
 //! 1. **Differential fuzz** — every reference-covered algorithm ×
 //!    capacities {1, 2, 3, 7, 50} × {unit-size, sized}, ≥ 10 000 generated
 //!    requests per algorithm/mode pair, reference vs keyed vs dense
 //!    compared after every request. Divergences are shrunk before printing.
-//! 2. **Invariant observer sweep** — every registry algorithm replayed over
+//! 2. **MRC differential** — every FIFO-family multi-capacity engine ×
+//!    degenerate and regular grids × {pure-Get unit, mixed unit, sized},
+//!    each grid point diffed bit-for-bit against a per-capacity reference
+//!    replay, with ddmin shrinking on mismatch.
+//! 3. **Invariant observer sweep** — every registry algorithm replayed over
 //!    a skewed 25 000-request trace under [`cache_check::InvariantObserver`].
-//! 3. **Linearizability-lite** — a logged multi-threaded torture run per
+//! 4. **Linearizability-lite** — a logged multi-threaded torture run per
 //!    concurrent cache, history checked for stale/forged/time-travelling
 //!    reads.
 //!
 //! Budget: a couple of seconds in release mode. Everything is seeded; a
 //! failing run reproduces bit-for-bit (see TESTING.md).
 
-use cache_check::{check_history, fuzz_policy, FuzzConfig, InvariantObserver, FUZZED_ALGORITHMS};
+use cache_check::{
+    check_history, fuzz_mrc, fuzz_policy, FuzzConfig, InvariantObserver, FUZZED_ALGORITHMS,
+    MRC_ALGORITHMS, MRC_GRIDS,
+};
 use cache_concurrent::oplog::{run_logged_torture, LoggedTortureConfig};
 use cache_concurrent::ConcurrentCache;
 use cache_policies::registry;
@@ -53,6 +60,44 @@ fn phase_differential() -> Result<(), String> {
         total += per_pair[0] + per_pair[1];
     }
     println!("  total: {total} differential requests");
+    Ok(())
+}
+
+fn phase_mrc() -> Result<(), String> {
+    // Three stream shapes: pure-Get unit sizes (drives FIFO through the
+    // exact insertion-index engine), unit sizes with writes, and sized with
+    // writes (both drive the ganged lanes).
+    let modes = [
+        ("pure-get-unit", 1u32, 0u64, true),
+        ("mixed-unit", 1, 10, true),
+        ("mixed-sized", 6, 10, false),
+    ];
+    let mut total = 0usize;
+    for name in MRC_ALGORITHMS {
+        let mut per_algo = 0usize;
+        for (grid_idx, grid) in MRC_GRIDS.iter().enumerate() {
+            for (label, max_size, write_percent, ignore_size) in modes {
+                let cfg = FuzzConfig {
+                    seed: 0x3C19_AF05
+                        ^ ((grid_idx as u64) << 16)
+                        ^ u64::from(max_size) << 8
+                        ^ write_percent,
+                    requests: 1_500,
+                    max_size,
+                    write_percent,
+                    ..FuzzConfig::default()
+                };
+                match fuzz_mrc(name, grid, ignore_size, &cfg) {
+                    // Each run checks `grid.len()` per-capacity replays.
+                    Ok(n) => per_algo += n * grid.len(),
+                    Err(d) => return Err(format!("({label} mode) {d}")),
+                }
+            }
+        }
+        println!("  {name}: {per_algo} point-requests diffed bit-identical");
+        total += per_algo;
+    }
+    println!("  total: {total} MRC point-requests across {} grids", MRC_GRIDS.len());
     Ok(())
 }
 
@@ -123,8 +168,9 @@ fn phase_linearizability() -> Result<(), String> {
 type Phase = fn() -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let phases: [(&str, Phase); 3] = [
+    let phases: [(&str, Phase); 4] = [
         ("differential fuzz (reference vs keyed vs dense)", phase_differential),
+        ("MRC differential (multi-capacity engines vs per-capacity reference)", phase_mrc),
         ("invariant observer sweep", phase_observer),
         ("linearizability-lite on logged torture histories", phase_linearizability),
     ];

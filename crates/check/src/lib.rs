@@ -14,6 +14,10 @@
 //!   through reference vs keyed vs dense simultaneously, comparing
 //!   outcomes, eviction records, accounting, and self-validation after
 //!   every request, and shrinking any divergence to a minimal reproduction;
+//! - [`mrc`] — a differential for the single-pass multi-capacity MRC
+//!   engines: every grid point of [`cache_sim::simulate_mrc`] is diffed
+//!   against a per-capacity reference replay, with ddmin shrinking on
+//!   mismatch;
 //! - [`observer`] — an invariant observer pluggable into
 //!   [`cache_sim::simulate_observed`] that shadow-checks residency,
 //!   accounting, and structural invariants after every request of any
@@ -31,10 +35,12 @@
 
 pub mod fuzz;
 pub mod linear;
+pub mod mrc;
 pub mod observer;
 pub mod reference;
 
 pub use fuzz::{diff_run, fuzz_policy, Divergence, FuzzConfig, FUZZED_ALGORITHMS};
+pub use mrc::{fuzz_mrc, mrc_diff, MrcDivergence, MRC_ALGORITHMS, MRC_GRIDS};
 pub use linear::{check_history, witness_exists, LinearViolation};
 pub use observer::InvariantObserver;
 pub use reference::{reference_for, ReferencePolicy};

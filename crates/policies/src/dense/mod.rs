@@ -15,11 +15,16 @@
 //! workload shapes.
 
 mod ghost;
+pub mod mrc;
 mod multi;
 mod s3fifo;
 mod simple;
 mod slab;
 
+pub use mrc::{
+    MrcClock, MrcExactFifo, MrcFifo, MrcS3Fifo, MrcSieve, MrcTurboClock, MrcTurboS3Fifo,
+    MrcTurboSieve, MultiCapacityPolicy, MAX_TURBO_LANES,
+};
 pub use multi::{DenseSlru, DenseTwoQ};
 pub use s3fifo::DenseS3Fifo;
 pub use simple::{DenseClock, DenseFifo, DenseLru, DenseSieve};

@@ -1,0 +1,839 @@
+//! Interleaved per-capacity lanes and the single-queue multi-capacity
+//! engines (FIFO, CLOCK, SIEVE).
+//!
+//! Layout: for a grid of `k` capacities, all per-`(slot, lane)` state is
+//! stored lane-major *within* a slot — `state[slot*k + lane]` — so applying
+//! one request to every lane walks one contiguous `k`-byte row instead of
+//! `k` scattered 64-byte [`super::super::slab::Slot`]s. The hit path reads
+//! only the state row; intrusive links and recorded sizes live in separate
+//! interleaved `u32` arrays touched only when a lane misses or evicts.
+//!
+//! Every lane replicates the decision logic of its single-capacity dense
+//! sibling statement for statement (same eviction scan order, same
+//! uncacheable test against the *lane's* capacity, same `Set`/`Delete`
+//! semantics), which is what makes the per-point results bit-identical to a
+//! per-capacity sweep.
+
+use super::{impl_mrc_replay, validate_grid, MultiCapacityPolicy};
+use cache_ds::{DenseIds, NIL};
+use cache_types::{CacheError, Op, PolicyStats, Request};
+use std::sync::Arc;
+
+/// The interleaved per-`(slot, lane)` arrays shared by the ganged engines.
+///
+/// `state` is policy-defined with the single convention that `0` means
+/// "absent from this lane". `prev`/`next` thread one intrusive queue per
+/// lane (S3-FIFO threads two — a slot is in at most one data queue per
+/// lane, so the links are shared exactly like [`super::super::slab::Slot`]
+/// links are shared between S and M).
+pub(crate) struct Lanes {
+    /// Number of lanes (grid points).
+    pub k: usize,
+    /// Policy-defined per-`(slot, lane)` byte; 0 = absent.
+    pub state: Vec<u8>,
+    /// Queue link toward the tail-to-head direction (`NIL` at the tail).
+    pub prev: Vec<u32>,
+    /// Queue link toward the head-to-tail direction (`NIL` at the head).
+    pub next: Vec<u32>,
+    /// Object size recorded at insertion, per lane (lanes can disagree:
+    /// a `Set` may fit in one lane and not another).
+    pub size: Vec<u32>,
+}
+
+impl Lanes {
+    pub(crate) fn new(slots: usize, k: usize) -> Self {
+        Lanes {
+            k,
+            state: vec![0; slots * k],
+            prev: vec![NIL; slots * k],
+            next: vec![NIL; slots * k],
+            size: vec![0; slots * k],
+        }
+    }
+
+    /// Index of `(slot, lane)` in every interleaved array.
+    #[inline]
+    pub(crate) fn at(&self, slot: u32, lane: usize) -> usize {
+        slot as usize * self.k + lane
+    }
+
+    /// Warms the state row of `slot` (pure prefetch hint).
+    #[inline]
+    pub(crate) fn warm_row(&self, slot: u32) {
+        cache_ds::prefetch_read(&self.state, slot as usize * self.k);
+    }
+
+    // ---- per-lane intrusive queue ops, mirroring `PackedQueue` ---------
+
+    /// Inserts detached slot `s` at the head of `q` (lane `lane`).
+    #[inline]
+    pub(crate) fn push_front(&mut self, q: &mut LaneQueue, lane: usize, s: u32) {
+        let i = self.at(s, lane);
+        debug_assert!(self.prev[i] == NIL && self.next[i] == NIL);
+        let old_head = q.head;
+        self.next[i] = old_head;
+        self.prev[i] = NIL;
+        if old_head != NIL {
+            let h = self.at(old_head, lane);
+            self.prev[h] = s;
+        } else {
+            q.tail = s;
+        }
+        q.head = s;
+        q.len += 1;
+    }
+
+    #[inline]
+    fn unlink(&mut self, q: &mut LaneQueue, lane: usize, s: u32) {
+        let i = self.at(s, lane);
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NIL {
+            let pi = self.at(p, lane);
+            self.next[pi] = n;
+        } else {
+            q.head = n;
+        }
+        if n != NIL {
+            let ni = self.at(n, lane);
+            self.prev[ni] = p;
+        } else {
+            q.tail = p;
+        }
+    }
+
+    /// Detaches slot `s`, which must be in `q`.
+    #[inline]
+    pub(crate) fn remove(&mut self, q: &mut LaneQueue, lane: usize, s: u32) {
+        self.unlink(q, lane, s);
+        let i = self.at(s, lane);
+        self.prev[i] = NIL;
+        self.next[i] = NIL;
+        q.len -= 1;
+    }
+
+    /// Moves slot `s`, which must be in `q`, to the head.
+    #[inline]
+    pub(crate) fn move_to_front(&mut self, q: &mut LaneQueue, lane: usize, s: u32) {
+        if q.head == s {
+            return;
+        }
+        self.unlink(q, lane, s);
+        let i = self.at(s, lane);
+        let old_head = q.head;
+        self.prev[i] = NIL;
+        self.next[i] = old_head;
+        if old_head != NIL {
+            let h = self.at(old_head, lane);
+            self.prev[h] = s;
+        } else {
+            q.tail = s;
+        }
+        q.head = s;
+    }
+
+    /// The neighbour of `s` toward the head, or `None` when `s` is the head.
+    #[inline]
+    pub(crate) fn toward_head(&self, lane: usize, s: u32) -> Option<u32> {
+        let p = self.prev[self.at(s, lane)];
+        if p == NIL {
+            None
+        } else {
+            Some(p)
+        }
+    }
+
+    /// Iterates `q` head → tail (validation only; not a hot path).
+    pub(crate) fn iter<'a>(
+        &'a self,
+        q: &LaneQueue,
+        lane: usize,
+    ) -> impl Iterator<Item = u32> + 'a {
+        let mut cur = q.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let s = cur;
+            cur = self.next[self.at(s, lane)];
+            Some(s)
+        })
+    }
+}
+
+/// Head/tail/len of one lane's intrusive queue (links live in [`Lanes`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneQueue {
+    pub head: u32,
+    pub tail: u32,
+    pub len: u32,
+}
+
+impl LaneQueue {
+    pub(crate) const fn new() -> Self {
+        LaneQueue {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tail (oldest) slot, or `None` when empty.
+    #[inline]
+    pub(crate) fn tail(&self) -> Option<u32> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.tail)
+        }
+    }
+}
+
+/// Per-lane bookkeeping shared by the single-queue engines.
+struct Lane {
+    capacity: u64,
+    used: u64,
+    queue: LaneQueue,
+    stats: PolicyStats,
+}
+
+impl Lane {
+    fn new(capacity: u64) -> Self {
+        Lane {
+            capacity,
+            used: 0,
+            queue: LaneQueue::new(),
+            stats: PolicyStats::default(),
+        }
+    }
+}
+
+/// Structural validation shared by the single-queue engines: per lane, the
+/// links walk exactly `len` slots, every walked slot is marked resident
+/// (`resident(state) == true`), byte accounting matches, no `(slot, lane)`
+/// outside the queue is marked, and the capacity bound holds — the lane-wise
+/// counterpart of `validate_packed_queue`.
+fn validate_lanes(
+    name: &str,
+    lanes: &Lanes,
+    metas: &[Lane],
+    resident: impl Fn(u8) -> bool,
+) -> Result<(), String> {
+    for (lane, meta) in metas.iter().enumerate() {
+        if meta.used > meta.capacity {
+            return Err(format!(
+                "{name} lane {lane}: used {} > capacity {}",
+                meta.used, meta.capacity
+            ));
+        }
+        let mut bytes = 0u64;
+        let mut count = 0u32;
+        for slot in lanes.iter(&meta.queue, lane) {
+            let i = lanes.at(slot, lane);
+            if !resident(lanes.state[i]) {
+                return Err(format!(
+                    "{name} lane {lane}: queued slot {slot} not marked resident"
+                ));
+            }
+            bytes += u64::from(lanes.size[i]);
+            count += 1;
+        }
+        if count != meta.queue.len {
+            return Err(format!(
+                "{name} lane {lane}: links walk {count} slots but len says {}",
+                meta.queue.len
+            ));
+        }
+        if bytes != meta.used {
+            return Err(format!(
+                "{name} lane {lane}: queued bytes {bytes} != accounted {}",
+                meta.used
+            ));
+        }
+        let marked = lanes
+            .state
+            .iter()
+            .skip(lane)
+            .step_by(lanes.k)
+            .filter(|&&st| resident(st))
+            .count();
+        if marked != count as usize {
+            return Err(format!(
+                "{name} lane {lane}: {marked} slots marked resident but {count} queued"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+const FIFO_RESIDENT: u8 = 1;
+
+/// Multi-capacity FIFO: one ganged lane per grid point, mirroring
+/// [`super::super::DenseFifo`] per lane.
+///
+/// This is the FIFO engine for traces the exact engine cannot handle
+/// (writes, deletes, or honored sizes); `cache_sim::mrc::simulate_mrc`
+/// prefers [`super::MrcExactFifo`] when its preconditions hold.
+pub struct MrcFifo {
+    caps: Vec<u64>,
+    lanes: Lanes,
+    metas: Vec<Lane>,
+}
+
+impl MrcFifo {
+    /// Creates one FIFO lane per grid capacity over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty or contains a zero.
+    pub fn new(capacities: &[u64], ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        validate_grid(capacities)?;
+        Ok(MrcFifo {
+            caps: capacities.to_vec(),
+            lanes: Lanes::new(ids.len(), capacities.len()),
+            metas: capacities.iter().map(|&c| Lane::new(c)).collect(),
+        })
+    }
+
+    fn evict_one(&mut self, lane: usize) {
+        let meta = &mut self.metas[lane];
+        if let Some(tail) = meta.queue.tail() {
+            self.lanes.remove(&mut self.metas[lane].queue, lane, tail);
+            let i = self.lanes.at(tail, lane);
+            self.lanes.state[i] = 0;
+            self.metas[lane].used -= u64::from(self.lanes.size[i]);
+            self.metas[lane].stats.evictions += 1;
+        }
+    }
+
+    fn insert(&mut self, lane: usize, slot: u32, req: &Request) {
+        while self.metas[lane].used + u64::from(req.size) > self.metas[lane].capacity
+            && !self.metas[lane].queue.is_empty()
+        {
+            self.evict_one(lane);
+        }
+        self.lanes.push_front(&mut self.metas[lane].queue, lane, slot);
+        let i = self.lanes.at(slot, lane);
+        self.lanes.state[i] = FIFO_RESIDENT;
+        self.lanes.size[i] = req.size;
+        self.metas[lane].used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, lane: usize, slot: u32) {
+        let i = self.lanes.at(slot, lane);
+        if std::mem::replace(&mut self.lanes.state[i], 0) == FIFO_RESIDENT {
+            self.lanes.remove(&mut self.metas[lane].queue, lane, slot);
+            self.metas[lane].used -= u64::from(self.lanes.size[i]);
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcFifo {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        let base = slot as usize * self.lanes.k;
+        match req.op {
+            Op::Get => {
+                for lane in 0..self.lanes.k {
+                    if self.lanes.state[base + lane] == FIFO_RESIDENT {
+                        self.metas[lane].stats.record_get(req.size, false);
+                    } else if u64::from(req.size) > self.metas[lane].capacity {
+                        self.metas[lane].stats.record_get(req.size, true);
+                    } else {
+                        self.metas[lane].stats.record_get(req.size, true);
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Set => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                    if u64::from(req.size) <= self.metas[lane].capacity {
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Delete => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                }
+            }
+        }
+    }
+
+    fn prefetch(&self, slot: u32) {
+        self.lanes.warm_row(slot);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.metas.iter().map(|m| m.stats).collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        validate_lanes("FIFO", &self.lanes, &self.metas, |st| st == FIFO_RESIDENT)
+    }
+
+    impl_mrc_replay!();
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK
+// ---------------------------------------------------------------------------
+
+/// Residency bit of a CLOCK lane's state byte; the low 7 bits hold the
+/// reference counter (CLOCK's `bits` parameter is 1..=7, so it fits).
+const CLOCK_RES: u8 = 0x80;
+
+/// Multi-capacity CLOCK: one ganged lane per grid point, mirroring
+/// [`super::super::DenseClock`] per lane (including the `bits`-bit counter).
+pub struct MrcClock {
+    caps: Vec<u64>,
+    max_freq: u8,
+    lanes: Lanes,
+    metas: Vec<Lane>,
+}
+
+impl MrcClock {
+    /// Creates one CLOCK lane per grid capacity with a `bits`-bit counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty or contains a zero, or
+    /// `bits` is 0 or > 7.
+    pub fn new(capacities: &[u64], bits: u8, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        validate_grid(capacities)?;
+        if bits == 0 || bits > 7 {
+            return Err(CacheError::InvalidParameter(format!(
+                "bits must be in 1..=7, got {bits}"
+            )));
+        }
+        Ok(MrcClock {
+            caps: capacities.to_vec(),
+            max_freq: (1u8 << bits) - 1,
+            lanes: Lanes::new(ids.len(), capacities.len()),
+            metas: capacities.iter().map(|&c| Lane::new(c)).collect(),
+        })
+    }
+
+    fn evict_one(&mut self, lane: usize) {
+        while let Some(tail) = self.metas[lane].queue.tail() {
+            let i = self.lanes.at(tail, lane);
+            let freq = self.lanes.state[i] & !CLOCK_RES;
+            if freq > 0 {
+                self.lanes.state[i] = CLOCK_RES | (freq - 1);
+                self.lanes.move_to_front(&mut self.metas[lane].queue, lane, tail);
+            } else {
+                self.lanes.remove(&mut self.metas[lane].queue, lane, tail);
+                self.lanes.state[i] = 0;
+                self.metas[lane].used -= u64::from(self.lanes.size[i]);
+                self.metas[lane].stats.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, lane: usize, slot: u32, req: &Request) {
+        while self.metas[lane].used + u64::from(req.size) > self.metas[lane].capacity
+            && !self.metas[lane].queue.is_empty()
+        {
+            self.evict_one(lane);
+        }
+        self.lanes.push_front(&mut self.metas[lane].queue, lane, slot);
+        let i = self.lanes.at(slot, lane);
+        self.lanes.state[i] = CLOCK_RES;
+        self.lanes.size[i] = req.size;
+        self.metas[lane].used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, lane: usize, slot: u32) {
+        let i = self.lanes.at(slot, lane);
+        if std::mem::replace(&mut self.lanes.state[i], 0) & CLOCK_RES != 0 {
+            self.lanes.remove(&mut self.metas[lane].queue, lane, slot);
+            self.metas[lane].used -= u64::from(self.lanes.size[i]);
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcClock {
+    fn name(&self) -> String {
+        if self.max_freq == 1 {
+            "CLOCK".into()
+        } else {
+            format!("CLOCK-{}bit", (self.max_freq + 1).trailing_zeros())
+        }
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        let base = slot as usize * self.lanes.k;
+        match req.op {
+            Op::Get => {
+                for lane in 0..self.lanes.k {
+                    let st = self.lanes.state[base + lane];
+                    if st & CLOCK_RES != 0 {
+                        let freq = ((st & !CLOCK_RES) + 1).min(self.max_freq);
+                        self.lanes.state[base + lane] = CLOCK_RES | freq;
+                        self.metas[lane].stats.record_get(req.size, false);
+                    } else if u64::from(req.size) > self.metas[lane].capacity {
+                        self.metas[lane].stats.record_get(req.size, true);
+                    } else {
+                        self.metas[lane].stats.record_get(req.size, true);
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Set => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                    if u64::from(req.size) <= self.metas[lane].capacity {
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Delete => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                }
+            }
+        }
+    }
+
+    fn prefetch(&self, slot: u32) {
+        self.lanes.warm_row(slot);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.metas.iter().map(|m| m.stats).collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        validate_lanes(
+            &MultiCapacityPolicy::name(self),
+            &self.lanes,
+            &self.metas,
+            |st| st & CLOCK_RES != 0,
+        )?;
+        for (i, &st) in self.lanes.state.iter().enumerate() {
+            if st & CLOCK_RES != 0 && st & !CLOCK_RES > self.max_freq {
+                return Err(format!(
+                    "CLOCK: state index {i} freq {} exceeds cap {}",
+                    st & !CLOCK_RES,
+                    self.max_freq
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    impl_mrc_replay!();
+}
+
+// ---------------------------------------------------------------------------
+// SIEVE
+// ---------------------------------------------------------------------------
+
+/// Residency bit of a SIEVE lane's state byte; bit 0 is the visited flag.
+const SIEVE_RES: u8 = 0x80;
+const SIEVE_VISITED: u8 = 0x01;
+
+/// Multi-capacity SIEVE: one ganged lane per grid point, mirroring
+/// [`super::super::DenseSieve`] per lane (hand invariants included).
+pub struct MrcSieve {
+    caps: Vec<u64>,
+    lanes: Lanes,
+    metas: Vec<Lane>,
+    /// Per-lane hand: next eviction candidate, `NIL` = start at the tail.
+    hands: Vec<u32>,
+}
+
+impl MrcSieve {
+    /// Creates one SIEVE lane per grid capacity over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty or contains a zero.
+    pub fn new(capacities: &[u64], ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        validate_grid(capacities)?;
+        Ok(MrcSieve {
+            caps: capacities.to_vec(),
+            lanes: Lanes::new(ids.len(), capacities.len()),
+            metas: capacities.iter().map(|&c| Lane::new(c)).collect(),
+            hands: vec![NIL; capacities.len()],
+        })
+    }
+
+    fn evict_one(&mut self, lane: usize) {
+        // Resume from the hand, or from the tail at start / after wrap.
+        let mut cur = if self.hands[lane] != NIL {
+            Some(self.hands[lane])
+        } else {
+            self.metas[lane].queue.tail()
+        };
+        while let Some(s) = cur {
+            let i = self.lanes.at(s, lane);
+            if self.lanes.state[i] & SIEVE_VISITED != 0 {
+                self.lanes.state[i] = SIEVE_RES;
+                // Move toward the head; wrap to the tail at the end.
+                cur = self
+                    .lanes
+                    .toward_head(lane, s)
+                    .or_else(|| self.metas[lane].queue.tail());
+            } else {
+                // Evict; the hand moves to the neighbour toward the head.
+                self.hands[lane] = self.lanes.toward_head(lane, s).unwrap_or(NIL);
+                self.lanes.remove(&mut self.metas[lane].queue, lane, s);
+                self.lanes.state[i] = 0;
+                self.metas[lane].used -= u64::from(self.lanes.size[i]);
+                self.metas[lane].stats.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    fn insert(&mut self, lane: usize, slot: u32, req: &Request) {
+        while self.metas[lane].used + u64::from(req.size) > self.metas[lane].capacity
+            && !self.metas[lane].queue.is_empty()
+        {
+            self.evict_one(lane);
+        }
+        self.lanes.push_front(&mut self.metas[lane].queue, lane, slot);
+        let i = self.lanes.at(slot, lane);
+        self.lanes.state[i] = SIEVE_RES;
+        self.lanes.size[i] = req.size;
+        self.metas[lane].used += u64::from(req.size);
+    }
+
+    fn delete(&mut self, lane: usize, slot: u32) {
+        let i = self.lanes.at(slot, lane);
+        if std::mem::replace(&mut self.lanes.state[i], 0) & SIEVE_RES != 0 {
+            if self.hands[lane] == slot {
+                self.hands[lane] = self.lanes.toward_head(lane, slot).unwrap_or(NIL);
+            }
+            self.lanes.remove(&mut self.metas[lane].queue, lane, slot);
+            self.metas[lane].used -= u64::from(self.lanes.size[i]);
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcSieve {
+    fn name(&self) -> String {
+        "SIEVE".into()
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        let base = slot as usize * self.lanes.k;
+        match req.op {
+            Op::Get => {
+                for lane in 0..self.lanes.k {
+                    if self.lanes.state[base + lane] & SIEVE_RES != 0 {
+                        self.lanes.state[base + lane] = SIEVE_RES | SIEVE_VISITED;
+                        self.metas[lane].stats.record_get(req.size, false);
+                    } else if u64::from(req.size) > self.metas[lane].capacity {
+                        self.metas[lane].stats.record_get(req.size, true);
+                    } else {
+                        self.metas[lane].stats.record_get(req.size, true);
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Set => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                    if u64::from(req.size) <= self.metas[lane].capacity {
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Delete => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                }
+            }
+        }
+    }
+
+    fn prefetch(&self, slot: u32) {
+        self.lanes.warm_row(slot);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.metas.iter().map(|m| m.stats).collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        validate_lanes("SIEVE", &self.lanes, &self.metas, |st| st & SIEVE_RES != 0)?;
+        for (lane, &hand) in self.hands.iter().enumerate() {
+            if hand != NIL && self.lanes.state[self.lanes.at(hand, lane)] & SIEVE_RES == 0 {
+                return Err(format!(
+                    "SIEVE lane {lane}: hand points at non-resident slot {hand}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    impl_mrc_replay!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::{DenseClock, DenseFifo, DenseSieve};
+    use super::*;
+    use cache_types::DensePolicy;
+
+    /// A skewed Get/Set/Delete stream with an interned slot sequence.
+    fn workload(len: usize, universe: u64, max_size: u32) -> (Vec<Request>, Vec<u32>, Arc<DenseIds>) {
+        let mut state = 0xA24B_AED4_963E_E407u64;
+        let mut reqs = Vec::with_capacity(len);
+        for t in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            let id = if roll % 2 == 0 {
+                roll % (universe / 8).max(1)
+            } else {
+                roll % universe
+            };
+            let op = match roll % 10 {
+                0 => Op::Set,
+                1 => Op::Delete,
+                _ => Op::Get,
+            };
+            reqs.push(Request {
+                id,
+                size: 1 + (roll % u64::from(max_size)) as u32,
+                time: t as u64,
+                op,
+            });
+        }
+        let (ids, slots) = DenseIds::intern(reqs.iter().map(|r| r.id));
+        (reqs, slots, Arc::new(ids))
+    }
+
+    /// Replays `engine` and one dense sibling per capacity over the same
+    /// stream and asserts per-lane stats (and miss-ratio bits) are equal.
+    fn assert_lanes_match<M, D>(
+        engine: &mut M,
+        mut dense_at: impl FnMut(u64) -> D,
+        reqs: &[Request],
+        slots: &[u32],
+        ignore_size: bool,
+    ) where
+        M: MultiCapacityPolicy,
+        D: DensePolicy,
+    {
+        engine.replay(slots, reqs, ignore_size);
+        engine.validate().expect("ganged invariants hold");
+        // Invariant: validate only fails on an engine bug under test.
+        let lanes = engine.lane_stats();
+        for (lane, &cap) in engine.capacities().iter().enumerate() {
+            let mut dense = dense_at(cap);
+            dense.replay(slots, reqs, ignore_size, &mut |_, _| {});
+            assert_eq!(lanes[lane], dense.stats(), "capacity {cap}");
+            assert_eq!(
+                lanes[lane].miss_ratio().to_bits(),
+                dense.stats().miss_ratio().to_bits(),
+                "capacity {cap}"
+            );
+        }
+    }
+
+    const GRID: [u64; 8] = [1, 2, 3, 5, 9, 9, 17, 40];
+
+    #[test]
+    fn fifo_lanes_match_dense_fifo() {
+        for (max_size, ignore) in [(1, true), (6, false)] {
+            let (reqs, slots, ids) = workload(3000, 64, max_size);
+            let mut m = MrcFifo::new(&GRID, &ids).expect("valid grid");
+            // Invariant: GRID is non-empty and zero-free.
+            assert_lanes_match(
+                &mut m,
+                |cap| DenseFifo::new(cap, &ids).expect("capacity > 0"),
+                // Invariant: every GRID capacity is positive.
+                &reqs,
+                &slots,
+                ignore,
+            );
+        }
+    }
+
+    #[test]
+    fn clock_lanes_match_dense_clock() {
+        for bits in [1u8, 2] {
+            for (max_size, ignore) in [(1, true), (6, false)] {
+                let (reqs, slots, ids) = workload(3000, 64, max_size);
+                let mut m = MrcClock::new(&GRID, bits, &ids).expect("valid grid and bits");
+                // Invariant: GRID is non-empty and zero-free; bits in 1..=7.
+                assert_lanes_match(
+                    &mut m,
+                    |cap| DenseClock::new(cap, bits, &ids).expect("capacity > 0"),
+                    // Invariant: every GRID capacity is positive.
+                    &reqs,
+                    &slots,
+                    ignore,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sieve_lanes_match_dense_sieve() {
+        for (max_size, ignore) in [(1, true), (6, false)] {
+            let (reqs, slots, ids) = workload(3000, 64, max_size);
+            let mut m = MrcSieve::new(&GRID, &ids).expect("valid grid");
+            // Invariant: GRID is non-empty and zero-free.
+            assert_lanes_match(
+                &mut m,
+                |cap| DenseSieve::new(cap, &ids).expect("capacity > 0"),
+                // Invariant: every GRID capacity is positive.
+                &reqs,
+                &slots,
+                ignore,
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_grids_round_trip() {
+        let (_, _, ids) = workload(10, 8, 1);
+        let m = MrcFifo::new(&[4], &ids).expect("valid grid");
+        // Invariant: a single positive capacity is a valid grid.
+        assert_eq!(MultiCapacityPolicy::name(&m), "FIFO");
+        assert_eq!(m.capacities(), &[4]);
+        let c1 = MrcClock::new(&[4], 1, &ids).expect("valid grid and bits");
+        let c2 = MrcClock::new(&[4], 2, &ids).expect("valid grid and bits");
+        // Invariant: bits 1 and 2 are within 1..=7.
+        assert_eq!(MultiCapacityPolicy::name(&c1), "CLOCK");
+        assert_eq!(MultiCapacityPolicy::name(&c2), "CLOCK-2bit");
+        assert_eq!(
+            MultiCapacityPolicy::name(&MrcSieve::new(&[4], &ids).expect("valid grid")),
+            // Invariant: a single positive capacity is a valid grid.
+            "SIEVE"
+        );
+        assert!(MrcFifo::new(&[], &ids).is_err());
+        assert!(MrcClock::new(&[1], 0, &ids).is_err());
+        assert!(MrcClock::new(&[1], 8, &ids).is_err());
+        assert!(MrcSieve::new(&[0], &ids).is_err());
+    }
+}

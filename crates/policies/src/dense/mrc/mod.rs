@@ -1,0 +1,207 @@
+//! Multi-capacity dense engines: one trace pass, a whole miss-ratio curve.
+//!
+//! The per-capacity sweep replays the full trace once per cache size, so a
+//! 32-point miss-ratio curve costs 32 trace traversals — and the traversal,
+//! not the policy arithmetic, is where the time goes. The engines here
+//! compute every point of the curve in a *single* pass, two ways:
+//!
+//! - [`MrcExactFifo`] exploits FIFO's insertion-index structure. A FIFO of
+//!   capacity `C` over a pure-`Get` unit-size stream contains exactly the
+//!   objects whose latest insertion index lies in the last `C` insertions,
+//!   so one per-capacity insertion counter plus a per-object index row
+//!   answers hit/miss at every capacity with two integer ops per lane — no
+//!   queues at all (CIPARSim's cache-intersection observation, specialised
+//!   to FIFO where it is exact).
+//! - [`MrcTurboClock`], [`MrcTurboSieve`], and [`MrcTurboS3Fifo`] handle
+//!   the pure-`Get` unit-size case (the common one for capacity planning)
+//!   with a per-slot residency bitmap, a shared access counter from which
+//!   reference/visited state is *derived* at scan time, and array-backed
+//!   queues — hits touch one cache line for the whole grid (the `turbo`
+//!   module docs carry the derivation argument).
+//! - [`MrcFifo`], [`MrcClock`], [`MrcSieve`], and [`MrcS3Fifo`] gang one
+//!   *lane* per capacity through an interleaved state layout: all per-object
+//!   bytes for the whole capacity grid sit contiguously (`state[slot*k+lane]`),
+//!   so a `Get` that hits in every lane touches one or two cache lines total
+//!   instead of one resident [`super::slab::Slot`] line per capacity. Links
+//!   and sizes live in separate interleaved arrays touched only on the miss
+//!   and eviction paths. Each lane makes byte-for-byte the decisions of the
+//!   corresponding single-capacity dense policy ([`super::DenseFifo`], …);
+//!   `crates/sim/tests/mrc_equivalence.rs` and `cache-check`'s MRC
+//!   differential hold them bit-identical.
+//!
+//! The simulator front door is `cache_sim::mrc::simulate_mrc`, which picks
+//! the exact engine when its preconditions hold (FIFO, pure `Get`, unit
+//! sizes) and the ganged engines otherwise.
+
+mod exact;
+mod gang;
+mod s3fifo;
+mod turbo;
+
+pub use exact::MrcExactFifo;
+pub use gang::{MrcClock, MrcFifo, MrcSieve};
+pub use s3fifo::MrcS3Fifo;
+pub use turbo::{MrcTurboClock, MrcTurboS3Fifo, MrcTurboSieve, MAX_TURBO_LANES};
+
+pub(crate) use gang::{LaneQueue, Lanes};
+
+use cache_types::{CacheError, PolicyStats, Request};
+
+/// A policy simulated at many capacities simultaneously.
+///
+/// One instance owns a *lane* per entry of its capacity grid; every request
+/// is applied to all lanes, and each lane must make exactly the decisions
+/// the single-capacity dense policy of the same name would make at that
+/// capacity. Lanes are fully independent — duplicate or unsorted grid
+/// entries are legal and simply produce identical or unsorted lanes.
+pub trait MultiCapacityPolicy {
+    /// Human-readable algorithm name — matches the keyed/dense variant.
+    fn name(&self) -> String;
+
+    /// The capacity grid, in construction order (one lane per entry).
+    fn capacities(&self) -> &[u64];
+
+    /// Processes one request whose object was interned at `slot`, updating
+    /// every lane.
+    fn request_mrc(&mut self, slot: u32, req: &Request);
+
+    /// Warms the per-slot state row for a request arriving shortly (pure
+    /// prefetch hint, like [`cache_types::DensePolicy::prefetch`]).
+    fn prefetch(&self, _slot: u32) {}
+
+    /// Per-lane statistics, parallel to [`MultiCapacityPolicy::capacities`].
+    fn lane_stats(&self) -> Vec<PolicyStats>;
+
+    /// Checks structural invariants across all lanes (test/verification
+    /// hook, may be O(slots × lanes)). The default performs no checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Replays a whole interned request stream through every lane.
+    ///
+    /// The default loops through [`MultiCapacityPolicy::request_mrc`] behind
+    /// dynamic dispatch; concrete engines override it with a monomorphized
+    /// [`mrc_replay_loop`] so the per-request path inlines. With
+    /// `ignore_size`, requests are replayed at size 1 without materializing
+    /// a copy of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` and `requests` have different lengths.
+    fn replay(&mut self, slots: &[u32], requests: &[Request], ignore_size: bool) {
+        assert_eq!(slots.len(), requests.len(), "slot/request length mismatch");
+        for (&slot, r) in slots.iter().zip(requests.iter()) {
+            let req = if ignore_size {
+                Request { size: 1, ..(*r) }
+            } else {
+                *r
+            };
+            self.request_mrc(slot, &req);
+        }
+    }
+}
+
+/// Shared capacity-grid validation for the multi-capacity constructors.
+pub(crate) fn validate_grid(capacities: &[u64]) -> Result<(), CacheError> {
+    if capacities.is_empty() {
+        return Err(CacheError::InvalidParameter(
+            "capacity grid must not be empty".into(),
+        ));
+    }
+    if capacities.contains(&0) {
+        return Err(CacheError::InvalidCapacity(
+            "every grid capacity must be > 0".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The monomorphized replay loop every engine's
+/// [`MultiCapacityPolicy::replay`] override delegates to — same shape and
+/// lookahead as [`super::replay_loop`], minus eviction records (curve
+/// points need only the per-lane counters).
+#[inline]
+pub(crate) fn mrc_replay_loop<P: MultiCapacityPolicy>(
+    policy: &mut P,
+    slots: &[u32],
+    requests: &[Request],
+    ignore_size: bool,
+) {
+    assert_eq!(slots.len(), requests.len(), "slot/request length mismatch");
+    for (i, (&slot, r)) in slots.iter().zip(requests.iter()).enumerate() {
+        if let Some(&ahead) = slots.get(i + super::LOOKAHEAD) {
+            policy.prefetch(ahead);
+        }
+        let req = if ignore_size {
+            Request { size: 1, ..(*r) }
+        } else {
+            *r
+        };
+        policy.request_mrc(slot, &req);
+    }
+}
+
+/// Implements [`MultiCapacityPolicy::replay`] as a monomorphized
+/// [`mrc_replay_loop`] call; used inside each engine's trait impl.
+macro_rules! impl_mrc_replay {
+    () => {
+        fn replay(
+            &mut self,
+            slots: &[u32],
+            requests: &[cache_types::Request],
+            ignore_size: bool,
+        ) {
+            crate::dense::mrc::mrc_replay_loop(self, slots, requests, ignore_size);
+        }
+    };
+}
+pub(crate) use impl_mrc_replay;
+
+/// Implements [`MultiCapacityPolicy::replay`] for the pure-`Get` engines
+/// (exact FIFO and the turbo lanes): on the streams they accept, a request
+/// carries no information beyond its slot, so the hot loop streams the
+/// `u32` slot sequence only — no per-request `Request` copy, no op/size
+/// dispatch. The stream preconditions (every request a `Get`, unit sizes
+/// unless `ignore_size`) are enforced by the `simulate_mrc` routing and
+/// debug-checked wholesale here; the engine's inherent `step(slot)` must
+/// match its `request_mrc` body.
+macro_rules! impl_mrc_replay_pure_get {
+    () => {
+        fn replay(
+            &mut self,
+            slots: &[u32],
+            requests: &[cache_types::Request],
+            ignore_size: bool,
+        ) {
+            assert_eq!(slots.len(), requests.len(), "slot/request length mismatch");
+            debug_assert!(
+                requests.iter().all(|r| r.op == cache_types::Op::Get),
+                "pure-Get MRC engine replayed with writes"
+            );
+            debug_assert!(
+                ignore_size || requests.iter().all(|r| r.size == 1),
+                "pure-Get MRC engine replayed with honored non-unit sizes"
+            );
+            let _ = ignore_size;
+            for (i, &slot) in slots.iter().enumerate() {
+                if let Some(&ahead) = slots.get(i + crate::dense::mrc::PURE_GET_LOOKAHEAD) {
+                    self.prefetch(ahead);
+                }
+                self.step(slot);
+            }
+        }
+    };
+}
+pub(crate) use impl_mrc_replay_pure_get;
+
+/// Prefetch distance for the pure-`Get` replay loop. Deeper than the
+/// general [`super::LOOKAHEAD`]: these engines' per-request work is a
+/// handful of cycles once the slot row is resident, so the loop runs far
+/// ahead of the memory system and the prefetches need a longer lead to
+/// complete before use.
+pub(crate) const PURE_GET_LOOKAHEAD: usize = 32;

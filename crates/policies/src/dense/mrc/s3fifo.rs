@@ -1,0 +1,516 @@
+//! Ganged multi-capacity S3-FIFO — one small/main/ghost triple per grid
+//! point, all sharing the interleaved [`Lanes`] arrays.
+//!
+//! Each lane copies [`super::super::DenseS3Fifo`] decision for decision
+//! (promotion threshold, ghost-before-make-room lookup, single post-insert
+//! `M` trim, tombstone ghost quirks — see [`super::super::SlotGhost`]). The
+//! per-`(slot, lane)` byte packs the queue tag (bits 0–1), the capped 2-bit
+//! frequency (bits 2–3), and the ghost presence mark (bit 4); a resident
+//! slot never carries the ghost mark — the same invariant
+//! [`super::super::DenseS3Fifo::validate`] enforces — so tag/freq updates
+//! can overwrite the low bits without consulting the ghost.
+
+use super::{impl_mrc_replay, validate_grid, LaneQueue, Lanes, MultiCapacityPolicy};
+use cache_ds::DenseIds;
+use cache_types::{CacheError, Op, PolicyStats, Request};
+use s3fifo::S3FifoConfig;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Queue tag in bits 0–1 of the state byte.
+const TAG_MASK: u8 = 0x03;
+const ABSENT: u8 = 0;
+const SMALL: u8 = 1;
+const MAIN: u8 = 2;
+/// Capped 2-bit access counter in bits 2–3.
+const FREQ_SHIFT: u8 = 2;
+const FREQ_MASK: u8 = 0x0C;
+/// Ghost presence mark in bit 4.
+const GHOST: u8 = 0x10;
+
+#[inline]
+fn freq_of(st: u8) -> u8 {
+    (st & FREQ_MASK) >> FREQ_SHIFT
+}
+
+/// Per-lane S3-FIFO bookkeeping; queue links live in the shared [`Lanes`]
+/// (a slot sits in at most one data queue per lane, so `small` and `main`
+/// share the link arrays exactly like the dense slab shares its links).
+struct LaneS3 {
+    capacity: u64,
+    s_capacity: u64,
+    m_capacity: u64,
+    s_used: u64,
+    m_used: u64,
+    small: LaneQueue,
+    main: LaneQueue,
+    /// Ghost FIFO entries `(slot, size)`, tombstones included; the presence
+    /// mark is bit 4 of the lane's state byte.
+    ghost_fifo: VecDeque<(u32, u32)>,
+    ghost_used: u64,
+    ghost_cap: u64,
+    ghost_hits: u64,
+    stats: PolicyStats,
+}
+
+impl LaneS3 {
+    fn new(capacity: u64, cfg: &S3FifoConfig) -> Self {
+        // Same capacity derivation as `DenseS3Fifo::with_config`.
+        let s_capacity = ((capacity as f64 * cfg.small_ratio).round() as u64).max(1);
+        let m_capacity = capacity.saturating_sub(s_capacity).max(1);
+        let ghost_cap = (m_capacity as f64 * cfg.ghost_ratio).round() as u64;
+        LaneS3 {
+            capacity,
+            s_capacity,
+            m_capacity,
+            s_used: 0,
+            m_used: 0,
+            small: LaneQueue::new(),
+            main: LaneQueue::new(),
+            ghost_fifo: VecDeque::new(),
+            ghost_used: 0,
+            ghost_cap,
+            ghost_hits: 0,
+            stats: PolicyStats::default(),
+        }
+    }
+
+    fn used_total(&self) -> u64 {
+        self.s_used + self.m_used
+    }
+
+    fn len_total(&self) -> u32 {
+        self.small.len + self.main.len
+    }
+}
+
+/// Multi-capacity S3-FIFO: one ganged lane (S + M + ghost) per grid point,
+/// mirroring [`super::super::DenseS3Fifo`] per lane.
+pub struct MrcS3Fifo {
+    caps: Vec<u64>,
+    cfg: S3FifoConfig,
+    lanes: Lanes,
+    metas: Vec<LaneS3>,
+}
+
+impl MrcS3Fifo {
+    /// Creates one S3-FIFO lane per grid capacity with default parameters
+    /// (S = 10 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty or contains a zero.
+    pub fn new(capacities: &[u64], ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_config(capacities, S3FifoConfig::default(), ids)
+    }
+
+    /// Creates one S3-FIFO lane per grid capacity with an explicit
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty or contains a zero, or
+    /// the configuration is invalid (same rules as
+    /// [`super::super::DenseS3Fifo::with_config`]).
+    pub fn with_config(
+        capacities: &[u64],
+        cfg: S3FifoConfig,
+        ids: &Arc<DenseIds>,
+    ) -> Result<Self, CacheError> {
+        validate_grid(capacities)?;
+        if !(cfg.small_ratio > 0.0 && cfg.small_ratio < 1.0) {
+            return Err(CacheError::InvalidParameter(format!(
+                "small_ratio must be in (0,1), got {}",
+                cfg.small_ratio
+            )));
+        }
+        if cfg.ghost_ratio < 0.0 {
+            return Err(CacheError::InvalidParameter(
+                "ghost_ratio must be >= 0".into(),
+            ));
+        }
+        Ok(MrcS3Fifo {
+            caps: capacities.to_vec(),
+            lanes: Lanes::new(ids.len(), capacities.len()),
+            metas: capacities.iter().map(|&c| LaneS3::new(c, &cfg)).collect(),
+            cfg,
+        })
+    }
+
+    // ---- per-lane ghost, replicating `SlotGhost` on the state bit -------
+
+    fn ghost_insert(&mut self, lane: usize, slot: u32, size: u32) {
+        if self.metas[lane].ghost_cap == 0 {
+            return;
+        }
+        let i = self.lanes.at(slot, lane);
+        if self.lanes.state[i] & GHOST == 0 {
+            self.lanes.state[i] |= GHOST;
+            self.metas[lane].ghost_fifo.push_back((slot, size));
+            self.metas[lane].ghost_used += u64::from(size);
+        }
+        while self.metas[lane].ghost_used > self.metas[lane].ghost_cap {
+            if let Some((old, sz)) = self.metas[lane].ghost_fifo.pop_front() {
+                // Tombstones stay charged, so the subtraction is
+                // unconditional; clearing the mark of a re-inserted slot's
+                // newer entry is the keyed ghost's deliberate quirk.
+                self.metas[lane].ghost_used -= u64::from(sz);
+                let oi = self.lanes.at(old, lane);
+                self.lanes.state[oi] &= !GHOST;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // ---- eviction paths, mirroring `DenseS3Fifo` ------------------------
+
+    fn evict_small(&mut self, lane: usize) {
+        while let Some(tail) = self.metas[lane].small.tail() {
+            let i = self.lanes.at(tail, lane);
+            let size = self.lanes.size[i];
+            if freq_of(self.lanes.state[i]) > self.cfg.promote_threshold {
+                // Promote to M; access bits are cleared during the move.
+                self.lanes.remove(&mut self.metas[lane].small, lane, tail);
+                self.metas[lane].s_used -= u64::from(size);
+                self.lanes.push_front(&mut self.metas[lane].main, lane, tail);
+                self.lanes.state[i] = MAIN;
+                self.metas[lane].m_used += u64::from(size);
+                if self.metas[lane].m_used > self.metas[lane].m_capacity {
+                    self.evict_main(lane);
+                }
+            } else {
+                self.lanes.remove(&mut self.metas[lane].small, lane, tail);
+                self.metas[lane].s_used -= u64::from(size);
+                self.lanes.state[i] = ABSENT;
+                self.ghost_insert(lane, tail, size);
+                self.metas[lane].stats.evictions += 1;
+                return;
+            }
+        }
+        // S drained without evicting anything: fall back to M.
+        if !self.metas[lane].main.is_empty() {
+            self.evict_main(lane);
+        }
+    }
+
+    fn evict_main(&mut self, lane: usize) {
+        while let Some(tail) = self.metas[lane].main.tail() {
+            let i = self.lanes.at(tail, lane);
+            let freq = freq_of(self.lanes.state[i]);
+            if freq > 0 {
+                // Reinsert at the head with frequency decreased by one.
+                self.lanes.move_to_front(&mut self.metas[lane].main, lane, tail);
+                self.lanes.state[i] = MAIN | ((freq - 1) << FREQ_SHIFT);
+            } else {
+                self.lanes.remove(&mut self.metas[lane].main, lane, tail);
+                self.metas[lane].m_used -= u64::from(self.lanes.size[i]);
+                self.lanes.state[i] = ABSENT;
+                self.metas[lane].stats.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    fn make_room(&mut self, lane: usize, need: u32) {
+        while self.metas[lane].used_total() + u64::from(need) > self.metas[lane].capacity {
+            if self.metas[lane].s_used >= self.metas[lane].s_capacity
+                || self.metas[lane].main.is_empty()
+            {
+                self.evict_small(lane);
+            } else {
+                self.evict_main(lane);
+            }
+            if self.metas[lane].len_total() == 0 {
+                break;
+            }
+        }
+    }
+
+    fn insert(&mut self, lane: usize, slot: u32, req: &Request) {
+        let i = self.lanes.at(slot, lane);
+        // Ghost membership is decided before making room: the eviction loop
+        // inserts into the ghost itself and could otherwise displace exactly
+        // the entry being looked up.
+        let in_ghost = self.lanes.state[i] & GHOST != 0;
+        self.make_room(lane, req.size);
+        let tag = if in_ghost {
+            let gi = self.lanes.at(slot, lane);
+            self.lanes.state[gi] &= !GHOST;
+            self.metas[lane].ghost_hits += 1;
+            self.metas[lane].m_used += u64::from(req.size);
+            self.lanes.push_front(&mut self.metas[lane].main, lane, slot);
+            MAIN
+        } else {
+            self.metas[lane].s_used += u64::from(req.size);
+            self.lanes.push_front(&mut self.metas[lane].small, lane, slot);
+            SMALL
+        };
+        let i = self.lanes.at(slot, lane);
+        self.lanes.state[i] = tag; // freq 0; ghost mark is clear either way
+        self.lanes.size[i] = req.size;
+        // A ghost-hit insert into M can overflow M; trim one object now,
+        // exactly like `DenseS3Fifo::insert`.
+        if tag == MAIN && self.metas[lane].m_used > self.metas[lane].m_capacity {
+            self.evict_main(lane);
+        }
+    }
+
+    fn delete(&mut self, lane: usize, slot: u32) {
+        let i = self.lanes.at(slot, lane);
+        let st = self.lanes.state[i];
+        self.lanes.state[i] = st & GHOST; // clear tag + freq, keep the mark
+        match st & TAG_MASK {
+            SMALL => {
+                self.lanes.remove(&mut self.metas[lane].small, lane, slot);
+                self.metas[lane].s_used -= u64::from(self.lanes.size[i]);
+            }
+            MAIN => {
+                self.lanes.remove(&mut self.metas[lane].main, lane, slot);
+                self.metas[lane].m_used -= u64::from(self.lanes.size[i]);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcS3Fifo {
+    fn name(&self) -> String {
+        format!("S3-FIFO({:.2})", self.cfg.small_ratio)
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        let base = slot as usize * self.lanes.k;
+        match req.op {
+            Op::Get => {
+                for lane in 0..self.lanes.k {
+                    let st = self.lanes.state[base + lane];
+                    if st & TAG_MASK != ABSENT {
+                        // Hit: bump the capped counter.
+                        let freq = (freq_of(st) + 1).min(3);
+                        self.lanes.state[base + lane] =
+                            (st & !FREQ_MASK) | (freq << FREQ_SHIFT);
+                        self.metas[lane].stats.record_get(req.size, false);
+                    } else if u64::from(req.size) > self.metas[lane].capacity {
+                        self.metas[lane].stats.record_get(req.size, true);
+                    } else {
+                        self.metas[lane].stats.record_get(req.size, true);
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Set => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                    if u64::from(req.size) <= self.metas[lane].capacity {
+                        self.insert(lane, slot, req);
+                    }
+                }
+            }
+            Op::Delete => {
+                for lane in 0..self.lanes.k {
+                    self.delete(lane, slot);
+                }
+            }
+        }
+    }
+
+    fn prefetch(&self, slot: u32) {
+        self.lanes.warm_row(slot);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.metas.iter().map(|m| m.stats).collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (lane, meta) in self.metas.iter().enumerate() {
+            if meta.used_total() > meta.capacity {
+                return Err(format!(
+                    "S3 lane {lane}: used {} > capacity {}",
+                    meta.used_total(),
+                    meta.capacity
+                ));
+            }
+            // No `m_used <= m_capacity` assertion — single-object trims can
+            // leave M transiently over budget with sized objects, exactly
+            // like the dense/keyed implementations.
+            let mut queued = 0usize;
+            for (queue, tag, used, name) in [
+                (&meta.small, SMALL, meta.s_used, "small"),
+                (&meta.main, MAIN, meta.m_used, "main"),
+            ] {
+                let mut bytes = 0u64;
+                let mut count = 0u32;
+                for slot in self.lanes.iter(queue, lane) {
+                    let i = self.lanes.at(slot, lane);
+                    let st = self.lanes.state[i];
+                    if st & TAG_MASK != tag {
+                        return Err(format!(
+                            "S3 lane {lane}: slot {slot} sits in {name} but is tagged {}",
+                            st & TAG_MASK
+                        ));
+                    }
+                    if st & GHOST != 0 {
+                        return Err(format!(
+                            "S3 lane {lane}: slot {slot} is both resident and ghost-marked"
+                        ));
+                    }
+                    bytes += u64::from(self.lanes.size[i]);
+                    count += 1;
+                    queued += 1;
+                }
+                if count != queue.len {
+                    return Err(format!(
+                        "S3 lane {lane}: {name} links walk {count} slots but len says {}",
+                        queue.len
+                    ));
+                }
+                if bytes != used {
+                    return Err(format!(
+                        "S3 lane {lane}: {name} bytes {bytes} != accounted {used}"
+                    ));
+                }
+            }
+            let tagged = self
+                .lanes
+                .state
+                .iter()
+                .skip(lane)
+                .step_by(self.lanes.k)
+                .filter(|&&st| st & TAG_MASK != ABSENT)
+                .count();
+            if tagged != queued {
+                return Err(format!(
+                    "S3 lane {lane}: {tagged} slots carry a residency tag but {queued} queued"
+                ));
+            }
+            // Ghost invariants, mirroring `SlotGhost::validate`.
+            if meta.ghost_used > meta.ghost_cap {
+                return Err(format!(
+                    "S3 lane {lane}: ghost used {} > capacity {}",
+                    meta.ghost_used, meta.ghost_cap
+                ));
+            }
+            let bytes: u64 = meta.ghost_fifo.iter().map(|&(_, s)| u64::from(s)).sum();
+            if bytes != meta.ghost_used {
+                return Err(format!(
+                    "S3 lane {lane}: ghost slot bytes {bytes} != accounted {}",
+                    meta.ghost_used
+                ));
+            }
+            let marked = self
+                .lanes
+                .state
+                .iter()
+                .skip(lane)
+                .step_by(self.lanes.k)
+                .filter(|&&st| st & GHOST != 0)
+                .count();
+            let live = meta
+                .ghost_fifo
+                .iter()
+                .filter(|&&(s, _)| self.lanes.state[self.lanes.at(s, lane)] & GHOST != 0)
+                .count();
+            if live < marked {
+                return Err(format!(
+                    "S3 lane {lane}: ghost marks {marked} slots but only {live} own entries"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    impl_mrc_replay!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::DenseS3Fifo;
+    use super::*;
+    use cache_types::DensePolicy;
+
+    fn workload(len: usize, universe: u64, max_size: u32) -> (Vec<Request>, Vec<u32>, Arc<DenseIds>) {
+        let mut state = 0x1357_9BDF_2468_ACE0u64;
+        let mut reqs = Vec::with_capacity(len);
+        for t in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            let id = if roll % 2 == 0 {
+                roll % (universe / 8).max(1)
+            } else {
+                roll % universe
+            };
+            let op = match roll % 10 {
+                0 => Op::Set,
+                1 => Op::Delete,
+                _ => Op::Get,
+            };
+            reqs.push(Request {
+                id,
+                size: 1 + (roll % u64::from(max_size)) as u32,
+                time: t as u64,
+                op,
+            });
+        }
+        let (ids, slots) = DenseIds::intern(reqs.iter().map(|r| r.id));
+        (reqs, slots, Arc::new(ids))
+    }
+
+    const GRID: [u64; 8] = [1, 2, 3, 5, 9, 9, 17, 40];
+
+    #[test]
+    fn s3_lanes_match_dense_s3fifo() {
+        for ratio in [0.1, 0.25] {
+            for (max_size, ignore) in [(1u32, true), (6, false)] {
+                let (reqs, slots, ids) = workload(3000, 64, max_size);
+                let cfg = S3FifoConfig {
+                    small_ratio: ratio,
+                    ..Default::default()
+                };
+                let mut m = MrcS3Fifo::with_config(&GRID, cfg, &ids).expect("valid grid and cfg");
+                // Invariant: GRID is non-empty and zero-free; ratio in (0,1).
+                m.replay(&slots, &reqs, ignore);
+                m.validate().expect("ganged S3 invariants hold");
+                // Invariant: validate only fails on an engine bug under test.
+                let lanes = m.lane_stats();
+                for (lane, &cap) in m.capacities().iter().enumerate() {
+                    let mut dense =
+                        DenseS3Fifo::with_config(cap, cfg, &ids).expect("capacity > 0");
+                    // Invariant: every GRID capacity is positive.
+                    dense.replay(&slots, &reqs, ignore, &mut |_, _| {});
+                    assert_eq!(lanes[lane], dense.stats(), "ratio {ratio} capacity {cap}");
+                    assert_eq!(
+                        lanes[lane].miss_ratio().to_bits(),
+                        dense.stats().miss_ratio().to_bits(),
+                        "ratio {ratio} capacity {cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn name_embeds_ratio_and_bad_configs_error() {
+        let (_, _, ids) = workload(10, 8, 1);
+        let m = MrcS3Fifo::new(&[4], &ids).expect("valid grid");
+        // Invariant: a single positive capacity is a valid grid.
+        assert_eq!(MultiCapacityPolicy::name(&m), "S3-FIFO(0.10)");
+        assert!(MrcS3Fifo::new(&[], &ids).is_err());
+        assert!(MrcS3Fifo::new(&[0, 2], &ids).is_err());
+        let bad = S3FifoConfig {
+            small_ratio: 1.5,
+            ..Default::default()
+        };
+        assert!(MrcS3Fifo::with_config(&[4], bad, &ids).is_err());
+        let bad_ghost = S3FifoConfig {
+            ghost_ratio: -0.5,
+            ..Default::default()
+        };
+        assert!(MrcS3Fifo::with_config(&[4], bad_ghost, &ids).is_err());
+    }
+}

@@ -1,0 +1,1106 @@
+//! Timestamp-derived multi-capacity lanes for pure-`Get` unit-size streams.
+//!
+//! The interleaved linked-list lanes in [`super::gang`] and
+//! [`super::s3fifo`] are general — they take writes, deletes, and sized
+//! objects — but their per-(slot, lane) state is `k`× the footprint of one
+//! single-capacity policy, so on large traces the hit path falls out of
+//! cache exactly where the per-capacity sweep stays resident, and a `Get`
+//! that hits still pays one state write per lane. The engines here
+//! specialise to the restricted streams `simulate_mrc` sees in practice
+//! (pure `Get`, size 1, fewer than `u32::MAX` requests, ≤ 64 grid points)
+//! and collapse the per-request cost to near the exact-FIFO engine's:
+//!
+//! - **Residency is one bitmap word.** `hdr[slot].res` holds one bit per
+//!   lane, so a `Get` answers hit/miss for the *whole grid* from a single
+//!   load, and a hit writes nothing per lane.
+//! - **Reference state is derived, not stored.** `hdr[slot].acc` counts the
+//!   slot's accesses; each queue entry remembers the counter value `mark`
+//!   (and a folded base frequency `f0`) from when the policy last touched
+//!   it. Under pure `Get`s an object's residency in a lane is one
+//!   continuous interval, every access inside it is a hit, and CLOCK /
+//!   S3-FIFO frequencies only *increase* between policy touch-points — so
+//!   the capped counter at scan time is exactly
+//!   `min(f0 + (acc - mark), max)`, and SIEVE's visited bit is exactly
+//!   `acc > mark`. Hits never touch per-lane state; scans re-fold.
+//! - **Queues are arrays, not linked lists.** CLOCK's move-to-front cycle
+//!   is a fixed circular buffer with a hand (survivors stay put, the victim
+//!   is replaced in place); SIEVE is a grow-only vector with tombstones, a
+//!   hand index, and amortised compaction; S3-FIFO's queues are
+//!   `VecDeque`s (every operation is a tail pop or head push). Eviction
+//!   scans walk sequential memory.
+//!
+//! Each lane still makes byte-for-byte the decisions of the single-capacity
+//! dense policy of the same name; `crates/sim/tests/mrc_equivalence.rs` and
+//! `cache-check`'s MRC differential (pure-Get unit mode) pin the
+//! equivalence. FIFO needs no lane here: the insertion-index engine in
+//! [`super::exact`] already covers it under the same preconditions.
+
+use super::{impl_mrc_replay_pure_get, validate_grid, MultiCapacityPolicy};
+use cache_ds::{prefetch_read, DenseIds};
+use s3fifo::S3FifoConfig;
+use cache_types::{CacheError, Op, PolicyStats, Request};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Lane-count ceiling: residency and ghost marks are one `u64` per slot.
+pub const MAX_TURBO_LANES: usize = 64;
+
+/// Per-slot header shared by all lanes: residency bitmap + access counter.
+/// One cache line covers four slots, so the all-hit path for a 64-point
+/// grid touches a single line.
+#[derive(Clone, Copy, Default)]
+struct SlotHdr {
+    /// Bit `lane` set ⇔ the slot is resident in that lane.
+    res: u64,
+    /// Accesses to this slot so far (monotone; the trace-length gate keeps
+    /// it below `u32::MAX`).
+    acc: u32,
+}
+
+/// Per-slot header for S3-FIFO lanes: adds the ghost-membership bitmap.
+#[derive(Clone, Copy, Default)]
+struct S3SlotHdr {
+    res: u64,
+    /// Bit `lane` set ⇔ the slot is ghost-marked in that lane.
+    ghost: u64,
+    acc: u32,
+}
+
+/// Bitmask selecting all `k` lanes.
+fn lane_mask(k: usize) -> u64 {
+    if k == MAX_TURBO_LANES {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// The capped reference counter an entry would hold had every access been
+/// applied eagerly: `f0` accesses were folded in at the last policy touch
+/// (insert or scan) when the slot's counter read `mark`; everything since
+/// is a hit, and capping commutes with pure increments.
+#[inline]
+fn derived_freq(f0: u8, acc_now: u32, mark: u32, max_freq: u8) -> u8 {
+    debug_assert!(acc_now >= mark, "access counter moved backwards");
+    (u64::from(f0) + u64::from(acc_now - mark)).min(u64::from(max_freq)) as u8
+}
+
+/// Grid + lane-count validation shared by the turbo constructors.
+fn validate_turbo_grid(capacities: &[u64]) -> Result<(), CacheError> {
+    validate_grid(capacities)?;
+    if capacities.len() > MAX_TURBO_LANES {
+        return Err(CacheError::InvalidParameter(format!(
+            "turbo MRC lanes hold residency in one u64: grid has {} points, max {}",
+            capacities.len(),
+            MAX_TURBO_LANES
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK
+// ---------------------------------------------------------------------------
+
+/// One CLOCK queue entry; `f0`/`mark` fold the reference counter as of the
+/// last policy touch (see [`derived_freq`]).
+#[derive(Clone, Copy)]
+struct ClockEntry {
+    slot: u32,
+    mark: u32,
+    f0: u8,
+}
+
+struct ClockLane {
+    capacity: u64,
+    /// Circular buffer once full (`ring.len() == capacity`); before that, a
+    /// plain vector in insertion order with the hand parked at 0.
+    ring: Vec<ClockEntry>,
+    hand: usize,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Multi-capacity CLOCK over pure-`Get` unit-size streams, lane-for-lane
+/// decision-identical to [`super::gang::MrcClock`] (and so to
+/// [`crate::dense::DenseClock`]).
+///
+/// The linked queue's eviction cycle — decrement and move survivors to the
+/// head, evict the first zero-count tail, insert the new object at the head
+/// — is a fixed circular buffer in disguise: survivors keep their cell (the
+/// hand walks past them), the victim's cell is overwritten by the new
+/// object, and the hand ends up just past it, which is exactly the queue
+/// order the linked form produces.
+pub struct MrcTurboClock {
+    caps: Vec<u64>,
+    max_freq: u8,
+    mask: u64,
+    hdr: Vec<SlotHdr>,
+    lanes: Vec<ClockLane>,
+    gets: u64,
+}
+
+impl MrcTurboClock {
+    /// Creates one CLOCK lane per grid capacity with a `bits`-bit counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty, contains a zero, has
+    /// more than [`MAX_TURBO_LANES`] points, or `bits` is outside `1..=7`.
+    pub fn new(capacities: &[u64], bits: u8, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        validate_turbo_grid(capacities)?;
+        if !(1..=7).contains(&bits) {
+            return Err(CacheError::InvalidParameter(format!(
+                "CLOCK bits must be in 1..=7, got {bits}"
+            )));
+        }
+        Ok(MrcTurboClock {
+            caps: capacities.to_vec(),
+            max_freq: (1u8 << bits) - 1,
+            mask: lane_mask(capacities.len()),
+            hdr: vec![SlotHdr::default(); ids.len()],
+            lanes: capacities
+                .iter()
+                .map(|&capacity| ClockLane {
+                    capacity,
+                    ring: Vec::new(),
+                    hand: 0,
+                    misses: 0,
+                    evictions: 0,
+                })
+                .collect(),
+            gets: 0,
+        })
+    }
+
+    /// One request's worth of work — the slot is all a pure-`Get`
+    /// unit-size request carries (see `impl_mrc_replay_pure_get`).
+    #[inline]
+    fn step(&mut self, slot: u32) {
+        self.gets += 1;
+        let h = &mut self.hdr[slot as usize];
+        h.acc += 1;
+        let a = h.acc;
+        // A hit is over here: frequency is implied by the counter bump.
+        let mut miss = !h.res & self.mask;
+        while miss != 0 {
+            let lane = miss.trailing_zeros() as usize;
+            miss &= miss - 1;
+            self.insert(lane, slot, a);
+        }
+    }
+
+    /// Miss path for one lane: fill until the ring reaches capacity, then
+    /// run the hand until a zero-frequency victim is replaced in place.
+    fn insert(&mut self, lane: usize, slot: u32, a: u32) {
+        let max_freq = self.max_freq;
+        let hdr = &mut self.hdr;
+        let l = &mut self.lanes[lane];
+        let bit = 1u64 << lane;
+        l.misses += 1;
+        if (l.ring.len() as u64) < l.capacity {
+            l.ring.push(ClockEntry { slot, mark: a, f0: 0 });
+            hdr[slot as usize].res |= bit;
+            return;
+        }
+        let len = l.ring.len();
+        loop {
+            let e = l.ring[l.hand];
+            let ea = hdr[e.slot as usize].acc;
+            let freq = derived_freq(e.f0, ea, e.mark, max_freq);
+            if freq > 0 {
+                // Survivor: fold the decremented count, advance the hand.
+                l.ring[l.hand] = ClockEntry {
+                    slot: e.slot,
+                    mark: ea,
+                    f0: freq - 1,
+                };
+                l.hand += 1;
+                if l.hand == len {
+                    l.hand = 0;
+                }
+            } else {
+                hdr[e.slot as usize].res &= !bit;
+                l.ring[l.hand] = ClockEntry { slot, mark: a, f0: 0 };
+                l.hand += 1;
+                if l.hand == len {
+                    l.hand = 0;
+                }
+                l.evictions += 1;
+                hdr[slot as usize].res |= bit;
+                // Warm the likely victim of this lane's next miss.
+                prefetch_read(hdr, l.ring[l.hand].slot as usize);
+                return;
+            }
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcTurboClock {
+    fn name(&self) -> String {
+        if self.max_freq == 1 {
+            "CLOCK".into()
+        } else {
+            format!("CLOCK-{}bit", (self.max_freq + 1).trailing_zeros())
+        }
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        debug_assert_eq!(req.op, Op::Get, "turbo MRC requires pure-Get traces");
+        debug_assert_eq!(req.size, 1, "turbo MRC requires unit sizes");
+        self.step(slot);
+    }
+
+    fn prefetch(&self, slot: u32) {
+        prefetch_read(&self.hdr, slot as usize);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.lanes
+            .iter()
+            .map(|l| PolicyStats {
+                gets: self.gets,
+                misses: l.misses,
+                evictions: l.evictions,
+                get_bytes: self.gets,
+                miss_bytes: l.misses,
+            })
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (lane, l) in self.lanes.iter().enumerate() {
+            let bit = 1u64 << lane;
+            if l.ring.len() as u64 > l.capacity {
+                return Err(format!(
+                    "turbo CLOCK lane {lane}: ring {} exceeds capacity {}",
+                    l.ring.len(),
+                    l.capacity
+                ));
+            }
+            if !l.ring.is_empty() && l.hand >= l.ring.len() {
+                return Err(format!("turbo CLOCK lane {lane}: hand out of range"));
+            }
+            let mut seen = vec![false; self.hdr.len()];
+            for e in &l.ring {
+                let s = e.slot as usize;
+                if seen[s] {
+                    return Err(format!("turbo CLOCK lane {lane}: slot {s} ringed twice"));
+                }
+                seen[s] = true;
+                if self.hdr[s].res & bit == 0 {
+                    return Err(format!(
+                        "turbo CLOCK lane {lane}: slot {s} ringed but not marked resident"
+                    ));
+                }
+                if e.mark > self.hdr[s].acc {
+                    return Err(format!("turbo CLOCK lane {lane}: mark ahead of counter"));
+                }
+                if e.f0 > self.max_freq {
+                    return Err(format!(
+                        "turbo CLOCK lane {lane}: folded freq {} exceeds cap {}",
+                        e.f0, self.max_freq
+                    ));
+                }
+            }
+            let marked = self.hdr.iter().filter(|h| h.res & bit != 0).count();
+            if marked != l.ring.len() {
+                return Err(format!(
+                    "turbo CLOCK lane {lane}: {marked} resident marks vs {} ring entries",
+                    l.ring.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    impl_mrc_replay_pure_get!();
+}
+
+// ---------------------------------------------------------------------------
+// SIEVE
+// ---------------------------------------------------------------------------
+
+/// Tombstone marker in a SIEVE lane's buffer.
+const TOMB: u32 = u32::MAX;
+
+/// One SIEVE buffer entry; visited ⇔ `hdr[slot].acc > mark`.
+#[derive(Clone, Copy)]
+struct SieveEntry {
+    slot: u32,
+    mark: u32,
+}
+
+struct SieveLane {
+    capacity: u64,
+    /// Entries in insertion order, tail (oldest) at the lowest live index,
+    /// head at the end; evictions leave [`TOMB`] holes that compaction
+    /// squeezes out once they outnumber live entries.
+    buf: Vec<SieveEntry>,
+    live: u64,
+    /// Lower bound on the tail's index; advanced lazily over tombstones.
+    tail: usize,
+    /// Resume point of the eviction scan (`None` = start at the tail),
+    /// always a live index.
+    hand: Option<usize>,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SieveLane {
+    /// Index of the oldest live entry, advancing the cached lower bound.
+    /// Callers guarantee at least one live entry.
+    fn tail_idx(&mut self) -> usize {
+        while self.buf[self.tail].slot == TOMB {
+            self.tail += 1;
+        }
+        self.tail
+    }
+
+    /// Next live index strictly above `cur` (toward the head), if any.
+    fn next_live(&self, cur: usize) -> Option<usize> {
+        self.buf[cur + 1..]
+            .iter()
+            .position(|e| e.slot != TOMB)
+            .map(|off| cur + 1 + off)
+    }
+}
+
+/// Multi-capacity SIEVE over pure-`Get` unit-size streams, lane-for-lane
+/// decision-identical to [`super::gang::MrcSieve`] (and so to
+/// [`crate::dense::DenseSieve`]).
+///
+/// SIEVE never reorders its queue — the hand does the aging in place — so
+/// the queue is a grow-only vector: inserts append at the head end,
+/// evictions tombstone at the hand, and the scan is a forward walk over
+/// contiguous entries instead of a pointer chase.
+pub struct MrcTurboSieve {
+    caps: Vec<u64>,
+    mask: u64,
+    hdr: Vec<SlotHdr>,
+    lanes: Vec<SieveLane>,
+    gets: u64,
+}
+
+impl MrcTurboSieve {
+    /// Creates one SIEVE lane per grid capacity over the interned domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty, contains a zero, or
+    /// has more than [`MAX_TURBO_LANES`] points.
+    pub fn new(capacities: &[u64], ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        validate_turbo_grid(capacities)?;
+        Ok(MrcTurboSieve {
+            caps: capacities.to_vec(),
+            mask: lane_mask(capacities.len()),
+            hdr: vec![SlotHdr::default(); ids.len()],
+            lanes: capacities
+                .iter()
+                .map(|&capacity| SieveLane {
+                    capacity,
+                    buf: Vec::new(),
+                    live: 0,
+                    tail: 0,
+                    hand: None,
+                    misses: 0,
+                    evictions: 0,
+                })
+                .collect(),
+            gets: 0,
+        })
+    }
+
+    /// Eviction scan: resume at the hand (else the tail), clear visited
+    /// survivors in place, tombstone the first unvisited entry.
+    fn evict(&mut self, lane: usize) {
+        let hdr = &mut self.hdr;
+        let l = &mut self.lanes[lane];
+        let bit = 1u64 << lane;
+        let mut cur = match l.hand {
+            Some(h) => h,
+            None => l.tail_idx(),
+        };
+        loop {
+            let e = l.buf[cur];
+            let ea = hdr[e.slot as usize].acc;
+            if ea > e.mark {
+                // Visited: clear (fold the counter) and move toward the
+                // head, wrapping to the tail like the linked scan.
+                l.buf[cur].mark = ea;
+                cur = match l.next_live(cur) {
+                    Some(n) => n,
+                    None => l.tail_idx(),
+                };
+            } else {
+                l.buf[cur].slot = TOMB;
+                l.live -= 1;
+                hdr[e.slot as usize].res &= !bit;
+                l.evictions += 1;
+                l.hand = l.next_live(cur);
+                if let Some(h) = l.hand {
+                    prefetch_read(hdr, l.buf[h].slot as usize);
+                }
+                return;
+            }
+        }
+    }
+
+    /// One request's worth of work — the slot is all a pure-`Get`
+    /// unit-size request carries (see `impl_mrc_replay_pure_get`).
+    #[inline]
+    fn step(&mut self, slot: u32) {
+        self.gets += 1;
+        let h = &mut self.hdr[slot as usize];
+        h.acc += 1;
+        let a = h.acc;
+        let mut miss = !h.res & self.mask;
+        while miss != 0 {
+            let lane = miss.trailing_zeros() as usize;
+            miss &= miss - 1;
+            self.insert(lane, slot, a);
+        }
+    }
+
+    /// Miss path for one lane: evict once when full (unit sizes free
+    /// exactly one object), append at the head, compact when tombstones
+    /// outnumber live entries.
+    fn insert(&mut self, lane: usize, slot: u32, a: u32) {
+        if self.lanes[lane].live == self.lanes[lane].capacity {
+            self.evict(lane);
+        }
+        let l = &mut self.lanes[lane];
+        l.misses += 1;
+        l.buf.push(SieveEntry { slot, mark: a });
+        l.live += 1;
+        self.hdr[slot as usize].res |= 1u64 << lane;
+        if l.buf.len() >= 64 && l.buf.len() as u64 >= 2 * l.live {
+            // Squeeze out tombstones in place, remapping the hand.
+            let mut new_hand = None;
+            let mut w = 0usize;
+            for r in 0..l.buf.len() {
+                let e = l.buf[r];
+                if e.slot != TOMB {
+                    if l.hand == Some(r) {
+                        new_hand = Some(w);
+                    }
+                    l.buf[w] = e;
+                    w += 1;
+                }
+            }
+            l.buf.truncate(w);
+            l.hand = new_hand;
+            l.tail = 0;
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcTurboSieve {
+    fn name(&self) -> String {
+        "SIEVE".into()
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        debug_assert_eq!(req.op, Op::Get, "turbo MRC requires pure-Get traces");
+        debug_assert_eq!(req.size, 1, "turbo MRC requires unit sizes");
+        self.step(slot);
+    }
+
+    fn prefetch(&self, slot: u32) {
+        prefetch_read(&self.hdr, slot as usize);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.lanes
+            .iter()
+            .map(|l| PolicyStats {
+                gets: self.gets,
+                misses: l.misses,
+                evictions: l.evictions,
+                get_bytes: self.gets,
+                miss_bytes: l.misses,
+            })
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (lane, l) in self.lanes.iter().enumerate() {
+            let bit = 1u64 << lane;
+            if l.live > l.capacity {
+                return Err(format!(
+                    "turbo SIEVE lane {lane}: {} live entries exceed capacity {}",
+                    l.live, l.capacity
+                ));
+            }
+            let mut live = 0u64;
+            let mut seen = vec![false; self.hdr.len()];
+            for e in &l.buf {
+                if e.slot == TOMB {
+                    continue;
+                }
+                live += 1;
+                let s = e.slot as usize;
+                if seen[s] {
+                    return Err(format!("turbo SIEVE lane {lane}: slot {s} queued twice"));
+                }
+                seen[s] = true;
+                if self.hdr[s].res & bit == 0 {
+                    return Err(format!(
+                        "turbo SIEVE lane {lane}: slot {s} queued but not marked resident"
+                    ));
+                }
+                if e.mark > self.hdr[s].acc {
+                    return Err(format!("turbo SIEVE lane {lane}: mark ahead of counter"));
+                }
+            }
+            if live != l.live {
+                return Err(format!(
+                    "turbo SIEVE lane {lane}: counted {live} live entries, cached {}",
+                    l.live
+                ));
+            }
+            let marked = self.hdr.iter().filter(|h| h.res & bit != 0).count() as u64;
+            if marked != l.live {
+                return Err(format!(
+                    "turbo SIEVE lane {lane}: {marked} resident marks vs {} live entries",
+                    l.live
+                ));
+            }
+            if let Some(h) = l.hand {
+                if h >= l.buf.len() || l.buf[h].slot == TOMB {
+                    return Err(format!("turbo SIEVE lane {lane}: hand on a dead entry"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    impl_mrc_replay_pure_get!();
+}
+
+// ---------------------------------------------------------------------------
+// S3-FIFO
+// ---------------------------------------------------------------------------
+
+/// One S3-FIFO queue entry (small or main); frequency derives exactly like
+/// CLOCK's, capped at 3.
+#[derive(Clone, Copy)]
+struct S3Entry {
+    slot: u32,
+    mark: u32,
+    f0: u8,
+}
+
+struct S3Lane {
+    capacity: u64,
+    s_capacity: u64,
+    m_capacity: u64,
+    ghost_cap: u64,
+    /// Small and main FIFO queues: tail at the front, head at the back, so
+    /// every queue operation — including main's lazy-promotion
+    /// move-to-front — is a `pop_front`/`push_back` pair.
+    small: VecDeque<S3Entry>,
+    main: VecDeque<S3Entry>,
+    /// Ghost entry order; membership lives in the per-slot `ghost` bitmap,
+    /// and stale entries whose mark was re-cleared stay charged, exactly
+    /// like the keyed [`cache_core`] ghost and [`super::s3fifo`]'s
+    /// `SlotGhost` replica.
+    ghost_fifo: VecDeque<u32>,
+    ghost_used: u64,
+    ghost_hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl S3Lane {
+    fn ghost_insert(&mut self, hdr: &mut [S3SlotHdr], bit: u64, slot: u32) {
+        if self.ghost_cap == 0 {
+            return;
+        }
+        let h = &mut hdr[slot as usize];
+        if h.ghost & bit == 0 {
+            h.ghost |= bit;
+            self.ghost_fifo.push_back(slot);
+            self.ghost_used += 1;
+        }
+        while self.ghost_used > self.ghost_cap {
+            if let Some(old) = self.ghost_fifo.pop_front() {
+                // Tombstones stay charged; popping one clears the mark of a
+                // re-inserted slot's newer entry — the keyed ghost's quirk.
+                self.ghost_used -= 1;
+                hdr[old as usize].ghost &= !bit;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn evict_main(&mut self, hdr: &mut [S3SlotHdr], bit: u64) {
+        while let Some(&e) = self.main.front() {
+            let ea = hdr[e.slot as usize].acc;
+            let freq = derived_freq(e.f0, ea, e.mark, 3);
+            if freq > 0 {
+                // Reinsert at the head with frequency decreased by one.
+                self.main.pop_front();
+                self.main.push_back(S3Entry {
+                    slot: e.slot,
+                    mark: ea,
+                    f0: freq - 1,
+                });
+            } else {
+                self.main.pop_front();
+                hdr[e.slot as usize].res &= !bit;
+                self.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    fn evict_small(&mut self, hdr: &mut [S3SlotHdr], bit: u64, promote_threshold: u8) {
+        while let Some(&e) = self.small.front() {
+            let ea = hdr[e.slot as usize].acc;
+            let freq = derived_freq(e.f0, ea, e.mark, 3);
+            if freq > promote_threshold {
+                // Promote to M; access counts are cleared during the move.
+                self.small.pop_front();
+                self.main.push_back(S3Entry {
+                    slot: e.slot,
+                    mark: ea,
+                    f0: 0,
+                });
+                if self.main.len() as u64 > self.m_capacity {
+                    self.evict_main(hdr, bit);
+                }
+            } else {
+                self.small.pop_front();
+                hdr[e.slot as usize].res &= !bit;
+                self.ghost_insert(hdr, bit, e.slot);
+                self.evictions += 1;
+                return;
+            }
+        }
+        // S drained without evicting anything: fall back to M.
+        if !self.main.is_empty() {
+            self.evict_main(hdr, bit);
+        }
+    }
+
+    fn make_room(&mut self, hdr: &mut [S3SlotHdr], bit: u64, promote_threshold: u8) {
+        while (self.small.len() + self.main.len()) as u64 + 1 > self.capacity {
+            if self.small.len() as u64 >= self.s_capacity || self.main.is_empty() {
+                self.evict_small(hdr, bit, promote_threshold);
+            } else {
+                self.evict_main(hdr, bit);
+            }
+            if self.small.is_empty() && self.main.is_empty() {
+                break;
+            }
+        }
+    }
+
+    fn insert(&mut self, hdr: &mut [S3SlotHdr], bit: u64, slot: u32, a: u32, promote: u8) {
+        self.misses += 1;
+        // Ghost membership is decided before making room: the eviction loop
+        // inserts into the ghost itself and could otherwise displace exactly
+        // the entry being looked up.
+        let in_ghost = hdr[slot as usize].ghost & bit != 0;
+        self.make_room(hdr, bit, promote);
+        if in_ghost {
+            hdr[slot as usize].ghost &= !bit;
+            self.ghost_hits += 1;
+            self.main.push_back(S3Entry { slot, mark: a, f0: 0 });
+            hdr[slot as usize].res |= bit;
+            // A ghost-hit insert into M can overflow M; trim one object now,
+            // exactly like `DenseS3Fifo::insert`.
+            if self.main.len() as u64 > self.m_capacity {
+                self.evict_main(hdr, bit);
+            }
+        } else {
+            self.small.push_back(S3Entry { slot, mark: a, f0: 0 });
+            hdr[slot as usize].res |= bit;
+        }
+        // Warm the likely victim of this lane's next miss.
+        if let Some(e) = self.small.front() {
+            prefetch_read(hdr, e.slot as usize);
+        }
+    }
+}
+
+/// Multi-capacity S3-FIFO over pure-`Get` unit-size streams, lane-for-lane
+/// decision-identical to [`super::s3fifo::MrcS3Fifo`] (and so to
+/// [`crate::dense::DenseS3Fifo`]).
+pub struct MrcTurboS3Fifo {
+    caps: Vec<u64>,
+    cfg: S3FifoConfig,
+    mask: u64,
+    hdr: Vec<S3SlotHdr>,
+    lanes: Vec<S3Lane>,
+    gets: u64,
+}
+
+impl MrcTurboS3Fifo {
+    /// Creates paper-default lanes (S = 10 % of capacity, ghost sized to M).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when the grid is empty, contains a zero, or
+    /// has more than [`MAX_TURBO_LANES`] points.
+    pub fn new(capacities: &[u64], ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_config(capacities, S3FifoConfig::default(), ids)
+    }
+
+    /// Creates one S3-FIFO lane per grid capacity with explicit queue
+    /// ratios, deriving each lane's S/M/ghost split exactly like the
+    /// single-capacity dense policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] for an invalid grid (see [`Self::new`]) or a
+    /// `small_ratio` outside `(0, 1)` / negative `ghost_ratio`.
+    pub fn with_config(
+        capacities: &[u64],
+        cfg: S3FifoConfig,
+        ids: &Arc<DenseIds>,
+    ) -> Result<Self, CacheError> {
+        validate_turbo_grid(capacities)?;
+        if !(cfg.small_ratio > 0.0 && cfg.small_ratio < 1.0) {
+            return Err(CacheError::InvalidParameter(format!(
+                "small_ratio must be in (0,1), got {}",
+                cfg.small_ratio
+            )));
+        }
+        if cfg.ghost_ratio < 0.0 {
+            return Err(CacheError::InvalidParameter(
+                "ghost_ratio must be >= 0".into(),
+            ));
+        }
+        Ok(MrcTurboS3Fifo {
+            caps: capacities.to_vec(),
+            mask: lane_mask(capacities.len()),
+            hdr: vec![S3SlotHdr::default(); ids.len()],
+            lanes: capacities
+                .iter()
+                .map(|&capacity| {
+                    let s_capacity =
+                        ((capacity as f64 * cfg.small_ratio).round() as u64).max(1);
+                    let m_capacity = capacity.saturating_sub(s_capacity).max(1);
+                    let ghost_cap = (m_capacity as f64 * cfg.ghost_ratio).round() as u64;
+                    S3Lane {
+                        capacity,
+                        s_capacity,
+                        m_capacity,
+                        ghost_cap,
+                        small: VecDeque::new(),
+                        main: VecDeque::new(),
+                        ghost_fifo: VecDeque::new(),
+                        ghost_used: 0,
+                        ghost_hits: 0,
+                        misses: 0,
+                        evictions: 0,
+                    }
+                })
+                .collect(),
+            cfg,
+            gets: 0,
+        })
+    }
+
+    /// One request's worth of work — the slot is all a pure-`Get`
+    /// unit-size request carries (see `impl_mrc_replay_pure_get`).
+    #[inline]
+    fn step(&mut self, slot: u32) {
+        self.gets += 1;
+        let h = &mut self.hdr[slot as usize];
+        h.acc += 1;
+        let a = h.acc;
+        let mut miss = !h.res & self.mask;
+        let promote = self.cfg.promote_threshold;
+        let (hdr, lanes) = (&mut self.hdr, &mut self.lanes);
+        while miss != 0 {
+            let lane = miss.trailing_zeros() as usize;
+            miss &= miss - 1;
+            lanes[lane].insert(hdr, 1u64 << lane, slot, a, promote);
+        }
+    }
+}
+
+impl MultiCapacityPolicy for MrcTurboS3Fifo {
+    fn name(&self) -> String {
+        format!("S3-FIFO({:.2})", self.cfg.small_ratio)
+    }
+
+    fn capacities(&self) -> &[u64] {
+        &self.caps
+    }
+
+    fn request_mrc(&mut self, slot: u32, req: &Request) {
+        debug_assert_eq!(req.op, Op::Get, "turbo MRC requires pure-Get traces");
+        debug_assert_eq!(req.size, 1, "turbo MRC requires unit sizes");
+        self.step(slot);
+    }
+
+    fn prefetch(&self, slot: u32) {
+        prefetch_read(&self.hdr, slot as usize);
+    }
+
+    fn lane_stats(&self) -> Vec<PolicyStats> {
+        self.lanes
+            .iter()
+            .map(|l| PolicyStats {
+                gets: self.gets,
+                misses: l.misses,
+                evictions: l.evictions,
+                get_bytes: self.gets,
+                miss_bytes: l.misses,
+            })
+            .collect()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (lane, l) in self.lanes.iter().enumerate() {
+            let bit = 1u64 << lane;
+            // No small/main-capacity assertions — single-object trims can
+            // overshoot transiently, matching the dense policy.
+            if (l.small.len() + l.main.len()) as u64 > l.capacity {
+                return Err(format!(
+                    "turbo S3-FIFO lane {lane}: {} queued entries exceed capacity {}",
+                    l.small.len() + l.main.len(),
+                    l.capacity
+                ));
+            }
+            let mut seen = vec![false; self.hdr.len()];
+            for e in l.small.iter().chain(l.main.iter()) {
+                let s = e.slot as usize;
+                if seen[s] {
+                    return Err(format!("turbo S3-FIFO lane {lane}: slot {s} queued twice"));
+                }
+                seen[s] = true;
+                if self.hdr[s].res & bit == 0 {
+                    return Err(format!(
+                        "turbo S3-FIFO lane {lane}: slot {s} queued but not marked resident"
+                    ));
+                }
+                if self.hdr[s].ghost & bit != 0 {
+                    return Err(format!(
+                        "turbo S3-FIFO lane {lane}: slot {s} both resident and ghost-marked"
+                    ));
+                }
+                if e.mark > self.hdr[s].acc {
+                    return Err(format!("turbo S3-FIFO lane {lane}: mark ahead of counter"));
+                }
+                if e.f0 > 3 {
+                    return Err(format!(
+                        "turbo S3-FIFO lane {lane}: folded freq {} exceeds cap 3",
+                        e.f0
+                    ));
+                }
+            }
+            let marked = self.hdr.iter().filter(|h| h.res & bit != 0).count();
+            if marked != l.small.len() + l.main.len() {
+                return Err(format!(
+                    "turbo S3-FIFO lane {lane}: {marked} resident marks vs {} queued",
+                    l.small.len() + l.main.len()
+                ));
+            }
+            if l.ghost_used != l.ghost_fifo.len() as u64 {
+                return Err(format!(
+                    "turbo S3-FIFO lane {lane}: ghost_used {} vs {} ghost entries",
+                    l.ghost_used,
+                    l.ghost_fifo.len()
+                ));
+            }
+            if l.ghost_used > l.ghost_cap {
+                return Err(format!(
+                    "turbo S3-FIFO lane {lane}: ghost charge {} exceeds cap {}",
+                    l.ghost_used, l.ghost_cap
+                ));
+            }
+            let ghost_marked = self.hdr.iter().filter(|h| h.ghost & bit != 0).count();
+            if ghost_marked > l.ghost_fifo.len() {
+                return Err(format!(
+                    "turbo S3-FIFO lane {lane}: {ghost_marked} ghost marks vs {} entries",
+                    l.ghost_fifo.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    impl_mrc_replay_pure_get!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::{DenseClock, DenseS3Fifo, DenseSieve};
+    use super::super::{MrcClock, MrcS3Fifo, MrcSieve};
+    use super::*;
+    use cache_types::DensePolicy;
+
+    const GRID: [u64; 8] = [1, 2, 3, 5, 9, 9, 17, 40];
+
+    /// A skewed pure-`Get` unit-size stream with its interned slot sequence.
+    fn workload(len: usize, universe: u64) -> (Vec<Request>, Vec<u32>, Arc<DenseIds>) {
+        let mut state = 0xB5E1_77A9_21C4_D30Fu64;
+        let mut reqs = Vec::with_capacity(len);
+        for t in 0..len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            let id = if roll % 2 == 0 {
+                roll % (universe / 8).max(1)
+            } else {
+                roll % universe
+            };
+            reqs.push(Request {
+                time: t as u64,
+                id,
+                size: 1,
+                op: Op::Get,
+            });
+        }
+        let (ids, slots) = DenseIds::intern(reqs.iter().map(|r| r.id));
+        (reqs, slots, Arc::new(ids))
+    }
+
+    /// Replays `turbo` and, per grid point, a fresh single-capacity dense
+    /// policy, asserting identical statistics.
+    fn assert_matches_dense<P, F>(turbo: &mut dyn MultiCapacityPolicy, build: F)
+    where
+        P: DensePolicy,
+        F: Fn(u64) -> P,
+    {
+        let (reqs, slots, _) = workload(6_000, 120);
+        turbo.replay(&slots, &reqs, true);
+        turbo.validate().expect("turbo invariants hold");
+        // Invariant: validate only fails on an engine bug this test exists
+        // to catch.
+        let lanes = turbo.lane_stats();
+        for (lane, &cap) in GRID.iter().enumerate() {
+            let mut dense = build(cap);
+            dense.replay(&slots, &reqs, true, &mut |_, _| {});
+            assert_eq!(lanes[lane], dense.stats(), "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn turbo_clock_matches_per_capacity_dense() {
+        for bits in [1u8, 2] {
+            let (_, _, ids) = workload(6_000, 120);
+            let mut turbo = MrcTurboClock::new(&GRID, bits, &ids).expect("valid grid");
+            // Invariant: GRID is non-empty, zero-free, and under 64 points.
+            assert_matches_dense(&mut turbo, |cap| {
+                DenseClock::new(cap, bits, &ids).expect("capacity > 0")
+                // Invariant: every GRID capacity is positive.
+            });
+        }
+    }
+
+    #[test]
+    fn turbo_sieve_matches_per_capacity_dense() {
+        let (_, _, ids) = workload(6_000, 120);
+        let mut turbo = MrcTurboSieve::new(&GRID, &ids).expect("valid grid");
+        // Invariant: GRID is non-empty, zero-free, and under 64 points.
+        assert_matches_dense(&mut turbo, |cap| {
+            DenseSieve::new(cap, &ids).expect("capacity > 0")
+            // Invariant: every GRID capacity is positive.
+        });
+    }
+
+    #[test]
+    fn turbo_s3fifo_matches_per_capacity_dense() {
+        for ratio in [0.1f64, 0.25] {
+            let cfg = S3FifoConfig {
+                small_ratio: ratio,
+                ..Default::default()
+            };
+            let (_, _, ids) = workload(6_000, 120);
+            let mut turbo =
+                MrcTurboS3Fifo::with_config(&GRID, cfg, &ids).expect("valid grid");
+            // Invariant: GRID is non-empty, zero-free, and under 64 points.
+            assert_matches_dense(&mut turbo, |cap| {
+                DenseS3Fifo::with_config(cap, cfg, &ids).expect("capacity > 0")
+                // Invariant: every GRID capacity is positive.
+            });
+        }
+    }
+
+    /// The turbo engines agree with the linked ganged lanes — the two
+    /// multi-capacity representations must be interchangeable on the
+    /// streams both accept.
+    #[test]
+    fn turbo_matches_linked_gang() {
+        let (reqs, slots, ids) = workload(5_000, 96);
+        let run = |engine: &mut dyn MultiCapacityPolicy| {
+            engine.replay(&slots, &reqs, true);
+            engine.lane_stats()
+        };
+        let mut pairs: Vec<(Box<dyn MultiCapacityPolicy>, Box<dyn MultiCapacityPolicy>)> = vec![
+            (
+                Box::new(MrcTurboClock::new(&GRID, 1, &ids).expect("valid grid")),
+                Box::new(MrcClock::new(&GRID, 1, &ids).expect("valid grid")),
+            ),
+            (
+                Box::new(MrcTurboSieve::new(&GRID, &ids).expect("valid grid")),
+                Box::new(MrcSieve::new(&GRID, &ids).expect("valid grid")),
+            ),
+            (
+                Box::new(MrcTurboS3Fifo::new(&GRID, &ids).expect("valid grid")),
+                Box::new(MrcS3Fifo::new(&GRID, &ids).expect("valid grid")),
+            ),
+            // Invariant: GRID is non-empty, zero-free, and under 64 points.
+        ];
+        for (turbo, linked) in &mut pairs {
+            let name = linked.name();
+            assert_eq!(turbo.name(), name);
+            assert_eq!(run(turbo.as_mut()), run(linked.as_mut()), "{name}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_grids_and_configs() {
+        let (_, _, ids) = workload(10, 4);
+        assert!(MrcTurboClock::new(&[], 1, &ids).is_err());
+        assert!(MrcTurboClock::new(&[4, 0], 1, &ids).is_err());
+        assert!(MrcTurboClock::new(&[4], 0, &ids).is_err());
+        assert!(MrcTurboSieve::new(&vec![1u64; 65], &ids).is_err());
+        assert!(MrcTurboS3Fifo::with_config(
+            &[4],
+            S3FifoConfig {
+                small_ratio: 1.5,
+                ..Default::default()
+            },
+            &ids
+        )
+        .is_err());
+        assert!(MrcTurboS3Fifo::with_config(
+            &[4],
+            S3FifoConfig {
+                ghost_ratio: -0.5,
+                ..Default::default()
+            },
+            &ids
+        )
+        .is_err());
+    }
+
+    /// Duplicate and unsorted grid entries stay independent lanes.
+    #[test]
+    fn duplicate_lanes_agree() {
+        let (reqs, slots, ids) = workload(2_000, 64);
+        let mut turbo = MrcTurboSieve::new(&[9, 3, 9, 1], &ids).expect("valid grid");
+        // Invariant: the grid above is non-empty, zero-free, and small.
+        turbo.replay(&slots, &reqs, true);
+        let lanes = turbo.lane_stats();
+        assert_eq!(lanes[0], lanes[2], "duplicate capacities agree");
+        assert!(lanes[3].misses >= lanes[1].misses);
+    }
+}

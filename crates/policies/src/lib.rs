@@ -27,7 +27,9 @@
 //! [`registry`] builds policies by name for the sweep engine. [`dense`]
 //! holds slot-indexed mirrors of the core policies (FIFO, LRU, CLOCK, SIEVE,
 //! SLRU, 2Q, S3-FIFO) for the simulator's dense-ID fast path;
-//! [`registry::build_dense`] selects them.
+//! [`registry::build_dense`] selects them. [`dense::mrc`] holds the
+//! multi-capacity engines that compute a whole miss-ratio curve in one trace
+//! pass ([`MultiCapacityPolicy`]); [`registry::build_mrc`] selects those.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +57,10 @@ pub(crate) mod util;
 pub use arc::Arc;
 pub use belady::Belady;
 pub use dense::{DenseClock, DenseFifo, DenseLru, DenseS3Fifo, DenseSieve, DenseSlru, DenseTwoQ};
+pub use dense::{
+    MrcClock, MrcExactFifo, MrcFifo, MrcS3Fifo, MrcSieve, MrcTurboClock, MrcTurboS3Fifo,
+    MrcTurboSieve, MultiCapacityPolicy, MAX_TURBO_LANES,
+};
 pub use blru::BloomLru;
 pub use cacheus::Cacheus;
 pub use clock::Clock;

@@ -191,6 +191,90 @@ pub fn build_dense(
     })
 }
 
+/// Builds the multi-capacity MRC engine for the named policy over a whole
+/// capacity grid, or `None` when the algorithm has no multi-capacity
+/// implementation (callers then fall back to a per-capacity sweep).
+///
+/// Multi-capacity engines exist for the FIFO family: FIFO, CLOCK,
+/// CLOCK-2bit, SIEVE, S3-FIFO, and `"S3-FIFO(r)"`. Every lane is
+/// decision-identical to the single-capacity dense policy at that grid
+/// point (enforced by `crates/sim/tests/mrc_equivalence.rs` and the
+/// `cache-check` MRC differential). FIFO builds [`crate::MrcFifo`] here —
+/// the exact insertion-index engine ([`crate::MrcExactFifo`]) has stream
+/// preconditions only the simulator can check, so `simulate_mrc` constructs
+/// it directly.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] for an invalid grid or embedded parameter. An
+/// *unknown* name is `Ok(None)`, mirroring [`build_dense`].
+pub fn build_mrc(
+    name: &str,
+    capacities: &[u64],
+    ids: &std::sync::Arc<cache_ds::DenseIds>,
+) -> Result<Option<Box<dyn crate::MultiCapacityPolicy>>, CacheError> {
+    use crate::dense::{MrcClock, MrcFifo, MrcS3Fifo, MrcSieve};
+    if let Some(ratio) = parse_param(name, "S3-FIFO") {
+        let cfg = S3FifoConfig {
+            small_ratio: ratio?,
+            ..Default::default()
+        };
+        return Ok(Some(Box::new(MrcS3Fifo::with_config(capacities, cfg, ids)?)));
+    }
+    Ok(match name {
+        "FIFO" => Some(Box::new(MrcFifo::new(capacities, ids)?)),
+        "CLOCK" => Some(Box::new(MrcClock::new(capacities, 1, ids)?)),
+        "CLOCK-2bit" => Some(Box::new(MrcClock::new(capacities, 2, ids)?)),
+        "SIEVE" => Some(Box::new(MrcSieve::new(capacities, ids)?)),
+        "S3-FIFO" => Some(Box::new(MrcS3Fifo::new(capacities, ids)?)),
+        _ => None,
+    })
+}
+
+/// Builds the *turbo* multi-capacity MRC engine for the named policy — the
+/// pure-`Get` unit-size specialisation with bitmap residency and
+/// timestamp-derived reference state (see `cache_policies::dense::mrc`'s
+/// turbo module). `None` when the algorithm has no turbo lane or the grid
+/// exceeds [`crate::MAX_TURBO_LANES`] points; callers then fall back to
+/// [`build_mrc`]. FIFO is also `None`: under the same stream preconditions
+/// `simulate_mrc` routes it to the exact insertion-index engine, which is
+/// strictly cheaper.
+///
+/// The caller is responsible for the stream preconditions (every request a
+/// `Get`, sizes ignored, fewer than `u32::MAX` requests); the engines
+/// `debug_assert!` them per request.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] for an invalid grid or embedded parameter. An
+/// *unknown* name is `Ok(None)`, mirroring [`build_dense`].
+pub fn build_mrc_turbo(
+    name: &str,
+    capacities: &[u64],
+    ids: &std::sync::Arc<cache_ds::DenseIds>,
+) -> Result<Option<Box<dyn crate::MultiCapacityPolicy>>, CacheError> {
+    use crate::dense::{MrcTurboClock, MrcTurboS3Fifo, MrcTurboSieve, MAX_TURBO_LANES};
+    if capacities.len() > MAX_TURBO_LANES {
+        return Ok(None);
+    }
+    if let Some(ratio) = parse_param(name, "S3-FIFO") {
+        let cfg = S3FifoConfig {
+            small_ratio: ratio?,
+            ..Default::default()
+        };
+        return Ok(Some(Box::new(MrcTurboS3Fifo::with_config(
+            capacities, cfg, ids,
+        )?)));
+    }
+    Ok(match name {
+        "CLOCK" => Some(Box::new(MrcTurboClock::new(capacities, 1, ids)?)),
+        "CLOCK-2bit" => Some(Box::new(MrcTurboClock::new(capacities, 2, ids)?)),
+        "SIEVE" => Some(Box::new(MrcTurboSieve::new(capacities, ids)?)),
+        "S3-FIFO" => Some(Box::new(MrcTurboS3Fifo::new(capacities, ids)?)),
+        _ => None,
+    })
+}
+
 /// Parses `"<prefix>(<float>)"`, returning `Some(Ok(float))` on a match,
 /// `Some(Err)` on a malformed parameter, `None` when the name does not have
 /// that parameterized shape.

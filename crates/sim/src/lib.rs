@@ -11,6 +11,10 @@
 //!   miss-ratio-reduction percentiles (Figs. 6, 7, 11).
 //! - [`observers`] attaches `cache-obs` instrumentation to both replay
 //!   engines: per-window miss-ratio timeseries and replay-stage profiles.
+//! - [`mrc`] computes miss-ratio curves; [`simulate_mrc`] runs the whole
+//!   capacity grid in ~one trace pass for the FIFO family (exact
+//!   insertion-index FIFO, interleaved ganged lanes for the rest),
+//!   bit-identical to the per-capacity sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +32,10 @@ pub use engine::{
     simulate_named_many, simulate_observed, CacheSizeSpec, RequestObserver, SimConfig,
     SimResult,
 };
-pub use mrc::{miss_ratio_curve, MissRatioCurve, MrcPoint};
+pub use mrc::{
+    miss_ratio_curve, simulate_mrc, simulate_mrc_many, simulate_mrc_recorded, MissRatioCurve,
+    MrcConfig, MrcEngine, MrcPoint, MrcResult, MrcSample,
+};
 pub use observers::{
     simulate_dense_profiled, simulate_dense_windowed, simulate_named_windowed, simulate_windowed,
     TimeseriesObserver,

@@ -3,14 +3,31 @@
 //! §6.2.3 argues that adaptive algorithms implicitly assume the miss-ratio
 //! curve is convex ("following the gradient direction leads to the global
 //! optimum"), but "the miss ratio curves of scan-heavy workloads are often
-//! not convex". This module computes MRCs by direct simulation at a grid of
-//! cache sizes (optionally on a SHARDS miniature for speed) and provides the
-//! convexity check the argument rests on.
+//! not convex". This module computes MRCs two ways:
+//!
+//! - [`miss_ratio_curve`]: direct simulation at a grid of cache sizes
+//!   (optionally on a SHARDS miniature for speed) — one full trace replay
+//!   per grid point, works for every registry algorithm.
+//! - [`simulate_mrc`]: the single-pass multi-capacity engines
+//!   (`cache_policies::dense::mrc`) for the FIFO family — the whole grid in
+//!   ~one trace pass, bit-identical to the per-capacity sweep. On
+//!   pure-`Get` unit-size traces, FIFO routes to the exact insertion-index
+//!   engine ([`MrcEngine::ExactFifo`]) and CLOCK / CLOCK-2bit / SIEVE /
+//!   S3-FIFO (grids of ≤ 64 points) to the turbo lanes — bitmap residency
+//!   plus timestamp-derived reference state ([`MrcEngine::Ganged`]).
+//!   Streams with writes or honored sizes use the general interleaved
+//!   linked-list lanes (also [`MrcEngine::Ganged`]); everything else falls
+//!   back to the per-capacity sweep ([`MrcEngine::PerCapacity`]).
+//!
+//! Also provides the convexity check the §6.2.3 argument rests on.
 
 use crate::engine::{simulate_named, CacheSizeSpec, SimConfig};
+use cache_obs::{MissRatioSeries, Scope};
+use cache_policies::registry;
 use cache_trace::sampling::spatial_sample;
 use cache_trace::Trace;
 use cache_types::CacheError;
+use std::time::Instant;
 
 /// One point of a miss-ratio curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +117,263 @@ pub fn miss_ratio_curve(
     })
 }
 
+/// Options for [`simulate_mrc`].
+#[derive(Debug, Clone, Copy)]
+pub struct MrcConfig {
+    /// Replay every request at size 1 (capacities are then object counts,
+    /// the paper's §5.1.2 convention). Default `true`.
+    pub ignore_size: bool,
+}
+
+impl Default for MrcConfig {
+    fn default() -> Self {
+        MrcConfig { ignore_size: true }
+    }
+}
+
+/// Which implementation produced a curve — recorded in [`MrcResult`] so
+/// benchmarks and tests can assert the intended routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrcEngine {
+    /// Exact single-pass FIFO via per-capacity insertion indices.
+    ExactFifo,
+    /// Interleaved ganged lanes, one per grid point, in one trace pass.
+    Ganged,
+    /// Per-capacity sweep fallback (one full replay per grid point).
+    PerCapacity,
+}
+
+impl MrcEngine {
+    /// Stable lowercase label for JSON artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MrcEngine::ExactFifo => "exact-fifo",
+            MrcEngine::Ganged => "ganged",
+            MrcEngine::PerCapacity => "per-capacity",
+        }
+    }
+}
+
+/// One grid point of a [`simulate_mrc`] run — the full counter set, so
+/// differential tests can compare more than the ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrcSample {
+    /// Cache capacity (objects with `ignore_size`, bytes otherwise).
+    pub capacity: u64,
+    /// Read requests processed (identical across grid points).
+    pub requests: u64,
+    /// Read misses at this capacity.
+    pub misses: u64,
+    /// Evictions at this capacity.
+    pub evictions: u64,
+    /// Request miss ratio.
+    pub miss_ratio: f64,
+    /// Byte miss ratio (equals `miss_ratio` with `ignore_size`).
+    pub byte_miss_ratio: f64,
+}
+
+/// A full multi-capacity simulation result.
+#[derive(Debug, Clone)]
+pub struct MrcResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Trace name.
+    pub trace: String,
+    /// Which engine produced the curve.
+    pub engine: MrcEngine,
+    /// One sample per input grid entry, in input order (duplicates and
+    /// unsorted grids are preserved).
+    pub points: Vec<MrcSample>,
+}
+
+impl MrcResult {
+    /// The curve view: points sorted by capacity ascending, ready for
+    /// [`MissRatioCurve::is_monotone`] / [`MissRatioCurve::is_convex`].
+    pub fn curve(&self) -> MissRatioCurve {
+        let mut points: Vec<MrcPoint> = self
+            .points
+            .iter()
+            .map(|s| MrcPoint {
+                capacity: s.capacity,
+                miss_ratio: s.miss_ratio,
+            })
+            .collect();
+        points.sort_by_key(|p| p.capacity);
+        MissRatioCurve {
+            algorithm: self.algorithm.clone(),
+            points,
+        }
+    }
+
+    /// Renders the curve as a [`MissRatioSeries`] — one window per grid
+    /// point, exact counts — so MRC runs flow through the same export
+    /// pipeline (`cache_obs::series_to_json_lines`) as windowed
+    /// simulations.
+    pub fn series(&self) -> MissRatioSeries {
+        let requests = self.points.first().map_or(0, |s| s.requests);
+        let mut series = MissRatioSeries::new(requests.max(1));
+        for s in &self.points {
+            // Aligned windows (take == requests) keep exact miss counts.
+            series.record_window(s.requests, s.misses);
+        }
+        series
+    }
+}
+
+/// True when the specialised pure-`Get` engines' stream preconditions hold
+/// for this run: the exact-FIFO arithmetic and the turbo lanes' derived
+/// reference state both require pure-`Get` unit-size streams, and both
+/// store per-slot counters as `u32`. The op scan is cached on the trace
+/// ([`Trace::shape`]), so repeated curves pay it once.
+fn pure_get_stream(trace: &Trace, cfg: &MrcConfig) -> bool {
+    cfg.ignore_size && trace.len() < u32::MAX as usize && trace.shape().pure_get
+}
+
+/// Computes the miss-ratio curve of `algorithm` on `trace` at every grid
+/// capacity, in one trace pass where the FIFO-family engines apply (see the
+/// module docs for routing). Results are bit-identical to running
+/// [`crate::engine::simulate_named`] once per capacity.
+///
+/// Unlike [`miss_ratio_curve`], grid order is preserved in
+/// [`MrcResult::points`] and full counters are returned per point.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] for an unknown algorithm, an empty grid, or a
+/// zero grid capacity.
+pub fn simulate_mrc(
+    algorithm: &str,
+    trace: &Trace,
+    capacities: &[u64],
+    cfg: &MrcConfig,
+) -> Result<MrcResult, CacheError> {
+    if capacities.is_empty() {
+        return Err(CacheError::InvalidParameter(
+            "capacity grid must not be empty".into(),
+        ));
+    }
+    if capacities.contains(&0) {
+        return Err(CacheError::InvalidCapacity(
+            "every grid capacity must be > 0".into(),
+        ));
+    }
+    let dense = trace.dense();
+    let run = |mut engine: Box<dyn cache_policies::MultiCapacityPolicy>, kind: MrcEngine| {
+        engine.replay(&dense.slots, &trace.requests, cfg.ignore_size);
+        debug_assert_eq!(engine.validate(), Ok(()), "MRC engine invariants");
+        let points = engine
+            .lane_stats()
+            .iter()
+            .zip(capacities.iter())
+            .map(|(st, &cap)| MrcSample {
+                capacity: cap,
+                requests: st.gets,
+                misses: st.misses,
+                evictions: st.evictions,
+                miss_ratio: st.miss_ratio(),
+                byte_miss_ratio: st.byte_miss_ratio(),
+            })
+            .collect();
+        MrcResult {
+            algorithm: engine.name(),
+            trace: trace.name.clone(),
+            engine: kind,
+            points,
+        }
+    };
+    if pure_get_stream(trace, cfg) {
+        if algorithm == "FIFO" {
+            let engine = cache_policies::MrcExactFifo::new(capacities, &dense.ids)?;
+            return Ok(run(Box::new(engine), MrcEngine::ExactFifo));
+        }
+        // The turbo lanes cover CLOCK / CLOCK-2bit / SIEVE / S3-FIFO(r) for
+        // grids of up to 64 points; they are still "ganged" engines, just
+        // specialised to the stream shape.
+        if let Some(engine) = registry::build_mrc_turbo(algorithm, capacities, &dense.ids)? {
+            return Ok(run(engine, MrcEngine::Ganged));
+        }
+    }
+    if let Some(engine) = registry::build_mrc(algorithm, capacities, &dense.ids)? {
+        return Ok(run(engine, MrcEngine::Ganged));
+    }
+    // Fallback: one full replay per grid point, same configs the sweep uses.
+    let mut points = Vec::with_capacity(capacities.len());
+    let mut name = algorithm.to_string();
+    for &cap in capacities {
+        let sim_cfg = SimConfig {
+            size: CacheSizeSpec::Bytes(cap),
+            ignore_size: cfg.ignore_size,
+            min_objects: 0,
+            floor_objects: 0,
+        };
+        // Invariant: min_objects is 0 above, so the filter never drops the run.
+        let r = simulate_named(algorithm, trace, &sim_cfg)?.expect("no min_objects filter");
+        name = r.algorithm;
+        points.push(MrcSample {
+            capacity: cap,
+            requests: r.requests,
+            misses: r.misses,
+            evictions: r.evictions,
+            miss_ratio: r.miss_ratio,
+            byte_miss_ratio: r.byte_miss_ratio,
+        });
+    }
+    Ok(MrcResult {
+        algorithm: name,
+        trace: trace.name.clone(),
+        engine: MrcEngine::PerCapacity,
+        points,
+    })
+}
+
+/// Computes one curve per algorithm over the same grid — the multi-policy
+/// front door mirroring [`crate::engine::simulate_named_many`].
+///
+/// # Errors
+///
+/// Fails on the first algorithm [`simulate_mrc`] rejects.
+pub fn simulate_mrc_many(
+    algorithms: &[&str],
+    trace: &Trace,
+    capacities: &[u64],
+    cfg: &MrcConfig,
+) -> Result<Vec<MrcResult>, CacheError> {
+    algorithms
+        .iter()
+        .map(|name| simulate_mrc(name, trace, capacities, cfg))
+        .collect()
+}
+
+/// [`simulate_mrc`] instrumented through the observability layer: bumps
+/// `<scope>.curves` / `.points` / `.requests` / `.misses` counters and
+/// records the amortized per-point wall time (µs) into the
+/// `<scope>.point_micros` histogram.
+///
+/// # Errors
+///
+/// Same as [`simulate_mrc`]; nothing is recorded on error.
+pub fn simulate_mrc_recorded(
+    algorithm: &str,
+    trace: &Trace,
+    capacities: &[u64],
+    cfg: &MrcConfig,
+    scope: &Scope,
+) -> Result<MrcResult, CacheError> {
+    let start = Instant::now();
+    let result = simulate_mrc(algorithm, trace, capacities, cfg)?;
+    let elapsed = start.elapsed();
+    scope.counter("curves").inc();
+    scope.counter("points").add(result.points.len() as u64);
+    let requests = result.points.first().map_or(0, |s| s.requests);
+    scope.counter("requests").add(requests);
+    scope
+        .counter("misses")
+        .add(result.points.iter().map(|s| s.misses).sum());
+    let per_point_us = elapsed.as_micros() as u64 / result.points.len().max(1) as u64;
+    scope.histogram("point_micros").record(per_point_us);
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +427,95 @@ mod tests {
     fn unknown_algorithm_errors() {
         let t = WorkloadSpec::zipf("m", 100, 10, 1.0, 1).generate();
         assert!(miss_ratio_curve("Nope", &t, &[10], 1.0).is_err());
+    }
+
+    #[test]
+    fn simulate_mrc_routes_by_engine() {
+        let t = WorkloadSpec::zipf("route", 20_000, 2000, 0.9, 7).generate();
+        let caps = [50, 200, 800];
+        let cfg = MrcConfig::default();
+        let fifo = simulate_mrc("FIFO", &t, &caps, &cfg).unwrap();
+        assert_eq!(fifo.engine, MrcEngine::ExactFifo);
+        let sieve = simulate_mrc("SIEVE", &t, &caps, &cfg).unwrap();
+        assert_eq!(sieve.engine, MrcEngine::Ganged);
+        let lru = simulate_mrc("LRU", &t, &caps, &cfg).unwrap();
+        assert_eq!(lru.engine, MrcEngine::PerCapacity);
+        // FIFO honoring sizes loses the exact engine but stays single-pass.
+        let sized = MrcConfig { ignore_size: false };
+        let fifo_sized = simulate_mrc("FIFO", &t, &caps, &sized).unwrap();
+        assert_eq!(fifo_sized.engine, MrcEngine::Ganged);
+    }
+
+    #[test]
+    fn simulate_mrc_matches_per_capacity_replay() {
+        let t = WorkloadSpec::zipf("diff", 30_000, 3000, 1.0, 11).generate();
+        let caps = [30, 100, 300, 1000, 3000];
+        let cfg = MrcConfig::default();
+        for algo in ["FIFO", "CLOCK", "CLOCK-2bit", "SIEVE", "S3-FIFO"] {
+            let mrc = simulate_mrc(algo, &t, &caps, &cfg).unwrap();
+            for (p, &cap) in mrc.points.iter().zip(caps.iter()) {
+                let sim_cfg = SimConfig {
+                    size: CacheSizeSpec::Bytes(cap),
+                    ignore_size: true,
+                    min_objects: 0,
+                    floor_objects: 0,
+                };
+                let r = simulate_named(algo, &t, &sim_cfg)
+                    .unwrap()
+                    .expect("no min_objects filter");
+                // Invariant: min_objects is 0 above, so the run is kept.
+                assert_eq!(p.misses, r.misses, "{algo}@{cap}");
+                assert_eq!(p.evictions, r.evictions, "{algo}@{cap}");
+                assert_eq!(p.requests, r.requests, "{algo}@{cap}");
+                assert_eq!(
+                    p.miss_ratio.to_bits(),
+                    r.miss_ratio.to_bits(),
+                    "{algo}@{cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_mrc_validates_the_grid() {
+        let t = WorkloadSpec::zipf("bad", 200, 20, 1.0, 13).generate();
+        let cfg = MrcConfig::default();
+        assert!(simulate_mrc("FIFO", &t, &[], &cfg).is_err());
+        assert!(simulate_mrc("SIEVE", &t, &[8, 0], &cfg).is_err());
+        assert!(simulate_mrc("Nope", &t, &[8], &cfg).is_err());
+    }
+
+    #[test]
+    fn mrc_result_views() {
+        let t = WorkloadSpec::zipf("views", 10_000, 1000, 0.9, 17).generate();
+        // Unsorted with a duplicate: points stay in input order, curve sorts.
+        let caps = [400, 50, 400];
+        let r = simulate_mrc("FIFO", &t, &caps, &MrcConfig::default()).unwrap();
+        assert_eq!(r.points[0], r.points[2], "duplicate grid entries agree");
+        let curve = r.curve();
+        assert_eq!(curve.points.first().map(|p| p.capacity), Some(50));
+        let series = r.series();
+        assert_eq!(series.points().len(), caps.len());
+        for (w, p) in series.points().iter().zip(r.points.iter()) {
+            assert_eq!(w.requests, p.requests);
+            assert_eq!(w.misses, p.misses);
+        }
+        let many = simulate_mrc_many(&["FIFO", "SIEVE"], &t, &caps, &MrcConfig::default()).unwrap();
+        assert_eq!(many.len(), 2);
+    }
+
+    #[test]
+    fn recorded_mrc_bumps_metrics() {
+        let registry = cache_obs::MetricsRegistry::new();
+        let scope = registry.scope("mrc");
+        let t = WorkloadSpec::zipf("obs", 5000, 500, 1.0, 19).generate();
+        let caps = [20, 80, 320];
+        let r = simulate_mrc_recorded("S3-FIFO", &t, &caps, &MrcConfig::default(), &scope).unwrap();
+        assert_eq!(r.points.len(), caps.len());
+        let dump = cache_obs::registry_to_json_lines(&registry);
+        for metric in ["mrc.curves", "mrc.points", "mrc.requests", "mrc.misses", "mrc.point_micros"]
+        {
+            assert!(dump.contains(metric), "missing {metric} in {dump}");
+        }
     }
 }

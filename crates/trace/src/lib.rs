@@ -27,7 +27,7 @@ pub mod sampling;
 pub mod zipf;
 
 use cache_ds::DenseIds;
-use cache_types::Request;
+use cache_types::{Op, Request};
 use std::sync::{Arc, OnceLock};
 
 /// The dense-ID view of a trace: every 64-bit object id interned to a
@@ -43,6 +43,17 @@ pub struct DenseTrace {
     pub slots: Vec<u32>,
 }
 
+/// Aggregate operation/size shape of a trace — what engine routing needs
+/// to know about the whole stream. Computed once per trace and cached (see
+/// [`Trace::shape`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamShape {
+    /// Every request is a [`Op::Get`].
+    pub pure_get: bool,
+    /// Every request has size 1.
+    pub unit_size: bool,
+}
+
 /// A named, in-memory request trace.
 #[derive(Debug, Clone)]
 pub struct Trace {
@@ -54,6 +65,8 @@ pub struct Trace {
     /// shares the already-computed view (it only depends on the id sequence,
     /// which clones identically).
     dense: OnceLock<Arc<DenseTrace>>,
+    /// Lazily computed stream shape; see [`Trace::shape`].
+    shape: OnceLock<StreamShape>,
 }
 
 impl Trace {
@@ -66,6 +79,7 @@ impl Trace {
             name: name.into(),
             requests,
             dense: OnceLock::new(),
+            shape: OnceLock::new(),
         }
     }
 
@@ -82,6 +96,23 @@ impl Trace {
                 slots,
             })
         }))
+    }
+
+    /// The aggregate operation/size shape, scanned on first call and cached.
+    ///
+    /// Engine routing (`simulate_mrc`) consults this on every curve; the
+    /// scan over the request array happens once per trace, not once per
+    /// call. Same caveat as [`Trace::dense`]: callers must not mutate
+    /// `requests` after the first call.
+    pub fn shape(&self) -> StreamShape {
+        *self.shape.get_or_init(|| {
+            let (mut pure_get, mut unit_size) = (true, true);
+            for r in &self.requests {
+                pure_get &= r.op == Op::Get;
+                unit_size &= r.size == 1;
+            }
+            StreamShape { pure_get, unit_size }
+        })
     }
 
     /// Number of requests.
@@ -162,6 +193,29 @@ mod tests {
         // A clone shares the computed view.
         let c = t.clone();
         assert!(Arc::ptr_eq(&c.dense(), &d1));
+    }
+
+    #[test]
+    fn shape_reflects_ops_and_sizes() {
+        let pure = Trace::new("p", vec![Request::get(1, 0), Request::get(2, 0)]);
+        assert_eq!(
+            pure.shape(),
+            StreamShape {
+                pure_get: true,
+                unit_size: true
+            }
+        );
+        let mut wr = Request::get(3, 0);
+        wr.op = Op::Set;
+        let mixed = Trace::new(
+            "m",
+            vec![Request::get(1, 0), wr, Request::get_sized(4, 7, 0)],
+        );
+        let s = mixed.shape();
+        assert!(!s.pure_get);
+        assert!(!s.unit_size);
+        // A clone shares the computed shape.
+        assert_eq!(mixed.clone().shape(), s);
     }
 
     #[test]
