@@ -29,8 +29,9 @@ cargo clippy --workspace --offline -- -D warnings \
 echo "== check: differential fuzz + invariant observers + linearizability-lite =="
 # Fixed-seed correctness battery (crates/check): >= 10k generated requests
 # per policy/mode pair through reference vs keyed vs dense, an invariant
-# observer sweep over every registry algorithm, and a logged concurrent
-# torture run per cache checked for stale/forged reads. ~0.5 s in release;
+# observer sweep over every registry algorithm, and logged concurrent
+# torture runs per cache checked for stale/forged reads plus, in per-key
+# monotonic-version mode, cross-get version regressions. ~1 s in release;
 # failures print a shrunk reproduction (see TESTING.md).
 ./target/release/check_gate
 
@@ -41,12 +42,12 @@ echo "== cache-lint: workspace lint + loom-lite interleaving exploration =="
 #    unwrap) over every crates/*/src/**/*.rs file, with inline waivers and
 #    a stale-checked central allowlist;
 #  - loom: bounded-preemption (CHESS, bound 2) exploration of the Vyukov
-#    ring, S3-FIFO shard, and server drain-handshake models with a
-#    vector-clock race detector — >= 10k distinct interleavings must
-#    pass, and five planted mutants (wrong orderings,
-#    ghost-before-remove, drain check-before-join, relaxed drain
-#    completion) must be *caught*, so a green run proves the detector
-#    still has teeth.
+#    ring, S3-FIFO shard, server drain-handshake, and increment-buffer
+#    slot-handoff models with a vector-clock race detector — >= 10k
+#    distinct interleavings must pass, and seven planted mutants (wrong
+#    orderings, ghost-before-remove, drain check-before-join, relaxed
+#    drain completion, relaxed incbuf claim/release) must be *caught*,
+#    so a green run proves the detector still has teeth.
 # Budget: the whole pass must stay under 10 s in release.
 cache_lint_start=$(date +%s)
 ./target/release/cache_lint --root . all
@@ -105,6 +106,78 @@ doc, agg = check("BENCH_mrc.json", full=True)
 print(f"mrc smoke ok: {len(doc['policies'])} policies x {agg['grid_points']} "
       f"points; checked-in full run {agg['speedup']:.2f}x aggregate, "
       f"{agg['fifo_exact_speedup']:.2f}x exact-FIFO")
+PY
+
+echo "== concurrent smoke: concurrent_throughput =="
+# Two-thread mini-sweep over all six concurrent variants: exercises the
+# measured/profiled/modeled pipeline end to end. The validator checks both
+# the smoke artifact and the checked-in full-run BENCH_concurrent.json:
+# sane schema, strictly increasing thread grid, every cache's sweep covers
+# it, and the lock-free-hit-path family (S3-FIFO batched/direct, CLOCK)
+# scales monotonically — the Fig. 8 shape. For the checked-in full run
+# only, the acceptance summary: FIFO-family speedup >= 2x at max threads,
+# strict-LRU speedup < 2x (the promotion lock flattens it), the batched
+# increment path beating the direct path at max threads, and the batched
+# cache within 1% absolute miss ratio of the serial simulator. Smoke
+# numbers themselves are NOT meaningful.
+./target/release/concurrent_throughput --smoke
+python3 - <<'PY'
+import json
+
+LOCK_FREE_HIT_PATH = {"S3-FIFO", "S3-FIFO-direct", "CLOCK"}
+REQUIRED_CACHES = LOCK_FREE_HIT_PATH | {"LRU-strict", "LRU-optimized", "Segcache"}
+
+def check(path, full):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == "concurrent_throughput", doc.get("bench")
+    for key in ("mode", "requests", "capacity", "objects", "threads",
+                "t_rmw_ns", "workloads", "summary"):
+        assert key in doc, f"{path} missing key: {key}"
+    threads = doc["threads"]
+    assert all(a < b for a, b in zip(threads, threads[1:])), \
+        f"{path}: thread grid not increasing"
+    assert doc["workloads"] and doc["workloads"][0]["name"] == "read-heavy", \
+        f"{path}: first workload must be read-heavy (summary is computed on it)"
+    for w in doc["workloads"]:
+        names = {c["name"] for c in w["caches"]}
+        assert REQUIRED_CACHES <= names, f"{path}: {w['name']} missing {REQUIRED_CACHES - names}"
+        for c in w["caches"]:
+            assert c["t_op_ns"] > 0 and 0.0 <= c["miss_ratio"] <= 1.0, c["name"]
+            sweep = c["sweep"]
+            assert [p["threads"] for p in sweep] == threads, \
+                f"{path}: {w['name']}/{c['name']} sweep does not cover the grid"
+            for p in sweep:
+                assert p["mops"] > 0 and p["p99_us"] > 0, p
+                assert 0.0 < p["efficiency"] <= 1.0 + 1e-9, p
+            if c["name"] in LOCK_FREE_HIT_PATH:
+                mops = [p["mops"] for p in sweep]
+                for i, (a, b) in enumerate(zip(mops, mops[1:])):
+                    assert b >= a - 1e-6, (
+                        f"{path}: {w['name']}/{c['name']} modeled throughput "
+                        f"drops at grid point {i + 1} ({a:.2f} -> {b:.2f})")
+    s = doc["summary"]
+    assert s["max_threads"] == threads[-1], s
+    assert s["miss_ratio_delta_vs_serial"] < 0.01, \
+        f"{path}: batched path drifts {s['miss_ratio_delta_vs_serial']:.4f} from serial"
+    if full:
+        assert doc["mode"] == "full", f"{path}: checked-in file must be a full run"
+        assert s["fifo_speedup_max_threads"] >= 2.0, \
+            f"{path}: FIFO speedup {s['fifo_speedup_max_threads']} below 2x"
+        assert s["lru_strict_speedup_max_threads"] < 2.0, \
+            f"{path}: strict LRU speedup {s['lru_strict_speedup_max_threads']} fails to flatten"
+        assert s["batched_vs_direct_max_threads"] > 1.0, \
+            f"{path}: batched path loses to direct ({s['batched_vs_direct_max_threads']})"
+    return doc, s
+
+check("target/BENCH_concurrent.json", full=False)
+doc, s = check("BENCH_concurrent.json", full=True)
+print(f"concurrent smoke ok: {len(doc['workloads'])} workloads x "
+      f"{len(REQUIRED_CACHES)} caches; checked-in full run: FIFO "
+      f"{s['fifo_speedup_max_threads']:.2f}x vs strict LRU "
+      f"{s['lru_strict_speedup_max_threads']:.2f}x at {s['max_threads']} threads, "
+      f"batched/direct {s['batched_vs_direct_max_threads']:.3f}, "
+      f"miss-ratio delta {s['miss_ratio_delta_vs_serial']:.4f}")
 PY
 
 echo "== bench smoke: sim_throughput =="

@@ -1,0 +1,709 @@
+//! Thread-sweep scaling benchmark over the concurrent cache variants —
+//! the paper's multicore argument (§5.3, Fig. 8) as a reproducible
+//! artifact: FIFO-family hit paths scale with threads because a hit is
+//! lock-free bookkeeping, while strict LRU flattens because every hit
+//! serializes on the promotion lock.
+//!
+//! ## Why a measured-cost model instead of real threads
+//!
+//! This harness runs on whatever machine CI gives it — typically one
+//! vCPU. Timing 16 real threads there measures the scheduler, not the
+//! cache design. Instead, per (workload, cache) the harness runs:
+//!
+//! 1. a **bulk measured pass** (profiling off): true single-thread per-op
+//!    cost `t_op` plus a sampled p99 op latency (every 64th op is timed
+//!    individually, corrected for calibrated timer overhead);
+//! 2. a **profiled pass** (profiling on): the measured-cost
+//!    synchronization counters from `cache_concurrent::profile` — global
+//!    lock hold nanoseconds and section count, writes to globally shared
+//!    cache lines (ring heads/tails, CLOCK hand, occupancy counters),
+//!    and writes to per-entry/per-shard lines;
+//! 3. a **modeled sweep**: the two passes combine with two calibrated
+//!    hardware numbers (uncontended RMW cost, `Instant::now` overhead)
+//!    into a first-order Amdahl + MESI contention model.
+//!
+//! ## The model
+//!
+//! ```text
+//! ramp(N)   = min(N-1, RMW_CONTENTION_FACTOR)
+//! sat(N, m) = 1 - (1 - m)^(N-1)
+//! t_eff(N)  = t_op                                        measured work
+//!           + (N-1) * (lock_ns/op                         serialized
+//!                      + 2*rmw_base*ramp(N)*sections/op)
+//!           + shared/op * rmw_base * ramp(N)              always-hot lines
+//!           + entry/op  * t_rmw * sat(N, p_coll)          key-homed lines
+//! ```
+//!
+//! - Critical sections serialize (Amdahl): every other thread's hold time
+//!   queues in front of an op, plus two lock-word line transfers per
+//!   section once the lock ping-pongs between cores.
+//! - A write to a line every thread writes (`shared`: ring heads/tails,
+//!   occupancy counters) pays a transfer whose latency grows with the
+//!   number of peers racing for the line — `ramp(N)` — and saturates
+//!   once transfers pipeline, at [`RMW_CONTENTION_FACTOR`] peers. At
+//!   `N=1` the ramp is zero: the uncontended cost is already in `t_op`.
+//! - A write to a key-homed line (`entry`: an object's frequency byte,
+//!   its shard's lock word) pays a full contended transfer (`t_rmw`)
+//!   only when some concurrent op lands on the same line: `sat(N, p_coll)`
+//!   with `p_coll = Σ p_i²` over the workload's Zipf key distribution
+//!   (two independent draws colliding). Shard-level aggregation
+//!   concentrates more mass per line than the key-level bound; the
+//!   contention factor absorbs that slack.
+//! - `t_rmw` = measured uncontended `fetch_add` × [`RMW_CONTENTION_FACTOR`]:
+//!   a dirty-line cross-core hop costs roughly an order of magnitude more
+//!   than an L1-hit RMW on commodity x86 (~6 ns vs ~50 ns).
+//!
+//! Throughput `X(N) = N / t_eff(N)`; scaling efficiency
+//! `X(N) / (N·X(1)) = t_op / t_eff(N)`; modeled `p99(N)` stretches the
+//! measured single-thread p99 by `t_eff(N)/t_op`.
+//!
+//! The model is deliberately first-order; what makes the comparison fair
+//! is that every variant is scored by the *same* formula on *measured*
+//! per-op costs. The Fig. 8 shape falls out, not in: nothing in the
+//! harness knows that strict LRU holds its lock on every hit — the
+//! profiled pass measures it.
+//!
+//! ## Output
+//!
+//! `BENCH_concurrent.json` (repo root on a full run, `target/` with
+//! `--smoke`) with the per-cache measured costs and the modeled sweep,
+//! plus the acceptance summary: FIFO-family speedup at max threads,
+//! strict-LRU speedup (must stay < 2×), batched-vs-direct S3-FIFO hit
+//! throughput ratio, and the batched cache's miss-ratio delta against
+//! the simulation-grade serial S3-FIFO on the same trace.
+//!
+//! Env knobs: `CT_REQUESTS`, `CT_CAPACITY`, `CT_OBJECTS` override the
+//! trace scale.
+
+use bytes::Bytes;
+use cache_bench::{banner, f2, f3, print_table};
+use cache_concurrent::clock::ConcurrentClock;
+use cache_concurrent::lru::MutexLru;
+use cache_concurrent::s3fifo::ConcurrentS3Fifo;
+use cache_concurrent::segcache::SegcacheLike;
+use cache_concurrent::ConcurrentCache;
+use cache_ds::SplitMix64;
+use cache_trace::zipf::ZipfSampler;
+use cache_types::{Policy, Request};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cross-core dirty-line transfer cost relative to an L1-hit RMW (see
+/// module docs). Applied to the calibrated uncontended `fetch_add`.
+const RMW_CONTENTION_FACTOR: f64 = 8.0;
+
+/// Every Nth op of the measured pass is individually timed for the p99.
+const P99_SAMPLE_EVERY: usize = 64;
+
+const OP_GET: u8 = 0;
+const OP_SET: u8 = 1;
+const OP_DEL: u8 = 2;
+
+/// One synthetic workload: Zipf skew plus an op mix (the remainder after
+/// gets and sets is deletes). Skews ladder from hot (read-heavy, CDN-like
+/// α=1.2) to mild (write-heavy, α=0.8) so the hit-path comparison runs
+/// where it matters and the write paths are exercised where they matter.
+struct Workload {
+    name: &'static str,
+    alpha: f64,
+    get_pct: u64,
+    set_pct: u64,
+}
+
+const WORKLOADS: [Workload; 3] = [
+    Workload {
+        name: "read-heavy",
+        alpha: 1.2,
+        get_pct: 95,
+        set_pct: 5,
+    },
+    Workload {
+        name: "mixed",
+        alpha: 1.0,
+        get_pct: 75,
+        set_pct: 20,
+    },
+    Workload {
+        name: "write-heavy",
+        alpha: 0.8,
+        get_pct: 50,
+        set_pct: 40,
+    },
+];
+
+struct Config {
+    requests: usize,
+    capacity: usize,
+    objects: u64,
+    threads: Vec<usize>,
+    smoke: bool,
+}
+
+/// Calibrated host costs feeding the model.
+struct Calibration {
+    /// One `Instant::now()` call, ns.
+    timer_ns: f64,
+    /// Uncontended relaxed `fetch_add`, ns.
+    rmw_base_ns: f64,
+    /// Modeled contended RMW: `rmw_base_ns * RMW_CONTENTION_FACTOR`.
+    t_rmw: f64,
+}
+
+struct SweepPoint {
+    threads: usize,
+    mops: f64,
+    p99_us: f64,
+    efficiency: f64,
+}
+
+struct CacheRow {
+    name: String,
+    t_op_ns: f64,
+    p99_ns: f64,
+    miss_ratio: f64,
+    /// Per-op profiled costs.
+    lock_ns: f64,
+    lock_sections: f64,
+    shared_writes: f64,
+    entry_writes: f64,
+    sweep: Vec<SweepPoint>,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    alpha: f64,
+    get_pct: u64,
+    set_pct: u64,
+    collision_p: f64,
+    rows: Vec<CacheRow>,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn builders(capacity: usize) -> Vec<(&'static str, Arc<dyn ConcurrentCache>)> {
+    vec![
+        ("S3-FIFO", Arc::new(ConcurrentS3Fifo::new(capacity))),
+        ("S3-FIFO-direct", Arc::new(ConcurrentS3Fifo::direct(capacity))),
+        ("LRU-strict", Arc::new(MutexLru::strict(capacity))),
+        ("LRU-optimized", Arc::new(MutexLru::optimized(capacity))),
+        ("CLOCK", Arc::new(ConcurrentClock::new(capacity))),
+        ("Segcache", Arc::new(SegcacheLike::new(capacity))),
+    ]
+}
+
+/// Fixed-seed op/key trace for one workload. Keys are Zipf ranks.
+fn gen_trace(w: &Workload, cfg: &Config, seed: u64) -> Vec<(u8, u64)> {
+    let zipf = ZipfSampler::new(cfg.objects, w.alpha);
+    let mut rng = SplitMix64::new(seed);
+    (0..cfg.requests)
+        .map(|_| {
+            let key = zipf.sample(&mut rng);
+            let dice = rng.next_below(100);
+            let op = if dice < w.get_pct {
+                OP_GET
+            } else if dice < w.get_pct + w.set_pct {
+                OP_SET
+            } else {
+                OP_DEL
+            };
+            (op, key)
+        })
+        .collect()
+}
+
+/// Key-level line-collision probability: chance two independent draws from
+/// the workload's Zipf distribution pick the same key.
+fn collision_probability(objects: u64, alpha: f64) -> f64 {
+    let zipf = ZipfSampler::new(objects, alpha);
+    (1..=objects)
+        .map(|rank| {
+            let p = zipf.probability(rank);
+            p * p
+        })
+        .sum()
+}
+
+fn calibrate_timer() -> f64 {
+    let n = 200_000u32;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        black_box(Instant::now());
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(n)
+}
+
+// ORDERING: Relaxed — a calibration loop measuring the latency of the
+// RMW instruction itself; no cross-thread communication exists.
+fn calibrate_rmw() -> f64 {
+    let counter = AtomicU64::new(0);
+    let n = 1_000_000u64;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        black_box(counter.fetch_add(1, Ordering::Relaxed));
+    }
+    let per_op = t0.elapsed().as_nanos() as f64 / n as f64;
+    black_box(counter.load(Ordering::Relaxed));
+    per_op
+}
+
+/// Replays the trace once. When `samples` is given, every
+/// [`P99_SAMPLE_EVERY`]th op is individually timed into it. Returns
+/// (elapsed ns, gets, get-misses).
+fn replay(
+    cache: &dyn ConcurrentCache,
+    trace: &[(u8, u64)],
+    payload: &Bytes,
+    mut samples: Option<&mut Vec<u64>>,
+) -> (u64, u64, u64) {
+    let mut gets = 0u64;
+    let mut get_misses = 0u64;
+    let t0 = Instant::now();
+    for (i, &(op, key)) in trace.iter().enumerate() {
+        let sampled = match &mut samples {
+            Some(_) if i % P99_SAMPLE_EVERY == 0 => Some(Instant::now()),
+            _ => None,
+        };
+        match op {
+            OP_GET => {
+                gets += 1;
+                match cache.get(key) {
+                    Some(v) => {
+                        black_box(v);
+                    }
+                    None => {
+                        get_misses += 1;
+                        // Demand fill, as a real cache client would.
+                        cache.insert(key, payload.clone());
+                    }
+                }
+            }
+            OP_SET => cache.insert(key, payload.clone()),
+            _ => {
+                cache.remove(key);
+            }
+        }
+        if let (Some(t), Some(out)) = (sampled, &mut samples) {
+            out.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    (t0.elapsed().as_nanos() as u64, gets, get_misses)
+}
+
+fn percentile(samples: &mut [u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx.min(samples.len() - 1)] as f64
+}
+
+/// `sat(N, m)`: probability at least one of `N-1` peer ops lands on the
+/// same line (see module docs).
+fn sat(threads: usize, mass: f64) -> f64 {
+    1.0 - (1.0 - mass).powi(threads as i32 - 1)
+}
+
+/// `ramp(N)`: hot-line transfer latency multiplier — grows with peer
+/// count, saturates when transfers pipeline (see module docs).
+fn ramp(threads: usize) -> f64 {
+    ((threads - 1) as f64).min(RMW_CONTENTION_FACTOR)
+}
+
+fn model_sweep(row_t_op: f64, p99_ns: f64, row: &CacheRow, cal: &Calibration, collision_p: f64, threads: &[usize]) -> Vec<SweepPoint> {
+    threads
+        .iter()
+        .map(|&n| {
+            let serialized =
+                row.lock_ns + 2.0 * cal.rmw_base_ns * ramp(n) * row.lock_sections;
+            let t_eff = row_t_op
+                + (n as f64 - 1.0) * serialized
+                + row.shared_writes * cal.rmw_base_ns * ramp(n)
+                + row.entry_writes * cal.t_rmw * sat(n, collision_p);
+            SweepPoint {
+                threads: n,
+                mops: n as f64 * 1e3 / t_eff,
+                p99_us: p99_ns * (t_eff / row_t_op) / 1e3,
+                efficiency: row_t_op / t_eff,
+            }
+        })
+        .collect()
+}
+
+/// Runs warmup + measured + profiled passes for one cache on one trace.
+fn run_cache(
+    name: &str,
+    cache: &dyn ConcurrentCache,
+    trace: &[(u8, u64)],
+    cal: &Calibration,
+) -> CacheRow {
+    let payload = Bytes::from_static(b"concurrent-throughput-payload");
+    // Warmup: reach steady-state occupancy before timing anything.
+    replay(cache, trace, &payload, None);
+
+    // Measured pass: profiling off (hooks cost one relaxed load each).
+    // Best of three replays — the minimum elapsed is the least
+    // scheduler-disturbed run, the standard noise filter on a shared host.
+    cache.sync_profile().set_enabled(false);
+    let mut samples = Vec::new();
+    let mut best: Option<(u64, u64, u64)> = None;
+    for _ in 0..3 {
+        let mut pass_samples = Vec::with_capacity(trace.len() / P99_SAMPLE_EVERY + 1);
+        let pass = replay(cache, trace, &payload, Some(&mut pass_samples));
+        if best.map(|b| pass.0 < b.0).unwrap_or(true) {
+            best = Some(pass);
+            samples = pass_samples;
+        }
+    }
+    // Invariant: the loop above ran at least once.
+    let (elapsed_ns, gets, get_misses) = best.expect("at least one measured pass");
+    let n = trace.len() as f64;
+    // Back out the sampling timers from the bulk elapsed time, and the
+    // timer-pair overhead from each individual sample.
+    let timer_pair = 2.0 * cal.timer_ns;
+    let t_op_ns = (elapsed_ns as f64 - samples.len() as f64 * timer_pair).max(1.0) / n;
+    for s in &mut samples {
+        *s = (*s as f64 - timer_pair).max(1.0) as u64;
+    }
+    let p99_ns = percentile(&mut samples, 0.99);
+    let miss_ratio = if gets > 0 {
+        get_misses as f64 / gets as f64
+    } else {
+        0.0
+    };
+
+    // Profiled pass: same trace again, hooks on.
+    let profile = cache.sync_profile();
+    profile.reset();
+    profile.set_enabled(true);
+    replay(cache, trace, &payload, None);
+    profile.set_enabled(false);
+    let snap = profile.snapshot();
+    // Each timed section pays one Instant call inside the measured hold.
+    let lock_ns = (snap.lock_ns as f64 - snap.lock_sections as f64 * cal.timer_ns).max(0.0) / n;
+
+    CacheRow {
+        name: name.to_string(),
+        t_op_ns,
+        p99_ns,
+        miss_ratio,
+        lock_ns,
+        lock_sections: snap.lock_sections as f64 / n,
+        shared_writes: snap.shared_writes as f64 / n,
+        entry_writes: snap.entry_writes as f64 / n,
+        sweep: Vec::new(),
+    }
+}
+
+/// Miss-ratio fidelity of the batched concurrent S3-FIFO against the
+/// simulation-grade serial policy: the same get-only key stream, both
+/// sides cold, both demand-filling on a miss. This isolates what the
+/// acceptance criterion is about — whether deferred frequency increments
+/// change eviction decisions — from op-mix semantics the two
+/// implementations define differently (a Set re-enqueues in the
+/// concurrent cache, updates in place in the simulator).
+fn fidelity_delta(trace: &[(u8, u64)], capacity: usize) -> (f64, f64) {
+    // Invariant: capacity > 0 by construction of Config.
+    let mut policy = s3fifo::S3Fifo::new(capacity as u64).expect("capacity is positive");
+    let mut evictions = Vec::new();
+    let mut serial_misses = 0u64;
+    for (t, &(_, key)) in trace.iter().enumerate() {
+        if policy
+            .request(&Request::get(key, t as u64), &mut evictions)
+            .is_miss()
+        {
+            serial_misses += 1;
+        }
+        evictions.clear();
+    }
+    let cache = ConcurrentS3Fifo::new(capacity);
+    let payload = Bytes::from_static(b"fidelity-probe");
+    let mut conc_misses = 0u64;
+    for &(_, key) in trace {
+        if cache.get(key).is_none() {
+            conc_misses += 1;
+            cache.insert(key, payload.clone());
+        }
+    }
+    let n = trace.len() as f64;
+    (serial_misses as f64 / n, conc_misses as f64 / n)
+}
+
+fn write_json(
+    path: &str,
+    cfg: &Config,
+    cal: &Calibration,
+    results: &[WorkloadResult],
+    fidelity: (f64, f64),
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    let push = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    push(&mut s, "{");
+    push(&mut s, "  \"bench\": \"concurrent_throughput\",");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"requests\": {},", cfg.requests);
+    let _ = writeln!(s, "  \"capacity\": {},", cfg.capacity);
+    let _ = writeln!(s, "  \"objects\": {},", cfg.objects);
+    let _ = writeln!(
+        s,
+        "  \"threads\": [{}],",
+        cfg.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"timer_ns\": {:.3},", cal.timer_ns);
+    let _ = writeln!(s, "  \"rmw_base_ns\": {:.3},", cal.rmw_base_ns);
+    let _ = writeln!(s, "  \"rmw_contention_factor\": {RMW_CONTENTION_FACTOR},");
+    let _ = writeln!(s, "  \"t_rmw_ns\": {:.3},", cal.t_rmw);
+    push(&mut s, "  \"workloads\": [");
+    for (wi, w) in results.iter().enumerate() {
+        push(&mut s, "    {");
+        let _ = writeln!(s, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(s, "      \"alpha\": {},", w.alpha);
+        let _ = writeln!(s, "      \"get_percent\": {},", w.get_pct);
+        let _ = writeln!(s, "      \"set_percent\": {},", w.set_pct);
+        let _ = writeln!(
+            s,
+            "      \"delete_percent\": {},",
+            100 - w.get_pct - w.set_pct
+        );
+        let _ = writeln!(s, "      \"collision_p\": {:.6},", w.collision_p);
+        push(&mut s, "      \"caches\": [");
+        for (ci, row) in w.rows.iter().enumerate() {
+            push(&mut s, "        {");
+            let _ = writeln!(s, "          \"name\": \"{}\",", row.name);
+            let _ = writeln!(s, "          \"t_op_ns\": {:.2},", row.t_op_ns);
+            let _ = writeln!(s, "          \"p99_op_ns_1t\": {:.1},", row.p99_ns);
+            let _ = writeln!(s, "          \"miss_ratio\": {:.5},", row.miss_ratio);
+            let _ = writeln!(s, "          \"lock_ns_per_op\": {:.3},", row.lock_ns);
+            let _ = writeln!(
+                s,
+                "          \"lock_sections_per_op\": {:.4},",
+                row.lock_sections
+            );
+            let _ = writeln!(
+                s,
+                "          \"shared_writes_per_op\": {:.4},",
+                row.shared_writes
+            );
+            let _ = writeln!(
+                s,
+                "          \"entry_writes_per_op\": {:.4},",
+                row.entry_writes
+            );
+            push(&mut s, "          \"sweep\": [");
+            for (si, p) in row.sweep.iter().enumerate() {
+                let comma = if si + 1 == row.sweep.len() { "" } else { "," };
+                let _ = writeln!(
+                    s,
+                    "            {{\"threads\": {}, \"mops\": {:.3}, \"p99_us\": {:.3}, \"efficiency\": {:.4}}}{comma}",
+                    p.threads, p.mops, p.p99_us, p.efficiency
+                );
+            }
+            push(&mut s, "          ]");
+            push(&mut s, if ci + 1 == w.rows.len() { "        }" } else { "        }," });
+        }
+        push(&mut s, "      ]");
+        push(&mut s, if wi + 1 == results.len() { "    }" } else { "    }," });
+    }
+    push(&mut s, "  ],");
+    // Acceptance summary, computed on the read-heavy workload.
+    let rh = &results[0];
+    let speedup = |name: &str| -> f64 {
+        rh.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| {
+                let first = r.sweep.first().map(|p| p.mops).unwrap_or(1.0);
+                let last = r.sweep.last().map(|p| p.mops).unwrap_or(1.0);
+                last / first
+            })
+            .unwrap_or(0.0)
+    };
+    let mops_at_max = |name: &str| -> f64 {
+        rh.rows
+            .iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.sweep.last().map(|p| p.mops))
+            .unwrap_or(0.0)
+    };
+    push(&mut s, "  \"summary\": {");
+    let _ = writeln!(
+        s,
+        "    \"max_threads\": {},",
+        cfg.threads.last().copied().unwrap_or(1)
+    );
+    let _ = writeln!(
+        s,
+        "    \"fifo_speedup_max_threads\": {:.3},",
+        speedup("S3-FIFO")
+    );
+    let _ = writeln!(
+        s,
+        "    \"lru_strict_speedup_max_threads\": {:.3},",
+        speedup("LRU-strict")
+    );
+    let _ = writeln!(
+        s,
+        "    \"batched_vs_direct_max_threads\": {:.4},",
+        mops_at_max("S3-FIFO") / mops_at_max("S3-FIFO-direct").max(1e-12)
+    );
+    let _ = writeln!(s, "    \"serial_miss_ratio\": {:.5},", fidelity.0);
+    let _ = writeln!(s, "    \"batched_miss_ratio\": {:.5},", fidelity.1);
+    let _ = writeln!(
+        s,
+        "    \"miss_ratio_delta_vs_serial\": {:.5}",
+        (fidelity.1 - fidelity.0).abs()
+    );
+    push(&mut s, "  }");
+    push(&mut s, "}");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                "target/BENCH_concurrent.json".to_string()
+            } else {
+                "BENCH_concurrent.json".to_string()
+            }
+        });
+
+    let cfg = Config {
+        requests: env_usize("CT_REQUESTS", if smoke { 120_000 } else { 600_000 }),
+        capacity: env_usize("CT_CAPACITY", if smoke { 2_000 } else { 10_000 }),
+        objects: env_usize("CT_OBJECTS", if smoke { 20_000 } else { 100_000 }) as u64,
+        threads: if smoke {
+            vec![1, 2]
+        } else {
+            vec![1, 2, 4, 8, 16]
+        },
+        smoke,
+    };
+
+    banner("concurrent thread-sweep: calibration");
+    let timer_ns = calibrate_timer();
+    let rmw_base_ns = calibrate_rmw();
+    let cal = Calibration {
+        timer_ns,
+        rmw_base_ns,
+        t_rmw: rmw_base_ns * RMW_CONTENTION_FACTOR,
+    };
+    println!(
+        "timer {:.2} ns/call, uncontended RMW {:.2} ns, modeled contended RMW {:.2} ns (x{})",
+        cal.timer_ns, cal.rmw_base_ns, cal.t_rmw, RMW_CONTENTION_FACTOR
+    );
+    println!(
+        "{} requests, capacity {}, {} objects, threads {:?}{}",
+        cfg.requests,
+        cfg.capacity,
+        cfg.objects,
+        cfg.threads,
+        if smoke { " [SMOKE — numbers not meaningful]" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    let mut fidelity = (0.0, 0.0);
+    for (wi, w) in WORKLOADS.iter().enumerate() {
+        let trace = gen_trace(w, &cfg, 0x5EED_C0DE + wi as u64);
+        let collision_p = collision_probability(cfg.objects, w.alpha);
+        banner(&format!(
+            "{} (zipf {}, {}% get / {}% set / {}% delete, p_coll {:.4})",
+            w.name,
+            w.alpha,
+            w.get_pct,
+            w.set_pct,
+            100 - w.get_pct - w.set_pct,
+            collision_p
+        ));
+        let mut rows = Vec::new();
+        for (name, cache) in builders(cfg.capacity) {
+            let mut row = run_cache(name, cache.as_ref(), &trace, &cal);
+            row.sweep = model_sweep(row.t_op_ns, row.p99_ns, &row, &cal, collision_p, &cfg.threads);
+            rows.push(row);
+        }
+        if wi == 0 {
+            fidelity = fidelity_delta(&trace, cfg.capacity);
+            println!(
+                "fidelity (get-only, cold): serial {:.4} vs batched {:.4} (delta {:.4})",
+                fidelity.0,
+                fidelity.1,
+                (fidelity.1 - fidelity.0).abs()
+            );
+        }
+
+        let mut headers = vec!["cache", "t_op ns", "p99 ns", "miss"];
+        let thread_cols: Vec<String> = cfg
+            .threads
+            .iter()
+            .map(|t| format!("Mops@{t}"))
+            .collect();
+        headers.extend(thread_cols.iter().map(|c| c.as_str()));
+        headers.push("speedup");
+        headers.push("eff@max");
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![
+                    r.name.clone(),
+                    f2(r.t_op_ns),
+                    f2(r.p99_ns),
+                    f3(r.miss_ratio),
+                ];
+                cells.extend(r.sweep.iter().map(|p| f2(p.mops)));
+                let first = r.sweep.first().map(|p| p.mops).unwrap_or(1.0);
+                let last = r.sweep.last().map(|p| p.mops).unwrap_or(1.0);
+                cells.push(f2(last / first));
+                cells.push(f3(r.sweep.last().map(|p| p.efficiency).unwrap_or(1.0)));
+                cells
+            })
+            .collect();
+        print_table(&headers, &table);
+
+        results.push(WorkloadResult {
+            name: w.name,
+            alpha: w.alpha,
+            get_pct: w.get_pct,
+            set_pct: w.set_pct,
+            collision_p,
+            rows,
+        });
+    }
+
+    match write_json(&out, &cfg, &cal, &results, fidelity) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

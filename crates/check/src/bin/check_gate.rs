@@ -1,6 +1,6 @@
 //! CI gate: the full correctness battery on fixed seeds.
 //!
-//! Four phases, each fatal on failure (exit code 1 with a reproduction):
+//! Five phases, each fatal on failure (exit code 1 with a reproduction):
 //!
 //! 1. **Differential fuzz** — every reference-covered algorithm ×
 //!    capacities {1, 2, 3, 7, 50} × {unit-size, sized}, ≥ 10 000 generated
@@ -15,13 +15,16 @@
 //! 4. **Linearizability-lite** — a logged multi-threaded torture run per
 //!    concurrent cache, history checked for stale/forged/time-travelling
 //!    reads.
+//! 5. **Monotonic versions** — logged runs in per-key-version mode under
+//!    uniform and Zipf(1.0) key skew, checked with both the per-get rules
+//!    and the cross-get version-regression rule.
 //!
 //! Budget: a couple of seconds in release mode. Everything is seeded; a
 //! failing run reproduces bit-for-bit (see TESTING.md).
 
 use cache_check::{
-    check_history, fuzz_mrc, fuzz_policy, FuzzConfig, InvariantObserver, FUZZED_ALGORITHMS,
-    MRC_ALGORITHMS, MRC_GRIDS,
+    check_history, check_monotonic, fuzz_mrc, fuzz_policy, FuzzConfig, InvariantObserver,
+    FUZZED_ALGORITHMS, MRC_ALGORITHMS, MRC_GRIDS,
 };
 use cache_concurrent::oplog::{run_logged_torture, LoggedTortureConfig};
 use cache_concurrent::ConcurrentCache;
@@ -133,23 +136,28 @@ fn phase_observer() -> Result<(), String> {
     Ok(())
 }
 
-fn phase_linearizability() -> Result<(), String> {
-    let capacity = 96;
-    let caches: Vec<Arc<dyn ConcurrentCache>> = vec![
+/// Every concurrent variant at `capacity` — the same roster the thread-sweep
+/// benchmark measures, batched and direct S3-FIFO included.
+fn concurrent_caches(capacity: usize) -> Vec<Arc<dyn ConcurrentCache>> {
+    vec![
         Arc::new(cache_concurrent::s3fifo::ConcurrentS3Fifo::new(capacity)),
+        Arc::new(cache_concurrent::s3fifo::ConcurrentS3Fifo::direct(capacity)),
         Arc::new(cache_concurrent::lru::MutexLru::strict(capacity)),
         Arc::new(cache_concurrent::lru::MutexLru::optimized(capacity)),
         Arc::new(cache_concurrent::clock::ConcurrentClock::new(capacity)),
         Arc::new(cache_concurrent::locked::locked_tinylfu(capacity)),
         Arc::new(cache_concurrent::locked::locked_twoq(capacity)),
         Arc::new(cache_concurrent::segcache::SegcacheLike::new(capacity)),
-    ];
+    ]
+}
+
+fn phase_linearizability() -> Result<(), String> {
     let cfg = LoggedTortureConfig {
         threads: 4,
         ops_per_thread: 1_500,
         ..LoggedTortureConfig::default()
     };
-    for cache in caches {
+    for cache in concurrent_caches(96) {
         let name = cache.name();
         let log = run_logged_torture(cache, &cfg);
         let violations = check_history(&log);
@@ -165,14 +173,46 @@ fn phase_linearizability() -> Result<(), String> {
     Ok(())
 }
 
+fn phase_monotonic() -> Result<(), String> {
+    for alpha in [0.0, 1.0] {
+        for cache in concurrent_caches(96) {
+            let name = cache.name();
+            let cfg = LoggedTortureConfig {
+                threads: 4,
+                ops_per_thread: 1_200,
+                alpha,
+                monotonic_versions: true,
+                seed: 0x3030_0707 ^ alpha.to_bits(),
+                ..LoggedTortureConfig::default()
+            };
+            let log = run_logged_torture(cache, &cfg);
+            let mut violations = check_history(&log);
+            violations.extend(check_monotonic(&log));
+            if let Some(v) = violations.first() {
+                return Err(format!(
+                    "{name} (alpha {alpha}): {} violations in a {}-op monotonic history; first: {v}",
+                    violations.len(),
+                    log.len()
+                ));
+            }
+            println!(
+                "  {name} (alpha {alpha}): {}-op history passes per-get + version-regression rules",
+                log.len()
+            );
+        }
+    }
+    Ok(())
+}
+
 type Phase = fn() -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let phases: [(&str, Phase); 4] = [
+    let phases: [(&str, Phase); 5] = [
         ("differential fuzz (reference vs keyed vs dense)", phase_differential),
         ("MRC differential (multi-capacity engines vs per-capacity reference)", phase_mrc),
         ("invariant observer sweep", phase_observer),
         ("linearizability-lite on logged torture histories", phase_linearizability),
+        ("monotonic-version regression rules on logged histories", phase_monotonic),
     ];
     for (title, run) in phases {
         println!("check_gate: {title}");

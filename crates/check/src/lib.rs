@@ -41,6 +41,6 @@ pub mod reference;
 
 pub use fuzz::{diff_run, fuzz_policy, Divergence, FuzzConfig, FUZZED_ALGORITHMS};
 pub use mrc::{fuzz_mrc, mrc_diff, MrcDivergence, MRC_ALGORITHMS, MRC_GRIDS};
-pub use linear::{check_history, witness_exists, LinearViolation};
+pub use linear::{check_history, check_monotonic, witness_exists, LinearViolation};
 pub use observer::InvariantObserver;
 pub use reference::{reference_for, ReferencePolicy};

@@ -21,6 +21,12 @@
 //!   Eviction cannot excuse this: eviction only makes values disappear,
 //!   never reappear.
 //!
+//! [`check_monotonic`] adds a cross-get rule the per-get rules cannot
+//! express: two ordered gets on one key may never observe two values whose
+//! inserts provably ran in the opposite order (version regression). It is
+//! run alongside [`check_history`] by the gate, on histories recorded in
+//! the oplog's monotonic-version mode.
+//!
 //! This is sound but deliberately incomplete ("lite"): a history can be
 //! non-linearizable in ways these per-key interval rules miss. The
 //! [`witness_exists`] brute-force search — feasible only on tiny histories —
@@ -117,6 +123,75 @@ pub fn check_history(log: &[OpRecord]) -> Vec<LinearViolation> {
                         w.kind, w.start, w.end
                     ),
                 });
+            }
+        }
+    }
+    violations.sort_by_key(|v| v.get.start);
+    violations
+}
+
+/// Cross-get version-regression rule, the complement to [`check_history`]'s
+/// single-get rules.
+///
+/// Per key: take any two value-returning gets `G1`, `G2` where `G1`
+/// provably finished before `G2` began, returning values written by inserts
+/// `I1` and `I2` respectively. If `I2` provably completed before `I1`
+/// began, the history is not linearizable: any legal order must place `I2`
+/// before `I1` (real time), `I1` before `G1` (it produced `G1`'s value),
+/// and `G1` before `G2` — so `I1` intervenes between `I2` and `G2`, and
+/// `G2` cannot still observe `I2`'s value. Eviction cannot excuse it
+/// (eviction only hides values, never resurrects them), and removes only
+/// add more intervening writes.
+///
+/// The rule needs *two* gets as evidence, which is exactly what
+/// `check_history`'s stale-read rule (one get + one definitely-intervening
+/// write) cannot see: an insert that overlaps both gets pins nothing down
+/// on its own, yet the pair of gets still betrays the regression. Histories
+/// from `run_logged_torture`'s monotonic mode make the reports readable —
+/// values per key are versions 1, 2, 3, … — but soundness only relies on
+/// intervals and per-key-unique values, so it runs on any logged history.
+pub fn check_monotonic(log: &[OpRecord]) -> Vec<LinearViolation> {
+    let mut by_key: HashMap<u64, Vec<&OpRecord>> = HashMap::new();
+    for r in log {
+        by_key.entry(r.key).or_default().push(r);
+    }
+    let mut violations = Vec::new();
+    for (&key, ops) in &by_key {
+        let inserts: HashMap<u64, &OpRecord> = ops
+            .iter()
+            .filter_map(|r| match r.kind {
+                OpKind::Insert(v) => Some((v, *r)),
+                _ => None,
+            })
+            .collect();
+        // Matched value-returning gets, ordered by start time.
+        let mut gets: Vec<(&OpRecord, &OpRecord)> = ops
+            .iter()
+            .filter_map(|g| match g.kind {
+                OpKind::Get(Some(v)) => inserts.get(&v).map(|ins| (*g, *ins)),
+                _ => None,
+            })
+            .collect();
+        gets.sort_by_key(|(g, _)| g.start);
+        for (i, (g1, i1)) in gets.iter().enumerate() {
+            for (g2, i2) in &gets[i + 1..] {
+                let gets_ordered = g1.end < g2.start;
+                let inserts_inverted = i2.end < i1.start;
+                if gets_ordered && inserts_inverted {
+                    let (OpKind::Get(Some(v1)), OpKind::Get(Some(v2))) = (g1.kind, g2.kind)
+                    else {
+                        unreachable!("gets holds only value-returning gets");
+                    };
+                    violations.push(LinearViolation {
+                        key,
+                        get: **g2,
+                        detail: format!(
+                            "version regression: value {v2:#x} (insert [{}, {}]) observed after \
+                             value {v1:#x} (insert [{}, {}]) was already read over [{}, {}]",
+                            i2.start, i2.end, i1.start, i1.end, g1.start, g1.end
+                        ),
+                    });
+                }
             }
         }
     }
@@ -294,6 +369,103 @@ mod tests {
         // a witness exists when the Get(None) linearizes before the insert.
         assert!(check_history(&log).is_empty());
         assert!(witness_exists(&log));
+    }
+
+    #[test]
+    fn version_regression_is_flagged_only_by_monotonic_rule() {
+        // The discriminating shape: insert of the *newer* value spans both
+        // gets, so no write "definitely intervenes" for either get alone —
+        // check_history stays silent — yet the two gets together are
+        // impossible: Ia must precede G1(a), G1 precedes G2, and Ib really
+        // ended before Ia began, so Ia intervenes between Ib and G2(b).
+        let log = vec![
+            op(1, OpKind::Insert(1), 0, 1),            // Ib: version 1
+            op(1, OpKind::Insert(2), 4, 100),          // Ia: version 2, long
+            op(1, OpKind::Get(Some(2)), 5, 6),         // G1 reads version 2
+            op(1, OpKind::Get(Some(1)), 7, 8),         // G2 steps back to 1
+        ];
+        assert!(
+            check_history(&log).is_empty(),
+            "per-get rules were expected to miss this shape"
+        );
+        let v = check_monotonic(&log);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("version regression"), "{}", v[0]);
+        assert!(!witness_exists(&log), "monotonic rule flagged a linearizable history");
+    }
+
+    #[test]
+    fn overlapping_inserts_do_not_trigger_regression() {
+        // The two inserts overlap, so either may linearize first: reading
+        // 2 then 1 is legal (I1 linearizes between G1 and G2).
+        let log = vec![
+            op(1, OpKind::Insert(1), 0, 10),
+            op(1, OpKind::Insert(2), 1, 3),
+            op(1, OpKind::Get(Some(2)), 4, 5),
+            op(1, OpKind::Get(Some(1)), 6, 7),
+        ];
+        assert!(check_monotonic(&log).is_empty());
+        assert!(check_history(&log).is_empty());
+        assert!(witness_exists(&log));
+    }
+
+    #[test]
+    fn overlapping_gets_do_not_trigger_regression() {
+        // The gets overlap each other, so they may linearize in either
+        // order; observing "2 then 1" proves nothing.
+        let log = vec![
+            op(1, OpKind::Insert(1), 0, 1),
+            op(1, OpKind::Insert(2), 2, 100),
+            op(1, OpKind::Get(Some(2)), 3, 6),
+            op(1, OpKind::Get(Some(1)), 5, 8),
+        ];
+        assert!(check_monotonic(&log).is_empty());
+        assert!(witness_exists(&log));
+    }
+
+    /// Soundness cross-validation for the monotonic rule, mirroring
+    /// `checker_is_sound_on_random_histories`.
+    #[test]
+    fn monotonic_rule_is_sound_on_random_histories() {
+        let mut rng = SplitMix64::new(0x300A_707E);
+        let mut flagged = 0usize;
+        for _ in 0..600 {
+            let n = 4 + rng.next_below(5) as usize; // 4..=8 ops
+            let mut clock = 0u64;
+            let mut next_value = 0u64;
+            let log: Vec<OpRecord> = (0..n)
+                .map(|_| {
+                    let key = rng.next_below(2);
+                    // Insert-and-get heavy mix: regressions need two
+                    // matched gets, so skip removes entirely.
+                    let kind = match rng.next_below(5) {
+                        0 | 1 => {
+                            next_value += 1;
+                            OpKind::Insert(next_value)
+                        }
+                        _ => OpKind::Get(Some(1 + rng.next_below(4))),
+                    };
+                    let start = clock;
+                    let len = 1 + rng.next_below(6);
+                    clock += 1 + rng.next_below(3);
+                    OpRecord {
+                        thread: 0,
+                        key,
+                        kind,
+                        start,
+                        end: start + len,
+                    }
+                })
+                .collect();
+            if !check_monotonic(&log).is_empty() {
+                flagged += 1;
+                assert!(
+                    !witness_exists(&log),
+                    "monotonic rule flagged a linearizable history: {log:?}"
+                );
+            }
+        }
+        assert!(flagged > 5, "generator too tame: only {flagged} flagged histories");
     }
 
     /// Soundness cross-validation: on random tiny histories, whenever the

@@ -81,8 +81,9 @@ pub fn generate_keys(cfg: &ThroughputConfig, threads: usize) -> Vec<Vec<u64>> {
 }
 
 // A minimal local Zipf CDF (cache-trace is not a dependency of this crate
-// to keep the prototype layer freestanding).
-fn cache_trace_zipf(n: u64, alpha: f64) -> Vec<f64> {
+// to keep the prototype layer freestanding). Shared with `oplog` so logged
+// histories can use the same skew as the throughput harness.
+pub(crate) fn cache_trace_zipf(n: u64, alpha: f64) -> Vec<f64> {
     let mut cdf = Vec::with_capacity(n as usize);
     let mut acc = 0.0;
     for i in 1..=n {
@@ -95,7 +96,7 @@ fn cache_trace_zipf(n: u64, alpha: f64) -> Vec<f64> {
     cdf
 }
 
-fn sample_zipf(cdf: &[f64], rng: &mut SplitMix64) -> u64 {
+pub(crate) fn sample_zipf(cdf: &[f64], rng: &mut SplitMix64) -> u64 {
     let u = rng.next_f64();
     let idx = cdf.partition_point(|&c| c < u);
     (idx.min(cdf.len() - 1) + 1) as u64
@@ -199,7 +200,7 @@ impl Default for TortureConfig {
 
 /// Outcome of a torture run. All `*_violations` counters must be zero for
 /// a correct cache; [`TortureReport::assert_clean`] checks them.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TortureReport {
     /// Total operations executed.
     pub ops: u64,
@@ -222,6 +223,14 @@ pub struct TortureReport {
     /// Owned keys visible again right after their exclusive owner removed
     /// them.
     pub resurrection_violations: u64,
+    /// Keys the quiescent audit found both live and ghosted (informational;
+    /// bounded races legally leave a few — see [`crate::AuditReport`]).
+    pub live_ghosted: u64,
+    /// Set when the quiescent full-table audit run after joining the
+    /// workers found more violations than the per-thread race budget
+    /// allows. Unlike the statistical mid-run thresholds this check is
+    /// deterministic: at quiescence every structure is walked exactly.
+    pub audit_error: Option<String>,
 }
 
 impl TortureReport {
@@ -238,6 +247,10 @@ impl TortureReport {
         assert_eq!(
             self.resurrection_violations, 0,
             "removed keys resurfaced: {self:?}"
+        );
+        assert!(
+            self.audit_error.is_none(),
+            "quiescent audit failed: {self:?}"
         );
     }
 }
@@ -384,7 +397,22 @@ pub fn run_torture(cache: Arc<dyn ConcurrentCache>, cfg: &TortureConfig) -> Tort
             });
         }
     });
-    report.snapshot()
+    let mut report = report.snapshot();
+    // Quiescent full-table audit: the scope join above guarantees no
+    // mutator is live, so every structure can be walked exactly. Lock-free
+    // designs legally leave a bounded number of transient artifacts per
+    // racing thread (orphaned CLOCK slots, ghosted re-inserts); the budget
+    // is per-thread, never proportional to the op count.
+    let audit = cache.audit_quiescent();
+    report.live_ghosted = audit.live_ghosted as u64;
+    let slack = cfg.threads * 8;
+    if !audit.is_clean(slack) {
+        report.audit_error = Some(format!(
+            "{}: {audit:?} exceeds slack {slack}",
+            cache.name()
+        ));
+    }
+    report
 }
 
 #[derive(Default)]
@@ -414,6 +442,8 @@ impl TortureCounters {
             integrity_violations: self.integrity.load(Ordering::Relaxed),
             stale_version_violations: self.stale.load(Ordering::Relaxed),
             resurrection_violations: self.resurrections.load(Ordering::Relaxed),
+            live_ghosted: 0,
+            audit_error: None,
         }
     }
 }

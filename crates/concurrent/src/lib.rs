@@ -19,7 +19,9 @@
 //!   eviction and an atomic-only hit path;
 //! - [`harness`] — the closed-loop multi-threaded replay harness;
 //! - [`oplog`] — a logged variant of the torture harness whose timed
-//!   histories feed `cache-check`'s linearizability-lite checker.
+//!   histories feed `cache-check`'s linearizability-lite checker;
+//! - [`profile`] — measured-cost synchronization counters feeding the
+//!   thread-sweep contention model in `bench` (see DESIGN.md §11).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,13 +30,55 @@ pub use s3fifo::ShardStatsSnapshot;
 
 pub mod clock;
 pub mod harness;
+mod incbuf;
 pub mod locked;
 pub mod lru;
 pub mod oplog;
+pub mod profile;
 pub mod s3fifo;
 pub mod segcache;
 
 use bytes::Bytes;
+
+/// Result of a quiescent full-table audit ([`ConcurrentCache::audit_quiescent`]).
+///
+/// All fields describe *violations*, so the all-zero default is a clean
+/// report. Audits are only meaningful when no other thread is mutating the
+/// cache (after joining workers); the torture harness runs one per cache
+/// at the end of every run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Entries found resident during the walk (informational).
+    pub resident: usize,
+    /// Index entries whose backing storage no longer holds the key
+    /// (stale handles / dangling slots).
+    pub stale_handles: usize,
+    /// Keys that are simultaneously live in the cache and present in a
+    /// ghost table. Bounded races can legally leave a few (an evictor can
+    /// ghost-insert a key a racing thread just re-inserted), so callers
+    /// compare this against the thread count rather than zero.
+    pub live_ghosted: usize,
+    /// Duplicate residency: the same key reachable through two distinct
+    /// live storage locations.
+    pub duplicates: usize,
+}
+
+impl AuditReport {
+    /// True when the total violation count (stale handles + duplicates +
+    /// live∩ghost keys) is within `slack`. Strict designs pass with
+    /// `slack = 0`; lock-free designs legally leave a bounded number of
+    /// transient artifacts per racing thread (an orphaned CLOCK slot from
+    /// a same-key double insert, a ghosted key re-inserted mid-eviction),
+    /// so their callers budget a few per thread.
+    pub fn is_clean(&self, slack: usize) -> bool {
+        self.stale_handles + self.duplicates + self.live_ghosted <= slack
+    }
+
+    /// Total violation count.
+    pub fn violations(&self) -> usize {
+        self.stale_handles + self.duplicates + self.live_ghosted
+    }
+}
 
 /// A thread-safe fixed-capacity cache keyed by `u64`, storing cheaply
 /// cloneable byte payloads.
@@ -58,6 +102,20 @@ pub trait ConcurrentCache: Send + Sync {
     }
     /// Maximum number of entries.
     fn capacity(&self) -> usize;
+    /// The instance's synchronization-cost profile (see [`profile`]).
+    /// Implementations that have instrumented their hot paths return their
+    /// own profile; the default is a shared always-disabled stub so
+    /// callers can profile any cache without downcasting.
+    fn sync_profile(&self) -> &profile::SyncProfile {
+        static DISABLED: profile::SyncProfile = profile::SyncProfile::new();
+        &DISABLED
+    }
+    /// Full-table consistency audit. Only meaningful at quiescence (no
+    /// concurrent mutators). The default reports everything clean;
+    /// implementations override it with a real walk of their storage.
+    fn audit_quiescent(&self) -> AuditReport {
+        AuditReport::default()
+    }
 }
 
 /// Number of hash-index shards used by the scalable implementations.
@@ -75,6 +133,7 @@ pub(crate) fn test_caches(capacity: usize) -> Vec<std::sync::Arc<dyn ConcurrentC
     use std::sync::Arc;
     vec![
         Arc::new(crate::s3fifo::ConcurrentS3Fifo::new(capacity)),
+        Arc::new(crate::s3fifo::ConcurrentS3Fifo::direct(capacity)),
         Arc::new(crate::lru::MutexLru::strict(capacity)),
         Arc::new(crate::lru::MutexLru::optimized(capacity)),
         Arc::new(crate::clock::ConcurrentClock::new(capacity)),

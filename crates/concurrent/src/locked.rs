@@ -6,7 +6,8 @@
 //! the single-threaded implementation behind one mutex and the scalability
 //! ceiling follows.
 
-use crate::ConcurrentCache;
+use crate::profile::SyncProfile;
+use crate::{AuditReport, ConcurrentCache};
 use bytes::Bytes;
 use cache_types::{Eviction, Policy, Request};
 use parking_lot::Mutex;
@@ -23,6 +24,7 @@ struct Core<P: Policy> {
 pub struct GlobalLock<P: Policy> {
     core: Mutex<Core<P>>,
     name: String,
+    profile: SyncProfile,
     clock: AtomicU64,
     capacity: usize,
 }
@@ -39,6 +41,7 @@ impl<P: Policy> GlobalLock<P> {
                 scratch: Vec::new(),
             }),
             name: format!("{name}-locked"),
+            profile: SyncProfile::new(),
             clock: AtomicU64::new(0),
             capacity,
         }
@@ -53,9 +56,11 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
     // ORDERING: Relaxed logical-clock tick — the policy only needs a
     // unique monotonic-ish timestamp; real ordering comes from the lock.
     fn get(&self, key: u64) -> Option<Bytes> {
+        self.profile.shared_write(1); // global clock line
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();
-        if let Some(v) = core.store.get(&key).cloned() {
+        let t0 = self.profile.section_start();
+        let out = if let Some(v) = core.store.get(&key).cloned() {
             // Drive the policy's hit path (metadata update under the lock).
             let mut evs = std::mem::take(&mut core.scratch);
             evs.clear();
@@ -64,14 +69,18 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
             Some(v)
         } else {
             None
-        }
+        };
+        self.profile.section_end(t0);
+        out
     }
 
     // ORDERING: Relaxed clock tick, as in `get` — the global lock below
     // serializes all policy and store mutation.
     fn insert(&self, key: u64, value: Bytes) {
+        self.profile.shared_write(1); // global clock line
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();
+        let t0 = self.profile.section_start();
         let mut evs = std::mem::take(&mut core.scratch);
         evs.clear();
         core.policy.request(&Request::get(key, t), &mut evs);
@@ -80,12 +89,15 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
             core.store.remove(&e.id);
         }
         core.scratch = evs;
+        self.profile.section_end(t0);
     }
 
     // ORDERING: Relaxed clock tick, as in `get`.
     fn remove(&self, key: u64) -> bool {
+        self.profile.shared_write(1); // global clock line
         let t = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut core = self.core.lock();
+        let t0 = self.profile.section_start();
         let existed = core.store.remove(&key).is_some();
         if existed {
             let mut evs = std::mem::take(&mut core.scratch);
@@ -93,6 +105,7 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
             core.policy.request(&Request::delete(key, t), &mut evs);
             core.scratch = evs;
         }
+        self.profile.section_end(t0);
         existed
     }
 
@@ -102,6 +115,30 @@ impl<P: Policy + Send> ConcurrentCache for GlobalLock<P> {
 
     fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    fn sync_profile(&self) -> &SyncProfile {
+        &self.profile
+    }
+
+    // The policy's own `validate()` is the deep structural check here; on
+    // top of it the audit asserts the value store respects capacity
+    // (every policy eviction was applied to the store).
+    fn audit_quiescent(&self) -> AuditReport {
+        let core = self.core.lock();
+        let mut report = AuditReport {
+            resident: core.store.len(),
+            ..AuditReport::default()
+        };
+        if core.policy.validate().is_err() {
+            report.stale_handles += 1;
+        }
+        if core.store.len() > self.capacity {
+            // Missed evictions leave the store larger than the policy's
+            // universe — count the excess as stale handles.
+            report.stale_handles += core.store.len() - self.capacity;
+        }
+        report
     }
 }
 

@@ -12,7 +12,8 @@
 //!   better scalability [than strict LRU]. However, it cannot scale beyond
 //!   two cores."
 
-use crate::{shard_of, ConcurrentCache, SHARDS};
+use crate::profile::SyncProfile;
+use crate::{shard_of, AuditReport, ConcurrentCache, SHARDS};
 use bytes::Bytes;
 use cache_ds::{DList, Handle};
 use parking_lot::{Mutex, RwLock};
@@ -37,6 +38,7 @@ struct ListCore {
 pub struct MutexLru {
     shards: Vec<RwLock<IdMap<Arc<Entry>>>>,
     core: Mutex<ListCore>,
+    profile: SyncProfile,
     capacity: usize,
     strict: bool,
     promote_every: u32,
@@ -63,6 +65,7 @@ impl MutexLru {
                 list: DList::with_capacity(capacity + 1),
                 handles: IdMap::with_capacity_and_hasher(capacity + 1, Default::default()),
             }),
+            profile: SyncProfile::new(),
             capacity,
             strict,
             promote_every,
@@ -99,6 +102,7 @@ impl ConcurrentCache for MutexLru {
     // nesting that occurs (try_lock'd core, then shard read), and shard
     // guards are never held while acquiring core, so no cycle exists.
     fn get(&self, key: u64) -> Option<Bytes> {
+        self.profile.entry_write(3); // shard lock word (2) + promotion tick
         let value = {
             let guard = self.shards[shard_of(key)].read();
             let entry = guard.get(&key)?;
@@ -106,12 +110,16 @@ impl ConcurrentCache for MutexLru {
             entry.value.clone()
         };
         if self.strict {
-            // Every hit promotes, under a blocking lock.
+            // Every hit promotes, under a blocking lock — *the* global
+            // section the paper blames for LRU's flat scaling curve.
             let mut core = self.core.lock();
+            let t0 = self.profile.section_start();
             Self::promote(&mut core, key);
+            self.profile.section_end(t0);
         } else {
             // Rate-limited, try-lock promotion.
             let due = {
+                self.profile.entry_write(2); // shard lock word
                 let guard = self.shards[shard_of(key)].read();
                 match guard.get(&key) {
                     Some(e) => e.since_promotion.load(Ordering::Relaxed) >= self.promote_every,
@@ -120,19 +128,26 @@ impl ConcurrentCache for MutexLru {
             };
             if due {
                 if let Some(mut core) = self.core.try_lock() {
+                    let t0 = self.profile.section_start();
                     Self::promote(&mut core, key);
+                    self.profile.entry_write(3); // shard lock word + reset
                     let guard = self.shards[shard_of(key)].read();
                     if let Some(e) = guard.get(&key) {
                         e.since_promotion.store(0, Ordering::Relaxed);
                     }
+                    self.profile.section_end(t0);
                 }
             }
         }
         Some(value)
     }
 
-    // LOCK-ORDER: shard write lock is scoped and dropped before the core
-    // mutex is acquired — same core-after-shard discipline as `get`.
+    // LOCK-ORDER: core mutex first, then the shard write lock — the same
+    // core-then-shard nesting as `get`'s try-lock path and `evict_one`.
+    // No path holds a shard guard while acquiring core, so no cycle.
+    // Membership changes (insert/remove/evict) all happen inside the core
+    // section so the sharded value store and the LRU list can never
+    // disagree at quiescence; `audit_quiescent` asserts exactly that.
     fn insert(&self, key: u64, value: Bytes) {
         let entry = Arc::new(Entry {
             key,
@@ -140,13 +155,16 @@ impl ConcurrentCache for MutexLru {
             since_promotion: AtomicU32::new(0),
         });
         let _ = entry.key;
+        let mut core = self.core.lock();
+        let t0 = self.profile.section_start();
+        self.profile.entry_write(2); // shard lock word
         let replaced = {
             let mut guard = self.shards[shard_of(key)].write();
             guard.insert(key, entry).is_some()
         };
-        let mut core = self.core.lock();
         if replaced {
             Self::promote(&mut core, key);
+            self.profile.section_end(t0);
             return;
         }
         while core.handles.len() >= self.capacity {
@@ -154,18 +172,24 @@ impl ConcurrentCache for MutexLru {
         }
         let h = core.list.push_front(key);
         core.handles.insert(key, h);
+        self.profile.section_end(t0);
     }
 
     // LOCK-ORDER: the shard write guard is a temporary dropped at the end
     // of the first statement; the core mutex is taken alone afterwards.
+    // LOCK-ORDER: core mutex first, then the shard write lock — same
+    // discipline as `insert` (membership changes stay in the core section).
     fn remove(&self, key: u64) -> bool {
+        let mut core = self.core.lock();
+        let t0 = self.profile.section_start();
+        self.profile.entry_write(2); // shard lock word
         let existed = self.shards[shard_of(key)].write().remove(&key).is_some();
         if existed {
-            let mut core = self.core.lock();
             if let Some(h) = core.handles.remove(&key) {
                 core.list.remove(h);
             }
         }
+        self.profile.section_end(t0);
         existed
     }
 
@@ -175,6 +199,44 @@ impl ConcurrentCache for MutexLru {
 
     fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    fn sync_profile(&self) -> &SyncProfile {
+        &self.profile
+    }
+
+    // LOCK-ORDER: core mutex first, then shard read locks one at a time —
+    // the same core-then-shard nesting `get`'s try-lock path uses, and the
+    // only nesting in this audit.
+    fn audit_quiescent(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        let core = self.core.lock();
+        // The LRU list and the handle map must agree exactly.
+        if core.list.len() != core.handles.len() {
+            report.stale_handles += core.list.len().abs_diff(core.handles.len());
+        }
+        let mut seen: IdMap<usize> = IdMap::default();
+        for &key in core.list.iter() {
+            *seen.entry(key).or_insert(0) += 1;
+        }
+        report.duplicates = seen.values().filter(|&&n| n > 1).count();
+        // Every listed key must have a value in the sharded store, and
+        // every stored value must be listed (else it can never be evicted).
+        for key in core.handles.keys() {
+            if !self.shards[shard_of(*key)].read().contains_key(key) {
+                report.stale_handles += 1;
+            }
+        }
+        for shard in &self.shards {
+            let guard = shard.read();
+            report.resident += guard.len();
+            for key in guard.keys() {
+                if !core.handles.contains_key(key) {
+                    report.stale_handles += 1;
+                }
+            }
+        }
+        report
     }
 }
 
@@ -244,6 +306,42 @@ mod tests {
             h.join().unwrap();
         }
         assert!(c.len() <= 500);
+        let audit = c.audit_quiescent();
+        assert!(audit.is_clean(0), "audit failed: {audit:?}");
+        assert_eq!(audit.resident, c.len());
+    }
+
+    #[test]
+    fn audit_catches_nothing_on_remove_churn() {
+        // Membership changes are serialized by the core mutex, so even a
+        // remove-heavy interleaving must leave the list and the sharded
+        // store in exact agreement at quiescence.
+        let c = Arc::new(MutexLru::strict(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut state = t + 9;
+                for i in 0..20_000u64 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = (state >> 33) % 300;
+                    match i % 3 {
+                        0 => c.insert(key, v()),
+                        1 => {
+                            c.get(key);
+                        }
+                        _ => {
+                            c.remove(key);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let audit = c.audit_quiescent();
+        assert!(audit.is_clean(0), "audit failed: {audit:?}");
     }
 
     #[test]

@@ -64,6 +64,18 @@ pub struct LoggedTortureConfig {
     pub value_size: usize,
     /// Seed for the per-thread op streams.
     pub seed: u64,
+    /// Zipf skew of the key popularity (0.0 = uniform). The thread-sweep
+    /// benchmark replays skewed workloads, so the checker gate exercises
+    /// the same shape: hot keys maximize cross-thread interleaving on one
+    /// key, which is where stale reads would surface.
+    pub alpha: f64,
+    /// When set, insert values are per-key *versions* drawn from shared
+    /// atomic counters (1, 2, 3, … per key, across all threads) instead of
+    /// thread-tagged unique values. Per-key histories then carry enough
+    /// order for `cache-check`'s monotonic rule: once a version's insert
+    /// provably completed before another's began, a later get may never
+    /// step back across that pair.
+    pub monotonic_versions: bool,
 }
 
 impl Default for LoggedTortureConfig {
@@ -74,6 +86,8 @@ impl Default for LoggedTortureConfig {
             keys: 64,
             value_size: 32,
             seed: 0x10C4_10C4,
+            alpha: 0.0,
+            monotonic_versions: false,
         }
     }
 }
@@ -109,17 +123,30 @@ fn decode(b: &Bytes) -> Option<(u64, u64)> {
 // stamps forming one total order consistent with real time across all
 // threads; Acquire/Release alone would not give unrelated ticks a single
 // global order. Do not downgrade.
+// ORDERING: the per-key version counters (monotonic mode) are Relaxed —
+// the checker only needs each key's versions to be distinct and to reflect
+// *some* total draw order per key, which a single atomic fetch_add gives
+// regardless of fences; real-time reasoning comes from the SeqCst clock.
 pub fn run_logged_torture(
     cache: Arc<dyn ConcurrentCache>,
     cfg: &LoggedTortureConfig,
 ) -> Vec<OpRecord> {
     let clock = AtomicU64::new(0);
+    // Zipf CDF over ranks 1..=keys; alpha 0.0 degenerates to uniform.
+    let zipf = crate::harness::cache_trace_zipf(cfg.keys.max(1), cfg.alpha);
+    // Per-key version counters for monotonic mode (allocated either way;
+    // `keys` is small by design — the witness search is super-linear).
+    let versions: Vec<AtomicU64> = (0..cfg.keys.max(1) as usize + 1)
+        .map(|_| AtomicU64::new(0))
+        .collect();
     let mut logs: Vec<Vec<OpRecord>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..cfg.threads {
             let cache = Arc::clone(&cache);
             let clock = &clock;
+            let zipf = &zipf;
+            let versions = &versions;
             let cfg = *cfg;
             handles.push(scope.spawn(move || {
                 let mut rng =
@@ -128,10 +155,11 @@ pub fn run_logged_torture(
                 // Globally-unique values: thread index in the high bits. The
                 // torture harness's per-thread versions collide across
                 // threads; a witness search needs to know exactly which
-                // insert produced a payload.
+                // insert produced a payload. (Monotonic mode draws per-key
+                // versions from the shared counters instead.)
                 let mut next_value = (t as u64) << 48;
                 for _ in 0..cfg.ops_per_thread {
-                    let key = rng.next_below(cfg.keys.max(1));
+                    let key = crate::harness::sample_zipf(zipf, &mut rng);
                     let roll = rng.next_below(10);
                     let start = clock.fetch_add(1, Ordering::SeqCst);
                     let kind = match roll {
@@ -145,8 +173,12 @@ pub fn run_logged_torture(
                             OpKind::Get(observed)
                         }
                         5..=8 => {
-                            next_value += 1;
-                            let value = next_value;
+                            let value = if cfg.monotonic_versions {
+                                versions[key as usize].fetch_add(1, Ordering::Relaxed) + 1
+                            } else {
+                                next_value += 1;
+                                next_value
+                            };
                             cache.insert(key, encode(key, value, cfg.value_size));
                             OpKind::Insert(value)
                         }
@@ -205,6 +237,57 @@ mod tests {
         }
         // Merged log is sorted by start.
         assert!(log.windows(2).all(|w| w[0].start < w[1].start));
+    }
+
+    #[test]
+    fn monotonic_mode_versions_are_per_key_unique() {
+        let cfg = LoggedTortureConfig {
+            threads: 4,
+            ops_per_thread: 1000,
+            monotonic_versions: true,
+            ..LoggedTortureConfig::default()
+        };
+        let cache: Arc<dyn ConcurrentCache> = Arc::new(ConcurrentS3Fifo::new(128));
+        let log = run_logged_torture(cache, &cfg);
+        // Versions are unique per key and densely drawn from 1..=count.
+        let mut per_key: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for r in &log {
+            if let OpKind::Insert(v) = r.kind {
+                per_key.entry(r.key).or_default().push(v);
+            }
+        }
+        assert!(!per_key.is_empty());
+        for (key, mut versions) in per_key {
+            versions.sort_unstable();
+            let n = versions.len() as u64;
+            versions.dedup();
+            assert_eq!(versions.len() as u64, n, "key {key}: duplicate versions");
+            assert_eq!(versions.first(), Some(&1), "key {key}: versions not dense");
+            assert_eq!(versions.last(), Some(&n), "key {key}: versions not dense");
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_skews_key_popularity() {
+        let run = |alpha: f64| {
+            let cfg = LoggedTortureConfig {
+                threads: 2,
+                ops_per_thread: 2000,
+                alpha,
+                ..LoggedTortureConfig::default()
+            };
+            let cache: Arc<dyn ConcurrentCache> = Arc::new(ConcurrentS3Fifo::new(128));
+            run_logged_torture(cache, &cfg)
+        };
+        let count_rank1 = |log: &[OpRecord]| log.iter().filter(|r| r.key == 1).count();
+        let uniform = count_rank1(&run(0.0));
+        let skewed = count_rank1(&run(1.0));
+        // Under Zipf(1.0) over 64 keys, rank 1 draws ~21% of requests vs
+        // ~1.6% uniform.
+        assert!(
+            skewed > uniform * 4,
+            "alpha had no effect: skewed {skewed} vs uniform {uniform}"
+        );
     }
 
     #[test]

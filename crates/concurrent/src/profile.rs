@@ -1,0 +1,178 @@
+//! Measured-cost synchronization profiling for the contention model.
+//!
+//! The thread-sweep benchmark (`bench/src/bin/concurrent_throughput.rs`)
+//! cannot observe real multi-core contention on a single-vCPU host, so it
+//! *measures the ingredients* instead: how many nanoseconds each operation
+//! spends holding a **global** lock, and how many times it writes a shared
+//! cache line. Each concurrent cache owns a [`SyncProfile`]; when profiling
+//! is enabled (single-threaded calibration passes only), the hot paths
+//! report:
+//!
+//! - **global lock sections** (`section_start`/`section_end`): wall time
+//!   spent *holding* a lock every thread must pass through — the LRU list
+//!   mutex, the Segcache segment mutex, the `GlobalLock` policy mutex.
+//!   Sharded locks are deliberately *not* timed: with `shards >=
+//!   8 x threads` they serialize only on (rare) same-shard collisions,
+//!   which the model covers through the entry-line counter below.
+//! - **shared-line writes** (`shared_write`): atomic RMWs/stores on lines
+//!   written by *every* thread regardless of key — ring head/tail,
+//!   `s_count`/`m_count`, the CLOCK hand, global `len` counters. Each one
+//!   costs a cross-core cache-line transfer under contention.
+//! - **entry-line writes** (`entry_write`): atomic writes to per-entry or
+//!   per-shard lines (freq counters, reference bits, sharded stat
+//!   counters, sharded lock words). These contend only when two threads
+//!   collide on the same key/shard, so the model weights them by the
+//!   workload's key-collision probability.
+//!
+//! When disabled (the default, and always during real measured runs) every
+//! hook is a single relaxed load — no timing syscalls, no RMWs — so the
+//! instrumentation cannot distort the numbers it feeds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Synchronization-cost counters for one cache instance. See the module
+/// docs for what the three classes mean and why they are separated.
+#[derive(Debug, Default)]
+pub struct SyncProfile {
+    enabled: AtomicBool,
+    lock_ns: AtomicU64,
+    lock_sections: AtomicU64,
+    shared_writes: AtomicU64,
+    entry_writes: AtomicU64,
+}
+
+/// A point-in-time copy of a [`SyncProfile`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncSnapshot {
+    /// Nanoseconds spent holding global locks.
+    pub lock_ns: u64,
+    /// Number of timed global-lock sections.
+    pub lock_sections: u64,
+    /// Atomic writes to globally shared cache lines.
+    pub shared_writes: u64,
+    /// Atomic writes to per-entry / per-shard cache lines.
+    pub entry_writes: u64,
+}
+
+impl SyncProfile {
+    /// A fresh, disabled profile (`const` so trait defaults can keep a
+    /// shared static stub).
+    pub const fn new() -> Self {
+        SyncProfile {
+            enabled: AtomicBool::new(false),
+            lock_ns: AtomicU64::new(0),
+            lock_sections: AtomicU64::new(0),
+            shared_writes: AtomicU64::new(0),
+            entry_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns profiling on or off. Callers must be quiesced: the flag is a
+    /// calibration switch, not a synchronization point.
+    // ORDERING: Relaxed — the benchmark toggles this from the only running
+    // thread before/after single-threaded calibration passes.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether profiling is currently enabled.
+    // ORDERING: Relaxed — advisory gate, see `set_enabled`.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts timing a global-lock section; returns `None` (free) when
+    /// profiling is off. Call *after* acquiring the lock so queueing time
+    /// is excluded and only hold time is measured.
+    pub fn section_start(&self) -> Option<Instant> {
+        if self.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a global-lock section started by [`SyncProfile::section_start`].
+    /// Call just before releasing the lock.
+    // ORDERING: Relaxed counter adds — profiling runs single-threaded, and
+    // the snapshot happens after quiescence.
+    pub fn section_end(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.lock_ns.fetch_add(ns, Ordering::Relaxed);
+            self.lock_sections.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` shared-line atomic writes (globally contended lines).
+    // ORDERING: Relaxed — see `section_end`.
+    #[inline]
+    pub fn shared_write(&self, n: u64) {
+        if self.is_enabled() {
+            self.shared_writes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` entry-line atomic writes (per-key / per-shard lines).
+    // ORDERING: Relaxed — see `section_end`.
+    #[inline]
+    pub fn entry_write(&self, n: u64) {
+        if self.is_enabled() {
+            self.entry_writes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the counters out.
+    // ORDERING: Relaxed loads — read at quiescence after the profiled pass.
+    pub fn snapshot(&self) -> SyncSnapshot {
+        SyncSnapshot {
+            lock_ns: self.lock_ns.load(Ordering::Relaxed),
+            lock_sections: self.lock_sections.load(Ordering::Relaxed),
+            shared_writes: self.shared_writes.load(Ordering::Relaxed),
+            entry_writes: self.entry_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter (the enabled flag is left unchanged).
+    // ORDERING: Relaxed stores — calibration-only, single-threaded.
+    pub fn reset(&self) {
+        self.lock_ns.store(0, Ordering::Relaxed);
+        self.lock_sections.store(0, Ordering::Relaxed);
+        self.shared_writes.store(0, Ordering::Relaxed);
+        self.entry_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profile_records_nothing() {
+        let p = SyncProfile::new();
+        assert!(p.section_start().is_none());
+        p.section_end(None);
+        p.shared_write(5);
+        p.entry_write(7);
+        assert_eq!(p.snapshot(), SyncSnapshot::default());
+    }
+
+    #[test]
+    fn enabled_profile_accumulates_and_resets() {
+        let p = SyncProfile::new();
+        p.set_enabled(true);
+        let t = p.section_start();
+        assert!(t.is_some());
+        p.section_end(t);
+        p.shared_write(3);
+        p.entry_write(2);
+        let s = p.snapshot();
+        assert_eq!(s.lock_sections, 1);
+        assert_eq!(s.shared_writes, 3);
+        assert_eq!(s.entry_writes, 2);
+        p.reset();
+        assert_eq!(p.snapshot(), SyncSnapshot::default());
+        assert!(p.is_enabled(), "reset must not clear the enabled flag");
+    }
+}

@@ -13,6 +13,7 @@
 
 use cache_lint::loomlite::{Config, Report};
 use cache_lint::models::drain::{drain_race_scenario, drain_two_workers_scenario, DrainVariant};
+use cache_lint::models::incbuf::{incbuf_contention_scenario, incbuf_handoff_scenario, IncVariant};
 use cache_lint::models::ring::{ring_scenario, RingOrderings};
 use cache_lint::models::shard::{ghost_overwrite_scenario, promote_insert_scenario, GhostOrder};
 use cache_lint::walk::lint_workspace;
@@ -141,6 +142,18 @@ fn run_loom() -> bool {
         &mut schedules,
         &mut ok,
     );
+    expect_clean(
+        "incbuf slot handoff",
+        &cfg().explore(incbuf_handoff_scenario(IncVariant::Correct)),
+        &mut schedules,
+        &mut ok,
+    );
+    expect_clean(
+        "incbuf claim contention",
+        &cfg().explore(incbuf_contention_scenario(IncVariant::Correct)),
+        &mut schedules,
+        &mut ok,
+    );
 
     // Mutation smoke: the checker must catch each planted bug, or its
     // green runs above mean nothing.
@@ -167,6 +180,16 @@ fn run_loom() -> bool {
     expect_caught(
         "drain mutant (relaxed completion)",
         &cfg().explore(drain_race_scenario(DrainVariant::RelaxedComplete)),
+        &mut ok,
+    );
+    expect_caught(
+        "incbuf mutant (relaxed claim)",
+        &cfg().explore(incbuf_handoff_scenario(IncVariant::RelaxedClaim)),
+        &mut ok,
+    );
+    expect_caught(
+        "incbuf mutant (relaxed release)",
+        &cfg().explore(incbuf_handoff_scenario(IncVariant::RelaxedRelease)),
         &mut ok,
     );
 

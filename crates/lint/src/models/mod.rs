@@ -10,7 +10,9 @@
 //! - [`shard`]: the concurrent S3-FIFO shard insert/evict/remove path
 //!   (`crates/concurrent/src/s3fifo.rs`);
 //! - [`drain`]: the server's shutdown/drain handshake
-//!   (`crates/server/src/drain.rs`).
+//!   (`crates/server/src/drain.rs`);
+//! - [`incbuf`]: the batched frequency-increment buffer's slot
+//!   claim/release handoff (`crates/concurrent/src/incbuf.rs`).
 //!
 //! Each model also ships *mutants* — deliberately weakened orderings or
 //! reordered steps mirroring plausible refactor mistakes — with tests
@@ -18,5 +20,6 @@
 //! caught a planted bug proves nothing.
 
 pub mod drain;
+pub mod incbuf;
 pub mod ring;
 pub mod shard;
