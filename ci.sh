@@ -200,6 +200,66 @@ print(f"bench smoke ok: {agg['jobs']} sweep jobs, "
       f"speedup {agg['speedup']:.2f}x (smoke config)")
 PY
 
+echo "== out-of-core smoke: trace_gen + trace_convert + oo_trace =="
+# The out-of-core trace engine end to end (DESIGN.md §12): generate a small
+# seeded .ctr trace to disk, round-trip it through CSV and back, verify the
+# two encodings describe the identical trace, and run the streamed-replay
+# benchmark in smoke mode. The oo_trace binary itself asserts the streamed
+# replay is bit-identical to the dense in-memory replay (counters, f64
+# bits, every series window) and that trace buffers stay bounded by the
+# chunk size. The validator checks both artifacts: schema + identity on the
+# smoke run, and for the checked-in full-run BENCH_oo_trace.json the
+# acceptance criteria (>= 1B requests replayed, streamed within 1.3x of
+# in-memory, buffers bounded). Smoke numbers themselves are NOT meaningful.
+./target/release/trace_gen --smoke --out target/ci_oo.ctr
+./target/release/trace_convert to-csv target/ci_oo.ctr target/ci_oo.csv
+./target/release/trace_convert to-ctr target/ci_oo.csv target/ci_oo_rt.ctr
+./target/release/trace_convert verify target/ci_oo.csv target/ci_oo_rt.ctr
+./target/release/oo_trace --smoke
+python3 - <<'PY'
+import json
+
+def check(path, full):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == "oo_trace", doc.get("bench")
+    for key in ("mode", "trace", "window", "chunk_records", "capacity",
+                "streamed", "calibration"):
+        assert key in doc, f"{path} missing key: {key}"
+    t = doc["trace"]
+    assert t["requests"] > 0 and t["id_space"] > 0 and t["bytes"] > 0, t
+    # Bounded memory: peak trace buffers scale with the chunk, never the
+    # trace (2x slack for Vec growth; 40 covers record + decoded + slot).
+    buffer_bound = 2 * doc["chunk_records"] * 40
+    names = set()
+    for s in doc["streamed"]:
+        names.add(s["name"])
+        assert 0.0 <= s["miss_ratio"] <= 1.0 and s["windows"] > 0, s
+        assert s["peak_buffer_bytes"] <= buffer_bound, \
+            f"{path}: {s['name']} buffers {s['peak_buffer_bytes']} exceed chunk bound"
+    assert {"FIFO", "S3-FIFO"} <= names, f"{path}: missing policies {names}"
+    cal = doc["calibration"]
+    assert cal["policies"], f"{path}: no calibration rows"
+    for p in cal["policies"]:
+        assert p["identical"] is True, f"{path}: {p['name']} streamed replay diverged"
+        assert p["streamed_mreqs"] > 0 and p["in_memory_mreqs"] > 0, p
+    if full:
+        assert doc["mode"] == "full", f"{path}: checked-in file must be a full run"
+        assert t["requests"] >= 1_000_000_000, \
+            f"{path}: full run must replay >= 1B requests, got {t['requests']}"
+        assert cal["within_bound"] is True and cal["max_ratio"] <= cal["bound"], \
+            f"{path}: streamed replay {cal['max_ratio']}x exceeds {cal['bound']}x bound"
+    return doc, cal
+
+check("target/BENCH_oo_trace.json", full=False)
+doc, cal = check("BENCH_oo_trace.json", full=True)
+gb = doc["trace"]["bytes"] / 1e9
+peak = max(s["peak_buffer_bytes"] for s in doc["streamed"]) / 1e6
+print(f"oo smoke ok: checked-in full run streams {doc['trace']['requests']} "
+      f"requests ({gb:.1f} GB) in {peak:.0f} MB of trace buffers, "
+      f"streamed/in-memory ratio {cal['max_ratio']:.2f} (bound {cal['bound']})")
+PY
+
 echo "== obs smoke: obs_dump =="
 # Exercises the full observability pipeline (windowed simulation, flash
 # degradation ladder, concurrent per-shard export, lossy CSV ingest) and

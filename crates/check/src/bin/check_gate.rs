@@ -18,13 +18,19 @@
 //! 5. **Monotonic versions** — logged runs in per-key-version mode under
 //!    uniform and Zipf(1.0) key skew, checked with both the per-get rules
 //!    and the cross-get version-regression rule.
+//! 6. **Streamed replay differential** — every streamable registry
+//!    algorithm × three workload shapes × awkward chunk sizes, the
+//!    out-of-core `.ctr` replay diffed bit-for-bit (counters, f64 bits,
+//!    per-window series) against the in-memory windowed replay, with
+//!    ddmin shrinking on mismatch.
 //!
 //! Budget: a couple of seconds in release mode. Everything is seeded; a
 //! failing run reproduces bit-for-bit (see TESTING.md).
 
 use cache_check::{
-    check_history, check_monotonic, fuzz_mrc, fuzz_policy, FuzzConfig, InvariantObserver,
-    FUZZED_ALGORITHMS, MRC_ALGORITHMS, MRC_GRIDS,
+    check_history, check_monotonic, fuzz_mrc, fuzz_policy, fuzz_stream, FuzzConfig,
+    InvariantObserver, FUZZED_ALGORITHMS, MRC_ALGORITHMS, MRC_GRIDS, STREAM_ALGORITHMS,
+    STREAM_SHAPES,
 };
 use cache_concurrent::oplog::{run_logged_torture, LoggedTortureConfig};
 use cache_concurrent::ConcurrentCache;
@@ -204,15 +210,50 @@ fn phase_monotonic() -> Result<(), String> {
     Ok(())
 }
 
+fn phase_stream() -> Result<(), String> {
+    let mut total = 0usize;
+    for name in STREAM_ALGORITHMS {
+        let mut per_algo = 0usize;
+        for (shape_idx, &(max_size, write_percent, ignore_size)) in
+            STREAM_SHAPES.iter().enumerate()
+        {
+            for (window, chunk) in [(1u64, 1usize), (100, 13), (500, 997), (64, 100_000)] {
+                let cfg = FuzzConfig {
+                    seed: 0x57AE_A001
+                        ^ ((shape_idx as u64) << 16)
+                        ^ (window << 32)
+                        ^ chunk as u64,
+                    requests: 1_500,
+                    max_size,
+                    write_percent,
+                    ..FuzzConfig::default()
+                };
+                match fuzz_stream(name, 48, window, chunk, ignore_size, &cfg) {
+                    Ok(n) => per_algo += n,
+                    Err(d) => return Err(format!("{d}")),
+                }
+            }
+        }
+        println!("  {name}: {per_algo} streamed requests bit-identical to in-memory");
+        total += per_algo;
+    }
+    println!(
+        "  total: {total} streamed requests across {} shapes",
+        STREAM_SHAPES.len()
+    );
+    Ok(())
+}
+
 type Phase = fn() -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let phases: [(&str, Phase); 5] = [
+    let phases: [(&str, Phase); 6] = [
         ("differential fuzz (reference vs keyed vs dense)", phase_differential),
         ("MRC differential (multi-capacity engines vs per-capacity reference)", phase_mrc),
         ("invariant observer sweep", phase_observer),
         ("linearizability-lite on logged torture histories", phase_linearizability),
         ("monotonic-version regression rules on logged histories", phase_monotonic),
+        ("streamed .ctr replay differential (out-of-core vs in-memory)", phase_stream),
     ];
     for (title, run) in phases {
         println!("check_gate: {title}");

@@ -38,9 +38,13 @@ pub mod linear;
 pub mod mrc;
 pub mod observer;
 pub mod reference;
+pub mod stream;
 
 pub use fuzz::{diff_run, fuzz_policy, Divergence, FuzzConfig, FUZZED_ALGORITHMS};
 pub use mrc::{fuzz_mrc, mrc_diff, MrcDivergence, MRC_ALGORITHMS, MRC_GRIDS};
+pub use stream::{
+    fuzz_stream, stream_diff, StreamDivergence, STREAM_ALGORITHMS, STREAM_SHAPES,
+};
 pub use linear::{check_history, check_monotonic, witness_exists, LinearViolation};
 pub use observer::InvariantObserver;
 pub use reference::{reference_for, ReferencePolicy};

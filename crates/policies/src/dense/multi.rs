@@ -34,10 +34,20 @@ impl DenseTwoQ {
     ///
     /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
     pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_domain(capacity, ids.len())
+    }
+
+    /// [`DenseTwoQ::new`] over a pre-sized dense domain `0..domain` with no
+    /// interning table. Decision-identical to [`DenseTwoQ::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn with_domain(capacity: u64, domain: usize) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
-        let slab = DenseSlab::new(ids);
+        let slab = DenseSlab::with_domain(domain);
         let a1in_capacity = ((capacity as f64 * 0.25).round() as u64).max(1);
         Ok(DenseTwoQ {
             capacity,
@@ -249,6 +259,16 @@ impl DenseSlru {
     ///
     /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
     pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_domain(capacity, ids.len())
+    }
+
+    /// [`DenseSlru::new`] over a pre-sized dense domain `0..domain` with no
+    /// interning table. Decision-identical to [`DenseSlru::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn with_domain(capacity: u64, domain: usize) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
@@ -256,7 +276,7 @@ impl DenseSlru {
             capacity,
             seg_capacity: (capacity / SEGMENTS as u64).max(1),
             seg_used: [0; SEGMENTS],
-            slab: DenseSlab::new(ids),
+            slab: DenseSlab::with_domain(domain),
             segs: [PackedQueue::new(); SEGMENTS],
             stats: PolicyStats::default(),
         })

@@ -61,6 +61,22 @@ impl DenseS3Fifo {
         cfg: S3FifoConfig,
         ids: &Arc<DenseIds>,
     ) -> Result<Self, CacheError> {
+        Self::with_config_domain(capacity, cfg, ids.len())
+    }
+
+    /// [`DenseS3Fifo::with_config`] over a pre-sized dense domain
+    /// `0..domain` with no interning table (the streaming replayer's entry
+    /// point — `.ctr` ids are already dense). Decision-identical to
+    /// [`DenseS3Fifo::with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseS3Fifo::with_config`].
+    pub fn with_config_domain(
+        capacity: u64,
+        cfg: S3FifoConfig,
+        domain: usize,
+    ) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
@@ -78,7 +94,7 @@ impl DenseS3Fifo {
         let s_capacity = ((capacity as f64 * cfg.small_ratio).round() as u64).max(1);
         let m_capacity = capacity.saturating_sub(s_capacity).max(1);
         let ghost_cap = (m_capacity as f64 * cfg.ghost_ratio).round() as u64;
-        let slab = DenseSlab::new(ids);
+        let slab = DenseSlab::with_domain(domain);
         Ok(DenseS3Fifo {
             capacity,
             s_capacity,

@@ -29,13 +29,24 @@ impl DenseFifo {
     ///
     /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
     pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_domain(capacity, ids.len())
+    }
+
+    /// [`DenseFifo::new`] over a pre-sized dense domain `0..domain` with no
+    /// interning table (the streaming replayer's entry point — `.ctr` ids
+    /// are already dense). Decision-identical to [`DenseFifo::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn with_domain(capacity: u64, domain: usize) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
         Ok(DenseFifo {
             capacity,
             used: 0,
-            slab: DenseSlab::new(ids),
+            slab: DenseSlab::with_domain(domain),
             queue: PackedQueue::new(),
             stats: PolicyStats::default(),
         })
@@ -158,13 +169,23 @@ impl DenseLru {
     ///
     /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
     pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_domain(capacity, ids.len())
+    }
+
+    /// [`DenseLru::new`] over a pre-sized dense domain `0..domain` with no
+    /// interning table. Decision-identical to [`DenseLru::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn with_domain(capacity: u64, domain: usize) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
         Ok(DenseLru {
             capacity,
             used: 0,
-            slab: DenseSlab::new(ids),
+            slab: DenseSlab::with_domain(domain),
             queue: PackedQueue::new(),
             stats: PolicyStats::default(),
         })
@@ -288,6 +309,16 @@ impl DenseClock {
     ///
     /// Returns [`CacheError`] when `capacity == 0` or `bits` is 0 or > 7.
     pub fn new(capacity: u64, bits: u8, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_domain(capacity, bits, ids.len())
+    }
+
+    /// [`DenseClock::new`] over a pre-sized dense domain `0..domain` with no
+    /// interning table. Decision-identical to [`DenseClock::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when `capacity == 0` or `bits` is 0 or > 7.
+    pub fn with_domain(capacity: u64, bits: u8, domain: usize) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
@@ -300,7 +331,7 @@ impl DenseClock {
             capacity,
             used: 0,
             max_freq: (1u8 << bits) - 1,
-            slab: DenseSlab::new(ids),
+            slab: DenseSlab::with_domain(domain),
             queue: PackedQueue::new(),
             stats: PolicyStats::default(),
         })
@@ -444,13 +475,23 @@ impl DenseSieve {
     ///
     /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
     pub fn new(capacity: u64, ids: &Arc<DenseIds>) -> Result<Self, CacheError> {
+        Self::with_domain(capacity, ids.len())
+    }
+
+    /// [`DenseSieve::new`] over a pre-sized dense domain `0..domain` with no
+    /// interning table. Decision-identical to [`DenseSieve::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidCapacity`] when `capacity == 0`.
+    pub fn with_domain(capacity: u64, domain: usize) -> Result<Self, CacheError> {
         if capacity == 0 {
             return Err(CacheError::InvalidCapacity("capacity must be > 0".into()));
         }
         Ok(DenseSieve {
             capacity,
             used: 0,
-            slab: DenseSlab::new(ids),
+            slab: DenseSlab::with_domain(domain),
             queue: PackedQueue::new(),
             hand: NIL,
             stats: PolicyStats::default(),

@@ -11,9 +11,8 @@
 //! orientation (head = newest, tail = next eviction); a differential test
 //! below holds the two in lockstep.
 
-use cache_ds::{DenseIds, NIL};
+use cache_ds::NIL;
 use cache_types::{Eviction, Request};
-use std::sync::Arc;
 
 /// All per-object state of a dense policy, one cache line's worth.
 ///
@@ -88,9 +87,15 @@ pub(crate) struct DenseSlab {
 }
 
 impl DenseSlab {
-    pub(crate) fn new(ids: &Arc<DenseIds>) -> Self {
+    /// A slab over a pre-sized dense domain `0..domain`, with no interning
+    /// table behind it. Interned construction passes `ids.len()`; the
+    /// out-of-core streaming replayer passes the `.ctr` header's id space —
+    /// `.ctr` records arrive with already-dense ids, so no table ever
+    /// exists. Constructors only consume the table's *length*, and the hot
+    /// path reads original ids out of the slots themselves.
+    pub(crate) fn with_domain(domain: usize) -> Self {
         DenseSlab {
-            slots: vec![Slot::EMPTY; ids.len()],
+            slots: vec![Slot::EMPTY; domain],
         }
     }
 

@@ -191,6 +191,49 @@ pub fn build_dense(
     })
 }
 
+/// [`build_dense`] over a pre-sized dense id domain `0..domain` with no
+/// interning table — the entry point for streamed `.ctr` replay, where ids
+/// arrive already dense and the domain comes from the trace header.
+/// Decision-identical to [`build_dense`] for the same domain size.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] for an invalid capacity or embedded parameter.
+/// An *unknown* name is `Ok(None)`, mirroring [`build_dense`].
+pub fn build_dense_domain(
+    name: &str,
+    capacity: u64,
+    domain: usize,
+) -> Result<Option<Box<dyn cache_types::DensePolicy>>, CacheError> {
+    use crate::dense::{
+        DenseClock, DenseFifo, DenseLru, DenseS3Fifo, DenseSieve, DenseSlru, DenseTwoQ,
+    };
+    if let Some(ratio) = parse_param(name, "S3-FIFO") {
+        let cfg = S3FifoConfig {
+            small_ratio: ratio?,
+            ..Default::default()
+        };
+        return Ok(Some(Box::new(DenseS3Fifo::with_config_domain(
+            capacity, cfg, domain,
+        )?)));
+    }
+    Ok(match name {
+        "FIFO" => Some(Box::new(DenseFifo::with_domain(capacity, domain)?)),
+        "LRU" => Some(Box::new(DenseLru::with_domain(capacity, domain)?)),
+        "CLOCK" => Some(Box::new(DenseClock::with_domain(capacity, 1, domain)?)),
+        "CLOCK-2bit" => Some(Box::new(DenseClock::with_domain(capacity, 2, domain)?)),
+        "SIEVE" => Some(Box::new(DenseSieve::with_domain(capacity, domain)?)),
+        "SLRU" => Some(Box::new(DenseSlru::with_domain(capacity, domain)?)),
+        "2Q" => Some(Box::new(DenseTwoQ::with_domain(capacity, domain)?)),
+        "S3-FIFO" => Some(Box::new(DenseS3Fifo::with_config_domain(
+            capacity,
+            S3FifoConfig::default(),
+            domain,
+        )?)),
+        _ => None,
+    })
+}
+
 /// Builds the multi-capacity MRC engine for the named policy over a whole
 /// capacity grid, or `None` when the algorithm has no multi-capacity
 /// implementation (callers then fall back to a per-capacity sweep).

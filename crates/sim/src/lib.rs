@@ -24,6 +24,7 @@ pub mod engine;
 pub mod mrc;
 pub mod observers;
 pub mod oracle;
+pub mod stream;
 pub mod sweep;
 
 pub use demotion::{demotion_metrics, DemotionMetrics};
@@ -38,9 +39,10 @@ pub use mrc::{
 };
 pub use observers::{
     simulate_dense_profiled, simulate_dense_windowed, simulate_named_windowed, simulate_windowed,
-    TimeseriesObserver,
+    DenseWindowed, TimeseriesObserver,
 };
 pub use oracle::NextAccessOracle;
+pub use stream::{replay_ctr_path, replay_ctr_windowed, StreamReplay, DEFAULT_CHUNK_RECORDS};
 pub use sweep::{
     miss_ratio_reduction, per_dataset_means, run_sweep, run_sweep_with_abort,
     summarize_reductions, JobReport, JobStatus, SweepOutcome, SweepRecord, SweepSpec, MAX_GANG,

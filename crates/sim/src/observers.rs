@@ -20,7 +20,7 @@ use cache_ds::Histogram;
 use cache_obs::{MissRatioSeries, ReplayProfile};
 use cache_policies::registry;
 use cache_trace::Trace;
-use cache_types::{CacheError, DensePolicy, Eviction, Outcome, Policy, Request};
+use cache_types::{CacheError, DensePolicy, Eviction, Outcome, Policy, PolicyStats, Request};
 use std::time::Instant;
 
 /// A [`RequestObserver`] that feeds a [`MissRatioSeries`].
@@ -70,11 +70,128 @@ pub fn simulate_windowed(
     (result, series)
 }
 
+/// Incremental windowed-replay accumulator shared by
+/// [`simulate_dense_windowed`] and the out-of-core streamed replayer
+/// ([`crate::stream`]): feed slot/request chunks of any size and in any
+/// number of calls, then [`finish`](DenseWindowed::finish) into the same
+/// `(SimResult, MissRatioSeries)` the keyed observer path produces.
+///
+/// Series windows count *reads* — non-read requests are invisible to the
+/// series, exactly like [`TimeseriesObserver`] — while the dense engine's
+/// per-window counts come from [`PolicyStats`] deltas between `replay`
+/// calls. `feed` therefore re-chunks its input so every `replay` call ends
+/// precisely when the open window's read budget is exhausted, keeping each
+/// [`MissRatioSeries::record_window`] delta exact. (Chunking by request
+/// count instead, as this path originally did, hands the series misaligned
+/// deltas on mixed-op traces and smears misses proportionally across window
+/// boundaries; the regression tests below pin the fix.)
+pub struct DenseWindowed {
+    series: MissRatioSeries,
+    freq_at_eviction: Histogram,
+    eviction_age: Histogram,
+    /// Stats snapshot after the previous `replay` call; window counts are
+    /// deltas against this.
+    prev: PolicyStats,
+    /// Global index of the next request to be fed, for rebasing the
+    /// chunk-relative eviction indices `replay` reports.
+    offset: u64,
+    window: u64,
+}
+
+impl DenseWindowed {
+    /// A fresh accumulator with `window` reads per series window.
+    ///
+    /// The policy handed to [`feed`](DenseWindowed::feed) must not have
+    /// processed any requests yet (its stats are the delta baseline).
+    pub fn new(window: u64) -> Self {
+        DenseWindowed {
+            series: MissRatioSeries::new(window),
+            freq_at_eviction: Histogram::new(),
+            eviction_age: Histogram::new(),
+            prev: PolicyStats::default(),
+            offset: 0,
+            window: window.max(1),
+        }
+    }
+
+    /// Replays one chunk through `policy`, splitting it so each underlying
+    /// `replay` call ends exactly on a series-window boundary.
+    ///
+    /// Chunks arrive in trace order across calls; `slots` and `reqs` are
+    /// parallel. All state (window fill, global eviction-index offset, stats
+    /// baseline) carries across calls, so feeding one big slice or many
+    /// small ones is bit-identical.
+    pub fn feed(
+        &mut self,
+        policy: &mut dyn DensePolicy,
+        slots: &[u32],
+        reqs: &[Request],
+        ignore_size: bool,
+    ) {
+        debug_assert_eq!(slots.len(), reqs.len());
+        let mut base = 0usize;
+        while base < reqs.len() {
+            // Reads still missing from the currently open series window.
+            let mut budget = self.window - self.series.total_requests() % self.window;
+            let mut end = base;
+            while end < reqs.len() {
+                let is_read = reqs[end].is_read();
+                end += 1;
+                if is_read {
+                    budget -= 1;
+                    if budget == 0 {
+                        break;
+                    }
+                }
+            }
+            // Eviction callbacks see chunk-relative indices; rebase them so
+            // eviction ages match the unchunked replay bit for bit.
+            let offset = self.offset;
+            let freq_hist = &mut self.freq_at_eviction;
+            let age_hist = &mut self.eviction_age;
+            policy.replay(&slots[base..end], &reqs[base..end], ignore_size, &mut |i, e| {
+                freq_hist.record(u64::from(e.freq));
+                age_hist.record(e.age(offset + i as u64));
+            });
+            let cur = policy.stats();
+            // Exact by construction: the gets delta equals the read count of
+            // the sub-chunk, which never overshoots the open window.
+            self.series
+                .record_window(cur.gets - self.prev.gets, cur.misses - self.prev.misses);
+            self.prev = cur;
+            self.offset += (end - base) as u64;
+            base = end;
+        }
+    }
+
+    /// Closes the series and assembles the final [`SimResult`] from the
+    /// policy's end-of-run stats.
+    pub fn finish(mut self, policy: &dyn DensePolicy, trace: &str) -> (SimResult, MissRatioSeries) {
+        self.series.finish();
+        let stats = policy.stats();
+        let result = SimResult {
+            algorithm: policy.name(),
+            trace: trace.to_string(),
+            capacity: policy.capacity(),
+            requests: stats.gets,
+            misses: stats.misses,
+            miss_ratio: stats.miss_ratio(),
+            byte_miss_ratio: stats.byte_miss_ratio(),
+            evictions: stats.evictions,
+            one_hit_eviction_fraction: self.freq_at_eviction.zero_fraction(),
+            freq_at_eviction: self.freq_at_eviction,
+            eviction_age: self.eviction_age,
+        };
+        (result, self.series)
+    }
+}
+
 /// [`simulate_dense`] plus a windowed miss-ratio timeseries.
 ///
-/// The trace is replayed in window-sized chunks through the policy's own
-/// monomorphized loop; each window's counts come from stats deltas, so the
-/// per-request fast path carries zero extra work.
+/// The trace is replayed in window-aligned chunks through the policy's own
+/// monomorphized loop; each window's counts come from stats deltas
+/// ([`DenseWindowed`]), so the per-request fast path carries zero extra
+/// work.
 pub fn simulate_dense_windowed(
     policy: &mut dyn DensePolicy,
     trace: &Trace,
@@ -82,48 +199,9 @@ pub fn simulate_dense_windowed(
     window: u64,
 ) -> (SimResult, MissRatioSeries) {
     let dense = trace.dense();
-    let slots = &dense.slots;
-    let window_usize = window.max(1) as usize;
-    let mut series = MissRatioSeries::new(window);
-    let mut freq_at_eviction = Histogram::new();
-    let mut eviction_age = Histogram::new();
-    let mut prev = policy.stats();
-    let mut base = 0usize;
-    while base < slots.len() {
-        let end = (base + window_usize).min(slots.len());
-        // Eviction callbacks see chunk-relative indices; rebase them so
-        // eviction ages match the unchunked replay bit for bit.
-        let offset = base as u64;
-        policy.replay(
-            &slots[base..end],
-            &trace.requests[base..end],
-            ignore_size,
-            &mut |i, e| {
-                freq_at_eviction.record(u64::from(e.freq));
-                eviction_age.record(e.age(offset + i as u64));
-            },
-        );
-        let cur = policy.stats();
-        series.record_window(cur.gets - prev.gets, cur.misses - prev.misses);
-        prev = cur;
-        base = end;
-    }
-    series.finish();
-    let stats = policy.stats();
-    let result = SimResult {
-        algorithm: policy.name(),
-        trace: trace.name.clone(),
-        capacity: policy.capacity(),
-        requests: stats.gets,
-        misses: stats.misses,
-        miss_ratio: stats.miss_ratio(),
-        byte_miss_ratio: stats.byte_miss_ratio(),
-        evictions: stats.evictions,
-        one_hit_eviction_fraction: freq_at_eviction.zero_fraction(),
-        freq_at_eviction,
-        eviction_age,
-    };
-    (result, series)
+    let mut w = DenseWindowed::new(window);
+    w.feed(policy, &dense.slots, &trace.requests, ignore_size);
+    w.finish(&*policy, &trace.name)
 }
 
 /// Builds the named algorithm and simulates it with a windowed timeseries,
@@ -268,6 +346,91 @@ mod tests {
                 windowed.eviction_age.quantile(0.5),
                 "{name}: eviction ages must be rebased correctly across chunks"
             );
+        }
+    }
+
+    /// Mixed-op trace (get/set/delete) with a given length — the shape that
+    /// exposed the window-boundary accounting bug.
+    fn mixed_trace(requests: usize, seed: u64) -> Trace {
+        use cache_ds::SplitMix64;
+        use cache_types::Op;
+        let mut rng = SplitMix64::new(seed);
+        let reqs: Vec<Request> = (0..requests)
+            .map(|_| {
+                let op = match rng.next_below(8) {
+                    0 => Op::Set,
+                    1 => Op::Delete,
+                    _ => Op::Get,
+                };
+                Request {
+                    id: rng.next_below(500),
+                    size: 1,
+                    op,
+                    time: 0,
+                }
+            })
+            .collect();
+        Trace::new("mixed", reqs)
+    }
+
+    fn assert_series_equal(name: &str, trace: &Trace, window: u64) {
+        let capacity = 64;
+        let mut dense = registry::build_dense(name, capacity, &trace.dense().ids)
+            .expect("valid name")
+            .expect("dense-capable");
+        let (dense_result, dense_series) =
+            simulate_dense_windowed(dense.as_mut(), trace, true, window);
+        let mut keyed =
+            registry::build(name, capacity, Some(&trace.requests)).expect("valid name");
+        let (keyed_result, keyed_series) = simulate_windowed(keyed.as_mut(), trace, true, window);
+        assert_eq!(dense_result.misses, keyed_result.misses, "{name} w={window}");
+        assert_eq!(
+            dense_series.points().len(),
+            keyed_series.points().len(),
+            "{name} w={window}: window count"
+        );
+        for (d, k) in dense_series.points().iter().zip(keyed_series.points()) {
+            assert_eq!(
+                d.requests, k.requests,
+                "{name} w={window} window {}: requests",
+                d.window
+            );
+            assert_eq!(
+                d.misses, k.misses,
+                "{name} w={window} window {}: misses",
+                d.window
+            );
+        }
+    }
+
+    /// Regression (trace-I/O bug sweep): chunking the dense replay by
+    /// *request* count handed the series misaligned deltas on mixed-op
+    /// traces — reads per chunk < window — which smeared misses
+    /// proportionally across window boundaries. Every per-window count must
+    /// equal the keyed observer path's, which records read by read.
+    #[test]
+    fn dense_windows_match_keyed_on_mixed_op_traces() {
+        let trace = mixed_trace(10_000, 21);
+        for window in [1u64, 3, 64, 999, 1000, 1001] {
+            for name in ["FIFO", "LRU", "S3-FIFO"] {
+                assert_series_equal(name, &trace, window);
+            }
+        }
+    }
+
+    /// Satellite: sweep trace length against window length so every
+    /// residue class of `len % window` gets exercised, on both pure-get
+    /// and mixed-op traces (the final partial window was the other
+    /// suspect in the boundary audit).
+    #[test]
+    fn window_boundary_sweep_length_mod_window() {
+        for len in [1usize, 99, 100, 101, 250, 999, 1000, 1024] {
+            let pure = WorkloadSpec::zipf("p", len, 200, 1.0, len as u64).generate();
+            let mixed = mixed_trace(len, len as u64);
+            for window in [1u64, 7, 100, 128] {
+                assert_series_equal("S3-FIFO", &pure, window);
+                assert_series_equal("S3-FIFO", &mixed, window);
+            }
         }
     }
 

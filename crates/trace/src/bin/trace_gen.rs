@@ -1,0 +1,96 @@
+//! Seeded out-of-core trace generator: streams a multi-GB `.ctr` workload
+//! straight to disk without ever holding the trace in memory.
+//!
+//! Run: `cargo run --release -p cache-trace --bin trace_gen -- \
+//!         --out target/oo_trace.ctr --requests 1000000000 --objects 100000000`
+//!
+//! Flags:
+//!   --out PATH        output `.ctr` file (default `target/oo_trace.ctr`)
+//!   --requests N      request count (default 10_000_000)
+//!   --objects N       core object universe (default requests / 10)
+//!   --alpha F         Zipf skew (default 1.0)
+//!   --seed N          RNG seed (default 42)
+//!   --mix paper|zipf  `paper` adds one-hit wonders, scan bursts, phase
+//!                     changes, and deletes (default); `zipf` is pure IRM
+//!   --smoke           tiny deterministic trace for CI (overrides sizes)
+
+use cache_trace::stream_gen::StreamSpec;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out: PathBuf = parse_flag::<String>(&args, "--out")
+        .unwrap_or_else(|| "target/oo_trace.ctr".into())
+        .into();
+    let requests: u64 = if smoke {
+        50_000
+    } else {
+        parse_flag(&args, "--requests").unwrap_or(10_000_000)
+    };
+    let objects: u64 = if smoke {
+        5_000
+    } else {
+        parse_flag(&args, "--objects").unwrap_or((requests / 10).max(1))
+    };
+    let alpha: f64 = parse_flag(&args, "--alpha").unwrap_or(1.0);
+    let seed: u64 = parse_flag(&args, "--seed").unwrap_or(42);
+    let mix: String = parse_flag(&args, "--mix").unwrap_or_else(|| "paper".into());
+
+    let mut spec = match mix.as_str() {
+        "paper" => StreamSpec::paper_mix(requests, objects, seed),
+        "zipf" => StreamSpec::zipf(requests, objects, alpha, seed),
+        other => {
+            eprintln!("unknown --mix {other:?} (expected paper|zipf)");
+            std::process::exit(2);
+        }
+    };
+    spec.alpha = alpha;
+    if smoke {
+        // Keep the rings proportionate so the smoke trace still exercises
+        // every lane of the generator.
+        spec.fresh_ring = 4096;
+        spec.scan_space = 4096;
+    }
+
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    eprintln!(
+        "generating {requests} requests over {objects} objects (mix={mix}, alpha={alpha}, seed={seed}) -> {}",
+        out.display()
+    );
+    let t0 = Instant::now();
+    let info = match spec.write_path(&out) {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {} records, id space {}, {} bytes ({:.2} GB) in {:.1}s ({:.1} M req/s)",
+        info.records,
+        info.id_space,
+        bytes,
+        bytes as f64 / 1e9,
+        secs,
+        info.records as f64 / secs / 1e6
+    );
+}

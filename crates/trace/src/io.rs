@@ -1,9 +1,12 @@
 //! Trace serialization: a human-readable CSV format and a compact binary
 //! format.
 //!
-//! CSV lines are `id,size,op` (op ∈ {get,set,del}); lines starting with `#`
-//! are comments. The binary format is a 16-byte header (`S3FT` magic,
-//! version, record count) followed by 13-byte little-endian records.
+//! CSV lines are `id,size,op[,ttl]` (op ∈ {get,set,del}); lines starting
+//! with `#` are comments. Missing or empty size defaults to 1; the optional
+//! TTL field is validated but not retained. The binary format is a 16-byte
+//! header (`S3FT` magic, version, record count) followed by 13-byte
+//! little-endian records; the chunk-addressable out-of-core format lives in
+//! [`crate::ctr`].
 
 use crate::Trace;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -83,11 +86,15 @@ fn parse_csv_line(line: &str, lineno: usize) -> Result<Request, CacheError> {
         .trim()
         .parse()
         .map_err(|e| CacheError::TraceFormat(format!("line {}: bad id: {e}", lineno + 1)))?;
-    let size: u32 = match parts.next() {
-        Some(s) => s.trim().parse().map_err(|e| {
+    let size: u32 = match parts.next().map(str::trim) {
+        // An empty field means "size unknown" exactly like a missing one:
+        // `4,` and `4` both default to 1. (The empty case used to error
+        // while the missing case defaulted — exporters that always emit the
+        // trailing comma lost every size-less record in lossy mode.)
+        None | Some("") => 1,
+        Some(s) => s.parse().map_err(|e| {
             CacheError::TraceFormat(format!("line {}: bad size: {e}", lineno + 1))
         })?,
-        None => 1,
     };
     let op = match parts.next().map(str::trim) {
         None | Some("get") | Some("") => Op::Get,
@@ -100,6 +107,24 @@ fn parse_csv_line(line: &str, lineno: usize) -> Result<Request, CacheError> {
             )))
         }
     };
+    // Optional 4th field: TTL seconds. The simulator does not retain TTLs,
+    // but a malformed value is content damage that must be surfaced (and
+    // counted in lossy mode), not silently accepted.
+    if let Some(ttl) = parts.next().map(str::trim) {
+        if !ttl.is_empty() {
+            ttl.parse::<u64>().map_err(|e| {
+                CacheError::TraceFormat(format!("line {}: bad ttl: {e}", lineno + 1))
+            })?;
+        }
+    }
+    // Anything past the TTL is not part of the format; ignoring it would
+    // make the skip counters lie about how much of the line was understood.
+    if parts.next().is_some() {
+        return Err(CacheError::TraceFormat(format!(
+            "line {}: too many fields (format is id,size,op[,ttl])",
+            lineno + 1
+        )));
+    }
     Ok(Request {
         id,
         size,
@@ -131,6 +156,14 @@ fn read_csv_inner<R: Read>(
                 continue;
             }
             Err(e) => return Err(e.into()),
+        };
+        // A UTF-8 BOM is encoding furniture, not content: without this
+        // strip, the first record of every BOM-prefixed file failed its id
+        // parse and vanished silently in lossy mode.
+        let line = if lineno == 0 {
+            line.strip_prefix('\u{FEFF}').unwrap_or(&line)
+        } else {
+            line.as_str()
         };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -284,6 +317,90 @@ mod tests {
         assert!(read_csv("t", "not-a-number,1,get\n".as_bytes()).is_err());
         assert!(read_csv("t", "1,xyz,get\n".as_bytes()).is_err());
         assert!(read_csv("t", "1,1,frobnicate\n".as_bytes()).is_err());
+    }
+
+    /// Regression: a final line without a trailing newline must still parse
+    /// (pinned — `lines()` already handles it, and this keeps it that way).
+    #[test]
+    fn csv_final_line_without_newline() {
+        let t = read_csv("t", "1,10,get\n2,20,set".as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests[1].id, 2);
+        assert_eq!(t.requests[1].op, Op::Set);
+    }
+
+    /// Regression: CRLF line endings must not corrupt the last field.
+    #[test]
+    fn csv_crlf_line_endings() {
+        let t = read_csv("t", "1,10,get\r\n2,20,set\r\n3,30,del\r\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.requests[1].op, Op::Set);
+        assert_eq!(t.requests[2].op, Op::Delete);
+        // CRLF + no final newline together.
+        let t = read_csv("t", "1,10,get\r\n2,20,set".as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    /// Regression: a UTF-8 BOM used to fail the first line's id parse —
+    /// a hard error in strict mode and a *silently dropped first record*
+    /// in lossy mode.
+    #[test]
+    fn csv_bom_does_not_eat_first_record() {
+        let csv = "\u{FEFF}1,10,get\n2,20,set\n";
+        let t = read_csv("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.requests[0].id, 1);
+        let (t, report) = read_csv_lossy("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2, "lossy mode must not drop the first record");
+        assert_eq!(report.skipped_lines, 0);
+        // A BOM mid-file is real content damage, not furniture.
+        let (_, report) = read_csv_lossy("t", "1,1,get\n\u{FEFF}2,1,get\n".as_bytes()).unwrap();
+        assert_eq!(report.skipped_lines, 1);
+    }
+
+    /// Regression: an empty size field (`4,`) used to error while a missing
+    /// one (`4`) defaulted to 1 — exporters that always emit the trailing
+    /// comma lost every size-less record in lossy mode.
+    #[test]
+    fn csv_empty_size_defaults_like_missing() {
+        let t = read_csv("t", "4,\n5\n6,,set\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.requests[0].size, 1);
+        assert_eq!(t.requests[1].size, 1);
+        assert_eq!(t.requests[2].size, 1);
+        assert_eq!(t.requests[2].op, Op::Set);
+    }
+
+    /// Regression: trailing fields were silently ignored, so a shifted or
+    /// over-wide row half-parsed instead of being counted as damage. The
+    /// 4th field is an optional numeric TTL; anything further is an error.
+    #[test]
+    fn csv_extra_fields_are_damage_not_noise() {
+        // Valid: optional ttl, possibly empty.
+        let t = read_csv("t", "1,10,get,300\n2,20,set,\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        // Invalid: non-numeric ttl, five fields.
+        assert!(read_csv("t", "1,10,get,soon\n".as_bytes()).is_err());
+        assert!(read_csv("t", "1,10,get,300,surprise\n".as_bytes()).is_err());
+        let (t, report) =
+            read_csv_lossy("t", "1,10,get,300,surprise\n2,20,get\n".as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(report.skipped_lines, 1, "over-wide rows must be counted");
+    }
+
+    /// Lossy accounting exactness: every non-comment, non-empty line is
+    /// either parsed or counted as skipped — nothing vanishes.
+    #[test]
+    fn lossy_accounting_is_exhaustive() {
+        let csv = "# c\n1,1,get\nbad\n2,2,set,300\n3,3,del,nope\n\n4,4\nx,y,z,w,v\n";
+        let data_lines = csv
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim().starts_with('#'))
+            .count() as u64;
+        let (t, report) = read_csv_lossy("t", csv.as_bytes()).unwrap();
+        assert_eq!(report.parsed_lines, t.len() as u64);
+        assert_eq!(report.parsed_lines + report.skipped_lines, data_lines);
+        assert_eq!(report.skipped_lines, report.first_skips.len() as u64);
     }
 
     #[test]

@@ -21,9 +21,11 @@
 
 pub mod analysis;
 pub mod corpus;
+pub mod ctr;
 pub mod gen;
 pub mod io;
 pub mod sampling;
+pub mod stream_gen;
 pub mod zipf;
 
 use cache_ds::DenseIds;

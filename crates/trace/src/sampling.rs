@@ -47,7 +47,15 @@ impl SampledTrace {
 /// ```
 pub fn spatial_sample(trace: &Trace, rate: f64, salt: u64) -> SampledTrace {
     assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
-    let threshold = (rate * u64::MAX as f64) as u64;
+    // rate == 1.0 must keep every request *by construction*. `rate *
+    // u64::MAX as f64` rounds to 2^64 (not representable as u64), so the
+    // old code kept everything only by the accident of f64→u64 cast
+    // saturation; make the identity case explicit instead of load-bearing.
+    let threshold = if rate >= 1.0 {
+        u64::MAX
+    } else {
+        (rate * u64::MAX as f64) as u64
+    };
     let requests: Vec<Request> = trace
         .requests
         .iter()
@@ -160,5 +168,59 @@ mod tests {
     fn zero_rate_panics() {
         let t = WorkloadSpec::zipf("s", 10, 10, 1.0, 1).generate();
         spatial_sample(&t, 0.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::gen::WorkloadSpec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+
+        // Regression: rate 1.0 keeps every request verbatim, for any salt.
+        #[test]
+        fn rate_one_keeps_everything(seed in 0u64..u64::MAX, salt in 0u64..u64::MAX) {
+            let t = WorkloadSpec::zipf("p", 500, 100, 1.0, seed).generate();
+            let s = spatial_sample(&t, 1.0, salt);
+            prop_assert_eq!(&s.trace.requests, &t.requests);
+        }
+
+        // Same (trace, rate, salt) → same sample, always.
+        #[test]
+        fn sampling_is_deterministic(
+            seed in 0u64..u64::MAX,
+            salt in 0u64..u64::MAX,
+            rate_milli in 1u64..=1000,
+        ) {
+            let rate = rate_milli as f64 / 1000.0;
+            let t = WorkloadSpec::zipf("p", 300, 80, 1.0, seed).generate();
+            let a = spatial_sample(&t, rate, salt);
+            let b = spatial_sample(&t, rate, salt);
+            prop_assert_eq!(&a.trace.requests, &b.trace.requests);
+        }
+
+        // Raising the rate only ever *adds* objects (same salt): the lower
+        // rate's sample is a subsequence filter of the higher rate's.
+        #[test]
+        fn sampling_is_monotone_in_rate(
+            seed in 0u64..u64::MAX,
+            salt in 0u64..u64::MAX,
+            lo_milli in 1u64..=999,
+            extra_milli in 1u64..=999,
+        ) {
+            let lo = lo_milli as f64 / 1000.0;
+            let hi = ((lo_milli + extra_milli).min(1000)) as f64 / 1000.0;
+            let t = WorkloadSpec::zipf("p", 400, 120, 1.0, seed).generate();
+            let small = spatial_sample(&t, lo, salt);
+            let big = spatial_sample(&t, hi, salt);
+            let big_ids: std::collections::HashSet<u64> =
+                big.trace.requests.iter().map(|r| r.id).collect();
+            for r in &small.trace.requests {
+                prop_assert!(big_ids.contains(&r.id), "object {} vanished as rate rose", r.id);
+            }
+        }
     }
 }

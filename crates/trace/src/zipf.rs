@@ -150,6 +150,21 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// Golden sequence: pins the exact sample stream across refactors.
+    /// `deterministic_given_seed` only proves run-to-run stability; this
+    /// proves *version-to-version* stability, which seeded trace generation
+    /// (and every BENCH baseline derived from it) depends on.
+    #[test]
+    fn golden_sample_sequence() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = SplitMix64::new(42);
+        let got: Vec<u64> = (0..16).map(|_| z.sample(&mut rng)).collect();
+        assert_eq!(got, GOLDEN_ZIPF_10_1_SEED42);
+    }
+
+    const GOLDEN_ZIPF_10_1_SEED42: [u64; 16] =
+        [5, 1, 1, 2, 1, 7, 1, 6, 1, 3, 1, 2, 3, 3, 4, 1];
+
     #[test]
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
@@ -162,6 +177,54 @@ mod tests {
         let mut rng = SplitMix64::new(5);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+
+        // Structural soundness for any (n, alpha): the CDF is
+        // non-decreasing and ends at exactly 1 — the two properties the
+        // partition_point inversion relies on.
+        #[test]
+        fn cdf_is_sound(n in 1u64..256, alpha_centi in 0u64..=250) {
+            let alpha = alpha_centi as f64 / 100.0;
+            let z = ZipfSampler::new(n, alpha);
+            let sum: f64 = (1..=n).map(|r| z.probability(r)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}");
+            for r in 1..=n {
+                prop_assert!(z.probability(r) > 0.0, "rank {r} unreachable");
+            }
+            for pair in (1..=n).collect::<Vec<_>>().windows(2) {
+                prop_assert!(
+                    z.probability(pair[0]) >= z.probability(pair[1]),
+                    "popularity must fall with rank"
+                );
+            }
+        }
+
+        // Small-universe frequency check: with few ranks every rank is hit
+        // and rank 1 dominates, for any seed.
+        #[test]
+        fn small_universe_hits_every_rank(n in 1u64..=8, seed in 0u64..u64::MAX) {
+            let z = ZipfSampler::new(n, 1.0);
+            let mut rng = SplitMix64::new(seed);
+            let mut counts = vec![0u64; n as usize + 1];
+            for _ in 0..4000 {
+                let r = z.sample(&mut rng);
+                prop_assert!((1..=n).contains(&r));
+                counts[r as usize] += 1;
+            }
+            for r in 1..=n as usize {
+                prop_assert!(counts[r] > 0, "rank {r} never sampled in 4000 draws");
+            }
+            prop_assert_eq!(counts[1..].iter().max(), Some(&counts[1]));
         }
     }
 }
