@@ -53,9 +53,10 @@ impl ConcurrentClock {
     // ORDERING: all Relaxed — the hand is a mere round-robin cursor and
     // the reference bit a heuristic; slot contents are guarded by the
     // occupant RwLock, which carries the needed synchronization.
-    // LOCK-ORDER: slot occupant lock (try_write, non-blocking) before the
-    // index shard lock; `insert`/`remove` never hold the index lock while
-    // taking an occupant lock, so the order cannot invert into a deadlock.
+    // LOCK-ORDER: occupant -> index; the occupant guard is a try_write
+    // (non-blocking), and `insert`/`remove` never hold the index lock
+    // while taking an occupant lock, so the order cannot invert into a
+    // deadlock.
     fn claim_slot(&self) -> usize {
         loop {
             // The hand is the one line every evicting thread RMWs.
@@ -97,8 +98,9 @@ impl ConcurrentCache for ConcurrentClock {
 
     // ORDERING: Relaxed reference-bit store — it is a hint for the sweep,
     // value visibility comes from the occupant lock.
-    // LOCK-ORDER: index shard read lock is dropped (temporary in `?` expr)
-    // before the occupant lock is taken; never held together.
+    // LOCK-ORDER: disjoint; the index shard read guard is a statement
+    // temporary (dropped at the end of the `let ... ?` statement) before
+    // the occupant lock is taken.
     fn get(&self, key: u64) -> Option<Bytes> {
         // Index lock word (2) + slot lock word (2).
         self.profile.entry_write(4);
@@ -117,8 +119,8 @@ impl ConcurrentCache for ConcurrentClock {
 
     // ORDERING: Relaxed bit/len updates — see `claim_slot`; the occupant
     // lock orders the payload.
-    // LOCK-ORDER: occupant lock and index lock are never held at the same
-    // time here. The overwrite probe below *must* copy the slot index out
+    // LOCK-ORDER: disjoint; the occupant lock and the index lock are never
+    // held at the same time here. The overwrite probe below *must* copy the slot index out
     // of a plain `let` so the index read guard drops before the occupant
     // write lock is taken: as an `if let` scrutinee temporary (edition
     // 2021 lifetime rules) the guard survived the whole block, and a
@@ -154,8 +156,9 @@ impl ConcurrentCache for ConcurrentClock {
 
     // ORDERING: Relaxed bit/len updates — the occupant lock is the point
     // of synchronization for the removal itself.
-    // LOCK-ORDER: the index write guard is a temporary dropped at the end
-    // of the `let` statement, so the occupant lock is taken alone.
+    // LOCK-ORDER: disjoint; the index write guard is a temporary dropped
+    // at the end of the `let ... else` statement, so the occupant lock is
+    // taken alone.
     fn remove(&self, key: u64) -> bool {
         self.profile.entry_write(2); // index shard lock word
         let Some(slot_idx) = self.index[shard_of(key)].write().remove(&key) else {
@@ -190,15 +193,20 @@ impl ConcurrentCache for ConcurrentClock {
         &self.profile
     }
 
-    // LOCK-ORDER: the first walk nests occupant read -> index read (the
-    // `if let` scrutinee keeps the occupant guard alive over the body);
-    // read locks cannot cycle with each other, and the audit contract
-    // requires quiescence, so no writer exists to invert the order against.
+    // LOCK-ORDER: occupant -> index, index -> occupant; the first walk
+    // nests occupant read -> index read, the second walk the reverse.
+    // Read locks alone cannot deadlock each other, and the audit contract
+    // requires quiescence, so no writer exists to invert the order against
+    // (the inverting read below carries the reasoned waiver).
     fn audit_quiescent(&self) -> AuditReport {
         let mut report = AuditReport::default();
         let mut occupants: IdMap<usize> = IdMap::default();
         for (i, slot) in self.slots.iter().enumerate() {
-            if let Some((k, _)) = slot.occupant.read().as_ref() {
+            // Bind the guard through a plain `let` — as an `if let`
+            // scrutinee temporary it would stay live across the nested
+            // index acquisition (the PR 8 bug shape; see `insert`).
+            let occ = slot.occupant.read();
+            if let Some((k, _)) = occ.as_ref() {
                 report.resident += 1;
                 *occupants.entry(*k).or_insert(0) += 1;
                 // An occupant the index does not point at is an orphan: a
@@ -216,6 +224,7 @@ impl ConcurrentCache for ConcurrentClock {
         for shard in &self.index {
             for (key, &slot_idx) in shard.read().iter() {
                 let holds = matches!(
+                    // lint:allow(L-DEADLOCK): quiescent-only audit — no concurrent writer exists to run `claim_slot`'s inverse order against this read.
                     self.slots[slot_idx].occupant.read().as_ref(),
                     Some((k, _)) if k == key
                 );

@@ -97,10 +97,10 @@ impl ConcurrentCache for MutexLru {
 
     // ORDERING: Relaxed promotion counter — a pure rate-limit heuristic;
     // losing or double-counting a tick only shifts when promotion happens.
-    // LOCK-ORDER: shard read lock is always dropped before the core list
-    // mutex is taken (each guard is scoped); core -> shard is the only
-    // nesting that occurs (try_lock'd core, then shard read), and shard
-    // guards are never held while acquiring core, so no cycle exists.
+    // LOCK-ORDER: core -> shards; the standalone shard read guards are
+    // block-scoped and dropped before core is taken, and the only nesting
+    // is the try-lock'd core held across a shard read. Shard guards are
+    // never held while acquiring core, so no cycle exists.
     fn get(&self, key: u64) -> Option<Bytes> {
         self.profile.entry_write(3); // shard lock word (2) + promotion tick
         let value = {
@@ -142,9 +142,9 @@ impl ConcurrentCache for MutexLru {
         Some(value)
     }
 
-    // LOCK-ORDER: core mutex first, then the shard write lock — the same
-    // core-then-shard nesting as `get`'s try-lock path and `evict_one`.
-    // No path holds a shard guard while acquiring core, so no cycle.
+    // LOCK-ORDER: core -> shards; the same core-then-shard nesting as
+    // `get`'s try-lock path and `evict_one`. No path holds a shard guard
+    // while acquiring core, so no cycle.
     // Membership changes (insert/remove/evict) all happen inside the core
     // section so the sharded value store and the LRU list can never
     // disagree at quiescence; `audit_quiescent` asserts exactly that.
@@ -175,10 +175,9 @@ impl ConcurrentCache for MutexLru {
         self.profile.section_end(t0);
     }
 
-    // LOCK-ORDER: the shard write guard is a temporary dropped at the end
-    // of the first statement; the core mutex is taken alone afterwards.
-    // LOCK-ORDER: core mutex first, then the shard write lock — same
-    // discipline as `insert` (membership changes stay in the core section).
+    // LOCK-ORDER: core -> shards; the shard write is a statement
+    // temporary taken under the core mutex — same discipline as `insert`
+    // (membership changes stay in the core section).
     fn remove(&self, key: u64) -> bool {
         let mut core = self.core.lock();
         let t0 = self.profile.section_start();
@@ -205,9 +204,9 @@ impl ConcurrentCache for MutexLru {
         &self.profile
     }
 
-    // LOCK-ORDER: core mutex first, then shard read locks one at a time —
-    // the same core-then-shard nesting `get`'s try-lock path uses, and the
-    // only nesting in this audit.
+    // LOCK-ORDER: core -> shards; shard read locks are taken one at a
+    // time under core — the same nesting `get`'s try-lock path uses, and
+    // the only nesting in this audit.
     fn audit_quiescent(&self) -> AuditReport {
         let mut report = AuditReport::default();
         let core = self.core.lock();

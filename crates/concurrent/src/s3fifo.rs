@@ -544,9 +544,9 @@ impl ConcurrentCache for ConcurrentS3Fifo {
     // the shard guard: the freq-flush callback re-acquires shard read
     // locks for the flushed keys, and parking_lot read locks are not
     // recursion-safe when a writer is queued.
-    // LOCK-ORDER: one shard read lock at a time — the direct and batched
-    // branches each take exactly one guard, and the batched flush only
-    // re-acquires after its guard dropped; no nesting, no deadlock.
+    // LOCK-ORDER: disjoint; one shard read lock at a time — the direct
+    // and batched branches each take exactly one block-scoped guard, and
+    // the batched flush only re-acquires after its guard dropped.
     fn get(&self, key: u64) -> Option<Bytes> {
         let idx = self.shard_idx(key);
         self.profile.entry_write(2); // shard lock word acquire/release
@@ -667,8 +667,10 @@ impl ConcurrentCache for ConcurrentS3Fifo {
         &self.profile
     }
 
-    // LOCK-ORDER: shard read locks and ghost mutexes are leaves, acquired
-    // one at a time and never nested; the ring walk holds no lock.
+    // LOCK-ORDER: shards -> ghosts; the ghost-liveness probe reads each
+    // ghost mutex under the shard read guard. Ghost mutexes are leaves —
+    // no path acquires a shard lock while holding one — and the ring walk
+    // holds no lock at all.
     // ORDERING: Relaxed ring-length reads via pop/push — the audit
     // contract requires quiescence, so no entry is in flight.
     fn audit_quiescent(&self) -> AuditReport {

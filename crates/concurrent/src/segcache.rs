@@ -72,9 +72,10 @@ impl SegcacheLike {
     // ORDERING: Relaxed freq/seg/len — freq is a retention heuristic and
     // seg a tag checked under the index lock; the segment mutex (held by
     // the caller) serializes whole merges against each other.
-    // LOCK-ORDER: segment mutex (caller) -> index shard lock, always in
-    // that direction; no path acquires the segment mutex while holding an
-    // index lock.
+    // LOCK-ORDER: disjoint; index shard guards are taken one at a time
+    // here. The caller holds the segment mutex across this call — that
+    // segments -> index nesting is declared (and checked) at `insert` —
+    // and no path acquires the segment mutex while holding an index lock.
     fn merge_evict(&self, segments: &mut VecDeque<Segment>) {
         let take = 4.min(segments.len().saturating_sub(1));
         if take == 0 {
@@ -141,9 +142,9 @@ impl ConcurrentCache for SegcacheLike {
 
     // ORDERING: Relaxed len/seg-id — len gates eviction heuristically;
     // the segment mutex orders all segment structure mutation.
-    // LOCK-ORDER: segment mutex first, index shard lock second (via
-    // merge_evict); the direct index write below happens after the
-    // segment guard is dropped.
+    // LOCK-ORDER: segments -> index; the nesting happens via
+    // `merge_evict` under the segment mutex, while the direct index write
+    // below happens after the segment guard is dropped.
     fn insert(&self, key: u64, value: Bytes) {
         let mut segments = self.segments.lock();
         let t0 = self.profile.section_start();
@@ -208,8 +209,8 @@ impl ConcurrentCache for SegcacheLike {
         &self.profile
     }
 
-    // LOCK-ORDER: segment mutex first, then index shard read locks — the
-    // same direction as `insert`/`merge_evict`.
+    // LOCK-ORDER: segments -> index; index shard read locks under the
+    // segment mutex, the same direction as `insert`/`merge_evict`.
     // ORDERING: Relaxed segment-id loads — the audit runs at quiescence,
     // where every writer has joined and the lock acquisitions above already
     // ordered their stores.

@@ -1,0 +1,29 @@
+// Fixture: L-DEADLOCK waivers. `audit` inverts `forward`'s order but
+// carries a reasoned `lint:allow(L-DEADLOCK)` — the edge is excluded from
+// the cycle graph and nothing fires. `sloppy` carries a reasonless waiver:
+// the edge is still excluded (no L-DEADLOCK), but the empty waiver itself
+// is flagged L-WAIVER. Line numbers are pinned by tests/fixtures.rs.
+// Never compiled.
+
+// LOCK-ORDER: a -> b; the canonical order.
+pub fn forward(s: &Shared) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    ga.touch(gb);
+}
+
+// LOCK-ORDER: b -> a; inverted on purpose — see the waiver.
+pub fn audit(s: &Shared) {
+    let gb = s.b.lock();
+    // lint:allow(L-DEADLOCK): quiescent audit fixture — no concurrent forward() exists to hold `a` against this path
+    let ga = s.a.lock();
+    gb.check(ga);
+}
+
+// LOCK-ORDER: b -> a; inverted with a reasonless waiver.
+pub fn sloppy(s: &Shared) {
+    let gb = s.b.lock();
+    // lint:allow(L-DEADLOCK)
+    let ga = s.a.lock();
+    gb.check(ga);
+}

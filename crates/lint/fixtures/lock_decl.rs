@@ -1,0 +1,44 @@
+// Fixture: L-LOCK-DECL — the declaration checker itself. Four failure
+// modes: a declaration that does not parse, `disjoint` contradicted by an
+// observed overlap, an observed pair the declaration does not cover, a
+// declared pair never observed (stale), and two declarations that
+// contradict each other. Line numbers are pinned by tests/fixtures.rs.
+// Never compiled.
+
+// LOCK-ORDER: a before b, legacy prose that predates the checker.
+pub fn unparseable(s: &Shared) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    ga.touch(gb);
+}
+
+// LOCK-ORDER: disjoint; claims the guards never overlap (they do).
+pub fn not_disjoint(s: &Shared) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    ga.touch(gb);
+}
+
+// LOCK-ORDER: a -> b; says nothing about c.
+pub fn uncovered(s: &Shared) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    drop(gb);
+    let gc = s.c.lock();
+    ga.touch(gc);
+}
+
+// LOCK-ORDER: a -> c, c -> b; the c -> b leg was refactored away (stale).
+pub fn stale(s: &Shared) {
+    let ga = s.a.lock();
+    let gc = s.c.lock();
+    ga.touch(gc);
+}
+
+// LOCK-ORDER: disjoint; one maintainer's claim.
+// LOCK-ORDER: a -> b; another maintainer's — they cannot both hold.
+pub fn contradictory(s: &Shared) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    ga.touch(gb);
+}

@@ -1,7 +1,7 @@
 // Fixture: L-LOCK-ORDER. Line numbers are pinned by tests/fixtures.rs —
 // keep both in sync. Never compiled.
 
-// LOCK-ORDER: a before b, everywhere in this module.
+// LOCK-ORDER: a -> b; everywhere in this module.
 pub fn documented(s: &S) {
     let _a = s.a.lock();
     let _b = s.b.lock();

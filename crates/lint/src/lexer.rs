@@ -38,7 +38,7 @@ impl Line {
 }
 
 /// A function (or method) body span, 1-based inclusive line numbers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FnSpan {
     /// Line holding the `fn` keyword.
     pub decl_line: usize,
@@ -46,6 +46,12 @@ pub struct FnSpan {
     pub body_start: usize,
     /// Line of the matching `}`.
     pub body_end: usize,
+    /// The function's name (the identifier after `fn`).
+    pub name: String,
+    /// Name of the `impl` block's self type when the fn is a method
+    /// (`impl Foo { fn m(..) }` or `impl Trait for Foo { .. }` both give
+    /// `Foo`); `None` for free functions.
+    pub impl_ty: Option<String>,
 }
 
 /// A fully scanned file.
@@ -71,7 +77,7 @@ impl Scanned {
             .iter()
             .filter(|f| f.decl_line <= line && line <= f.body_end)
             .max_by_key(|f| f.decl_line)
-            .copied()
+            .cloned()
     }
 
     /// Comment text of the contiguous comment block ending directly above
@@ -289,13 +295,22 @@ fn spans(lines: &[Line]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
     // Token stream with flat positions for keyword detection.
     let mut fns = Vec::new();
     let mut tests = Vec::new();
+    // `impl` block regions as (start_line, end_line, self_type_name);
+    // assigned to fn spans afterwards (innermost region wins).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
     let mut pending_cfg_test: Option<usize> = None; // line of #[cfg(test)]
     let mut pending_test_attr: Option<usize> = None; // line of #[test]
 
     let mut k = 0;
+    let mut depth = 0i64; // brace depth, to tell `impl T {` from `-> impl Trait`
     while k < flat.len() {
         let (ln, c) = flat[k];
         if !(c.is_alphabetic() || c == '_' || c == '#') {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
             k += 1;
             continue;
         }
@@ -344,22 +359,60 @@ fn spans(lines: &[Line]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
                 }
                 if let Some(open_idx) = open {
                     if let Some(close_idx) = close_of(open_idx) {
+                        // The fn's name is the first word after `fn`.
+                        let mut n = k;
+                        while n < flat.len() && !(flat[n].1.is_alphanumeric() || flat[n].1 == '_') {
+                            n += 1;
+                        }
+                        let mut name = String::new();
+                        while n < flat.len() && (flat[n].1.is_alphanumeric() || flat[n].1 == '_') {
+                            name.push(flat[n].1);
+                            n += 1;
+                        }
                         let span = FnSpan {
                             decl_line: ln,
                             body_start: flat[open_idx].0,
                             body_end: flat[close_idx].0,
+                            name,
+                            impl_ty: None, // assigned below from impl regions
                         };
+                        let body_end = span.body_end;
                         fns.push(span);
                         if pending_test_attr.take().is_some() {
-                            tests.push((ln, span.body_end));
+                            tests.push((ln, body_end));
                         }
                         // `#[cfg(test)] fn` (rare) is also test-only.
                         if pending_cfg_test == Some(ln)
                             || pending_cfg_test.map(|a| ln.saturating_sub(a) <= 3) == Some(true)
                         {
                             if let Some(a) = pending_cfg_test.take() {
-                                tests.push((a, span.body_end));
+                                tests.push((a, body_end));
                             }
+                        }
+                    }
+                }
+            }
+            "impl" if depth == 0 && !impl_in_return_position(&flat, start) => {
+                // `impl<..> Type {` or `impl<..> Trait for Type {`: record the
+                // self type's region so methods can be resolved by type name.
+                let mut j = k;
+                let mut open = None;
+                while j < flat.len() {
+                    match flat[j].1 {
+                        '{' => {
+                            open = Some(j);
+                            break;
+                        }
+                        ';' => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(open_idx) = open {
+                    if let Some(close_idx) = close_of(open_idx) {
+                        let header: String =
+                            flat[k..open_idx].iter().map(|&(_, ch)| ch).collect();
+                        if let Some(ty) = impl_self_type(&header) {
+                            impls.push((flat[open_idx].0, flat[close_idx].0, ty));
                         }
                     }
                 }
@@ -390,7 +443,58 @@ fn spans(lines: &[Line]) -> (Vec<FnSpan>, Vec<(usize, usize)>) {
             _ => {}
         }
     }
+    // Innermost impl region containing the declaration names the method's
+    // self type (impl blocks do not nest in practice, so "innermost" is
+    // just "the one that contains it").
+    for f in &mut fns {
+        f.impl_ty = impls
+            .iter()
+            .filter(|&&(a, b, _)| a <= f.decl_line && f.decl_line <= b)
+            .max_by_key(|&&(a, _, _)| a)
+            .map(|(_, _, ty)| ty.clone());
+    }
     (fns, tests)
+}
+
+/// True when the `impl` keyword at flat index `start` is a return-position
+/// or argument-position `impl Trait` rather than an `impl` block: the
+/// previous non-whitespace char is then punctuation like `>`, `(`, `,`, or
+/// `:` instead of `}`, `;`, `]`, or nothing.
+fn impl_in_return_position(flat: &[(usize, char)], start: usize) -> bool {
+    flat[..start]
+        .iter()
+        .rev()
+        .map(|&(_, c)| c)
+        .find(|c| !c.is_whitespace())
+        .is_some_and(|c| matches!(c, '>' | '(' | ',' | ':' | '&' | '<' | '=' | '+' | '|'))
+}
+
+/// Extracts the self type name from an impl header (the text between the
+/// `impl` keyword and the opening brace): generics are stripped, a
+/// `Trait for` prefix is skipped, and only the last path segment is kept.
+fn impl_self_type(header: &str) -> Option<String> {
+    // Drop generic parameter/argument lists (balanced angle brackets).
+    let mut depth = 0u32;
+    let mut flat = String::new();
+    for c in header.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = depth.saturating_sub(1),
+            _ if depth == 0 => flat.push(c),
+            _ => {}
+        }
+    }
+    let toks: Vec<&str> = flat.split_whitespace().collect();
+    let target = match toks.iter().position(|&t| t == "for") {
+        Some(i) => &toks[i + 1..],
+        None => &toks[..],
+    };
+    let ty = target
+        .iter()
+        .map(|t| t.trim_matches(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':')))
+        .find(|t| !t.is_empty() && !matches!(*t, "mut" | "dyn" | "const"))?;
+    let last = ty.rsplit("::").next().unwrap_or(ty);
+    (!last.is_empty()).then(|| last.to_string())
 }
 
 #[cfg(test)]
@@ -447,6 +551,39 @@ mod tests {
         assert_eq!(f.decl_line, 5);
         let f = s.enclosing_fn(3).unwrap();
         assert_eq!(f.decl_line, 1);
+    }
+
+    #[test]
+    fn fn_names_and_impl_types_are_extracted() {
+        let src = "\
+fn free() { 1; }
+impl<'a, T: Clone> Widget<'a, T> {
+    pub fn method(&self) { 2; }
+}
+impl std::fmt::Display for Gadget {
+    fn fmt(&self) { 3; }
+}
+fn returns_opaque() -> impl Iterator<Item = u8> {
+    std::iter::empty()
+}
+";
+        let s = scan(src);
+        let by_name: Vec<(&str, Option<&str>)> = s
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_ty.as_deref()))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("free", None),
+                ("method", Some("Widget")),
+                ("fmt", Some("Gadget")),
+                ("returns_opaque", None),
+            ],
+            "{:#?}",
+            s.fns
+        );
     }
 
     #[test]

@@ -166,8 +166,9 @@ impl ModelRing {
 /// - nothing is duplicated;
 /// - per-producer FIFO: one producer's values come out in push order;
 /// - popped values were actually pushed (no torn/uninitialized reads).
-// LOCK-ORDER: the std mutexes here are result-collection bookkeeping only
-// (invisible to the model); each is locked alone, never nested with another.
+// LOCK-ORDER: disjoint; the std mutexes here are result-collection
+// bookkeeping only (invisible to the model); each is locked alone, never
+// nested with another.
 pub fn ring_scenario(
     cap: usize,
     producers: usize,

@@ -12,8 +12,11 @@
 //! | `L-SAFETY`   | every `unsafe` keyword carries a `SAFETY:` comment directly above |
 //! | `L-ORDERING` | every fn doing atomic ops names `Ordering::*` explicitly and has an `ORDERING:` comment |
 //! | `L-SEQCST`   | `Ordering::SeqCst` needs an `ORDERING:` comment that says "SeqCst" |
-//! | `L-LOCK-ORDER` | a fn acquiring two or more locks carries a `LOCK-ORDER:` comment |
 //! | `L-PANIC`    | non-test `.unwrap()` is banned; `.expect(` needs an invariant comment |
+//!
+//! The lock-related rules (`L-LOCK-ORDER`, `L-LOCK-DECL`, `L-DEADLOCK`,
+//! `L-GUARD-LIFETIME`) are workspace-granular — they need the call graph —
+//! and live in [`crate::locks`].
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` fns) is exempt from
 //! `L-PANIC` but NOT from the concurrency rules — a racy test is still a
@@ -65,18 +68,14 @@ const ATOMIC_OPS: &[&str] = &[
     ".fetch_min(",
 ];
 
-/// Lock acquisition tokens: argument-free `.lock()` / `.read()` / `.write()`
-/// calls. In this workspace those three are only ever `Mutex` / `RwLock`
-/// acquisitions (I/O uses `read_line`, `read_to_string`, `write_all`, ...),
-/// which the fixture suite pins.
-const LOCK_OPS: &[&str] = &[".lock()", ".read()", ".write()"];
-
 /// Lints one scanned file; `is_bin` marks `src/bin/**` CLI entry points.
+///
+/// The lock-order analysis is not run here — it needs every file at once
+/// (see [`crate::locks::analyze`]); `walk::lint_workspace` combines both.
 pub fn lint_file(path: &str, scanned: &Scanned, is_bin: bool) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     rule_safety(path, scanned, &mut out);
     rule_ordering(path, scanned, &mut out);
-    rule_lock_order(path, scanned, &mut out);
     if !is_bin {
         rule_panic(path, scanned, &mut out);
     }
@@ -158,7 +157,7 @@ fn rule_ordering(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
         let f = s.enclosing_fn(ln);
         match per_fn
             .iter_mut()
-            .find(|(g, _)| match (g, f) {
+            .find(|(g, _)| match (g.as_ref(), f.as_ref()) {
                 (Some(a), Some(b)) => a.decl_line == b.decl_line && a.body_end == b.body_end,
                 (None, None) => true,
                 _ => false,
@@ -232,46 +231,6 @@ fn rule_ordering(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
                 seqcst_lines[0],
                 "`Ordering::SeqCst` without an `// ORDERING:` comment mentioning SeqCst".into(),
                 "justify why the total order is needed (or downgrade to Acquire/Release/Relaxed)",
-            ));
-        }
-    }
-}
-
-/// L-LOCK-ORDER: a fn acquiring two or more locks must document the order.
-fn rule_lock_order(path: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
-    for f in &s.fns {
-        // Skip fns nested inside another flagged fn? No: innermost wins.
-        // Count acquisitions attributed to exactly this fn (not nested fns).
-        let mut acq = 0usize;
-        let mut first = f.decl_line;
-        for ln in f.decl_line..=f.body_end {
-            if s.enclosing_fn(ln).map(|g| g.decl_line) != Some(f.decl_line) {
-                continue; // line belongs to a nested fn
-            }
-            let code = &s.lines[ln - 1].code;
-            let n: usize = LOCK_OPS.iter().map(|op| code.matches(op).count()).sum();
-            if n > 0 && acq == 0 {
-                first = ln;
-            }
-            acq += n;
-        }
-        if acq < 2 {
-            continue;
-        }
-        let mut commented = s.comment_block_above(f.decl_line).contains("LOCK-ORDER:");
-        for ln in f.decl_line..=f.body_end {
-            if s.lines[ln - 1].comment.contains("LOCK-ORDER:") {
-                commented = true;
-                break;
-            }
-        }
-        if !commented {
-            out.push(diag(
-                "L-LOCK-ORDER",
-                path,
-                first,
-                format!("function acquires {acq} locks with no `// LOCK-ORDER:` comment"),
-                "document the acquisition order (and why it cannot deadlock) or restructure",
             ));
         }
     }
@@ -377,23 +336,6 @@ mod tests {
             "fn f(a: &AtomicUsize) {\n    // ORDERING: SeqCst — checker needs a total order.\n    a.fetch_add(1, Ordering::SeqCst);\n}\n",
         );
         assert!(clean.is_empty(), "{clean:?}");
-    }
-
-    #[test]
-    fn two_locks_need_lock_order() {
-        let d = run("fn f(&self) {\n    let a = self.x.lock();\n    let b = self.y.lock();\n}\n");
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "L-LOCK-ORDER");
-        assert_eq!(d[0].line, 2);
-        let clean = run(
-            "// LOCK-ORDER: x before y, everywhere.\nfn f(&self) {\n    let a = self.x.lock();\n    let b = self.y.lock();\n}\n",
-        );
-        assert!(clean.is_empty(), "{clean:?}");
-    }
-
-    #[test]
-    fn single_lock_is_fine() {
-        assert!(run("fn f(&self) {\n    let a = self.x.lock();\n}\n").is_empty());
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
         raw.extend(lint_file(&rel, &s, is_bin));
         scanned_files.push((rel, s));
     }
+    // The interprocedural lock analysis needs every file at once.
+    raw.extend(crate::locks::analyze(&scanned_files));
     let allow_path = root.join("crates/lint/lint.allow");
     let allow_origin = "crates/lint/lint.allow";
     let (entries, mut diags) = match fs::read_to_string(&allow_path) {

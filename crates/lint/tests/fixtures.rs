@@ -15,8 +15,9 @@ use cache_lint::lexer::scan;
 use cache_lint::rules::{lint_file, Diagnostic};
 use std::path::Path;
 
-/// Lints one fixture file end-to-end (rules + inline-waiver filtering, no
-/// central allowlist) and returns the surviving diagnostics.
+/// Lints one fixture file end-to-end (per-file rules + the interprocedural
+/// lock analysis + inline-waiver filtering, no central allowlist) and
+/// returns the surviving diagnostics, sorted like the workspace driver.
 fn lint_fixture(name: &str) -> Vec<Diagnostic> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("fixtures")
@@ -24,8 +25,12 @@ fn lint_fixture(name: &str) -> Vec<Diagnostic> {
     // Invariant: fixtures ship with the crate, next to this test.
     let text = std::fs::read_to_string(&path).expect("fixture exists");
     let s = scan(&text);
-    let raw = lint_file(name, &s, false);
-    filter(raw, &[(name.to_string(), s)], &[], "lint.allow")
+    let mut raw = lint_file(name, &s, false);
+    let files = vec![(name.to_string(), s)];
+    raw.extend(cache_lint::locks::analyze(&files));
+    let mut out = filter(raw, &files, &[], "lint.allow");
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
 }
 
 fn rule_lines(diags: &[Diagnostic]) -> Vec<(&str, usize)> {
@@ -75,6 +80,91 @@ fn panic_fixture_flags_unwrap_and_bare_expect_but_not_tests() {
 fn waiver_fixture_suppresses_reasoned_and_flags_reasonless() {
     let d = lint_fixture("waiver.rs");
     assert_eq!(rule_lines(&d), vec![("L-WAIVER", 10)], "{d:#?}");
+}
+
+#[test]
+fn deadlock_clock_fixture_refinds_the_shipped_bug() {
+    // The acceptance fixture: the pre-fix `ConcurrentClock::insert` shape
+    // must draw BOTH the guard-lifetime diagnostic (the scrutinee temp is
+    // the mechanism) and the deadlock cycle (the consequence), and the
+    // cycle witness must name both paths.
+    let d = lint_fixture("deadlock_clock.rs");
+    assert_eq!(
+        rule_lines(&d),
+        vec![("L-GUARD-LIFETIME", 27), ("L-DEADLOCK", 28)],
+        "{d:#?}"
+    );
+    assert!(d[0].msg.contains("if let"), "{}", d[0].msg);
+    let cycle = &d[1].msg;
+    assert!(cycle.contains("index -> occupant -> index"), "{cycle}");
+    assert!(cycle.contains("`ConcurrentClock::insert`"), "{cycle}");
+    assert!(cycle.contains("`ConcurrentClock::claim_slot`"), "{cycle}");
+}
+
+#[test]
+fn abba_two_fns_fixture_flags_exactly_one_cycle() {
+    let d = lint_fixture("abba_two_fns.rs");
+    assert_eq!(rule_lines(&d), vec![("L-DEADLOCK", 10)], "{d:#?}");
+    assert!(d[0].msg.contains("a -> b -> a"), "{}", d[0].msg);
+    assert!(d[0].msg.contains("`forward`"), "{}", d[0].msg);
+    assert!(d[0].msg.contains("`backward`"), "{}", d[0].msg);
+}
+
+#[test]
+fn abba_via_call_fixture_composes_the_cycle_through_the_call_graph() {
+    let d = lint_fixture("abba_via_call.rs");
+    assert_eq!(rule_lines(&d), vec![("L-DEADLOCK", 26)], "{d:#?}");
+    assert!(d[0].msg.contains("data -> meta -> data"), "{}", d[0].msg);
+    // The meta -> data leg exists only through refresh's call to reload;
+    // the witness must say so.
+    assert!(d[0].msg.contains("via call to `self.reload`"), "{}", d[0].msg);
+}
+
+#[test]
+fn guard_lifetime_fixture_flags_scrutinee_temps_but_not_the_copy_out() {
+    let d = lint_fixture("guard_lifetime.rs");
+    assert_eq!(
+        rule_lines(&d),
+        vec![("L-GUARD-LIFETIME", 14), ("L-GUARD-LIFETIME", 21)],
+        "{d:#?}"
+    );
+    assert!(d[0].msg.contains("if let"), "{}", d[0].msg);
+    assert!(d[1].msg.contains("match"), "{}", d[1].msg);
+}
+
+#[test]
+fn drop_release_fixture_is_completely_clean() {
+    let d = lint_fixture("drop_release.rs");
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
+fn deadlock_waiver_fixture_honors_reasons_and_flags_their_absence() {
+    let d = lint_fixture("deadlock_waiver.rs");
+    assert_eq!(rule_lines(&d), vec![("L-WAIVER", 27)], "{d:#?}");
+    assert!(d[0].msg.contains("no reason"), "{}", d[0].msg);
+}
+
+#[test]
+fn lock_decl_fixture_pins_every_declaration_failure_mode() {
+    let d = lint_fixture("lock_decl.rs");
+    assert_eq!(
+        rule_lines(&d),
+        vec![
+            ("L-LOCK-DECL", 8),   // unparseable legacy prose
+            ("L-LOCK-ORDER", 10), // ...which leaves the fn undeclared
+            ("L-LOCK-DECL", 18),  // disjoint contradicted by an overlap
+            ("L-LOCK-DECL", 27),  // observed a -> c not covered
+            ("L-LOCK-DECL", 31),  // declared c -> b never observed
+            ("L-LOCK-DECL", 38),  // disjoint + ordered pairs contradiction
+            ("L-LOCK-DECL", 42),  // ...and the disjoint claim is also false
+        ],
+        "{d:#?}"
+    );
+    assert!(d[0].msg.contains("unparseable"), "{}", d[0].msg);
+    assert!(d[2].msg.contains("disjoint"), "{}", d[2].msg);
+    assert!(d[3].msg.contains("not covered"), "{}", d[3].msg);
+    assert!(d[4].msg.contains("stale"), "{}", d[4].msg);
 }
 
 #[test]

@@ -155,9 +155,9 @@ pub fn run_sweep(spec: &SweepSpec<'_>) -> Result<Vec<SweepRecord>, CacheError> {
 // ORDERING: Relaxed throughout — `next` needs only RMW atomicity to hand
 // out unique job indices and `abort` is an advisory stop flag; all result
 // hand-off is ordered by the mutexes and the scope join.
-// LOCK-ORDER: results, statuses, and first_error are each taken in
-// non-overlapping scopes (the results guard is dropped before statuses is
-// locked); no two are ever held at once, so no deadlock cycle exists.
+// LOCK-ORDER: disjoint; results, statuses, and first_error are each taken
+// in non-overlapping scopes (the results guard is explicitly dropped before
+// statuses is locked); no two are ever held at once, so no cycle can form.
 pub fn run_sweep_with_abort(
     spec: &SweepSpec<'_>,
     should_abort: &(dyn Fn() -> bool + Sync),
